@@ -1,0 +1,11 @@
+"""Extension bench — ELL vs CSR vs COO kernel-format ablation."""
+
+from conftest import run_once
+from repro.bench.experiments import ablation_formats
+
+
+def test_format_ablation(benchmark, scale):
+    rows = run_once(benchmark, ablation_formats.run, scale)
+    for row in rows:
+        assert row["csr_vs_ell"] >= 1.0 - 1e-9
+        assert row["coo_vs_ell"] > 1.0

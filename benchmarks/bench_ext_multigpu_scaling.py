@@ -1,0 +1,16 @@
+"""Extension bench — multi-GPU batch-partitioning scaling."""
+
+from conftest import run_once
+from repro.bench.experiments import scaling_multigpu
+
+
+def test_multigpu_scaling(benchmark, scale):
+    rows = run_once(benchmark, scaling_multigpu.run, scale)
+    by_circuit = {}
+    for r in rows:
+        by_circuit.setdefault((r["family"], r["num_qubits"]), []).append(r)
+    for series in by_circuit.values():
+        series.sort(key=lambda r: r["devices"])
+        speedups = [r["speedup"] for r in series]
+        assert all(a <= b + 1e-9 for a, b in zip(speedups, speedups[1:]))
+        assert speedups[-1] > 1.5

@@ -1,0 +1,20 @@
+"""Figure 10 — speed-up over cuQuantum vs batch size."""
+
+from conftest import run_once
+from repro.bench.experiments import fig10
+
+
+def test_fig10_batch_scaling(benchmark, scale):
+    rows = run_once(benchmark, fig10.run, scale)
+    by_circuit = {}
+    for r in rows:
+        by_circuit.setdefault((r["family"], r["num_qubits"]), []).append(r)
+    for series in by_circuit.values():
+        series.sort(key=lambda r: r["batch_size"])
+        # speed-up grows with batch size and eventually saturates
+        assert series[-1]["speedup"] > series[0]["speedup"]
+        if scale in ("medium", "paper"):
+            assert all(r["speedup"] > 1 for r in series)
+            gain_early = series[1]["speedup"] - series[0]["speedup"]
+            gain_late = series[-1]["speedup"] - series[-2]["speedup"]
+            assert gain_late < max(gain_early, 1e-9) + 0.2

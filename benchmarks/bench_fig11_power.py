@@ -1,0 +1,15 @@
+"""Figure 11 — average power of the four simulators."""
+
+from conftest import run_once
+from repro.bench.experiments import fig11
+
+
+def test_fig11_power(benchmark, scale):
+    rows = run_once(benchmark, fig11.run, scale)
+    by_key = {(r["family"], r["simulator"]): r for r in rows}
+    for family in {r["family"] for r in rows}:
+        bq = by_key[(family, "bqsim")]
+        assert bq["cpu_watts"] < by_key[(family, "qiskit-aer")]["cpu_watts"]
+        assert by_key[(family, "flatdd")]["energy_j"] > bq["energy_j"]
+        if scale in ("medium", "paper"):
+            assert bq["gpu_watts"] < by_key[(family, "cuquantum")]["gpu_watts"]

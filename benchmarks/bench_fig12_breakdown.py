@@ -1,0 +1,16 @@
+"""Figure 12 — runtime breakdown of the three stages vs batch count."""
+
+from conftest import run_once
+from repro.bench.experiments import fig12
+
+
+def test_fig12_breakdown(benchmark, scale):
+    rows = run_once(benchmark, fig12.run, scale)
+    by_circuit = {}
+    for r in rows:
+        by_circuit.setdefault((r["family"], r["num_qubits"]), []).append(r)
+    for series in by_circuit.values():
+        series.sort(key=lambda r: r["num_batches"])
+        # one-time fusion/conversion amortize as N grows
+        overhead = [r["fusion_pct"] + r["conversion_pct"] for r in series]
+        assert all(a >= b for a, b in zip(overhead, overhead[1:]))

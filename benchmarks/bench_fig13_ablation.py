@@ -1,0 +1,17 @@
+"""Figure 13 — ablation of the three BQSim stages."""
+
+from conftest import run_once
+from repro.bench.experiments import fig13
+
+
+def test_fig13_ablation(benchmark, scale):
+    rows = run_once(benchmark, fig13.run, scale)
+    for row in rows:
+        assert row["norm_no-fusion"] > 0.99
+        assert row["norm_no-ell"] > 0.99
+        assert row["norm_no-task-graph"] > 0.99
+        if scale in ("medium", "paper"):
+            # paper ranges: fusion 1.39-6.73x, DD-to-ELL 5.55-35x, graph 1.46-1.73x
+            assert row["norm_no-fusion"] > 1.2
+            assert row["norm_no-ell"] > 2.0
+            assert row["norm_no-task-graph"] > 1.1

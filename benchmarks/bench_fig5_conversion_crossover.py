@@ -1,0 +1,22 @@
+"""Figure 5 — GPU vs CPU DD-to-ELL conversion crossover."""
+
+from conftest import run_once
+from repro.bench.experiments import fig5
+
+
+def test_fig5_conversion_crossover(benchmark, scale):
+    data = run_once(benchmark, fig5.run, scale)
+    series = data["time_vs_qubits"]
+    # CPU conversion time grows ~2^n; the GPU's parallel kernel grows slower
+    assert series[-1]["cpu_ms"] / series[0]["cpu_ms"] > (
+        series[-1]["gpu_ms"] / series[0]["gpu_ms"]
+    )
+    # divergence: at fixed n the GPU/CPU ratio grows with DD edges
+    biggest = max(s["num_qubits"] for s in data["samples"])
+    group = sorted(
+        (s for s in data["samples"] if s["num_qubits"] == biggest),
+        key=lambda s: s["edges"],
+    )
+    assert group[-1]["gpu_s"] / group[-1]["cpu_s"] >= (
+        group[0]["gpu_s"] / group[0]["cpu_s"]
+    )

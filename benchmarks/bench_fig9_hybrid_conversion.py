@@ -1,0 +1,12 @@
+"""Figure 9 — GPU-based vs CPU-based vs hybrid conversion."""
+
+from conftest import run_once
+from repro.bench.experiments import fig9
+
+
+def test_fig9_hybrid_conversion(benchmark, scale):
+    rows = run_once(benchmark, fig9.run, scale)
+    for row in rows:
+        # normalized by hybrid: the hybrid never loses to either pure policy
+        assert row["norm_gpu"] >= 1.0 - 1e-9
+        assert row["norm_cpu"] >= 1.0 - 1e-9

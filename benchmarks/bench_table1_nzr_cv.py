@@ -1,0 +1,14 @@
+"""Table 1 — average CV of NZR across the fusion gate matrices."""
+
+import pytest
+
+from conftest import run_once
+from repro.bench.experiments import table1
+
+
+def test_table1_nzr_cv(benchmark, scale):
+    rows = run_once(benchmark, table1.run, scale)
+    by_family = {r["family"]: r["cv"] for r in rows}
+    # the ansatz families have perfectly uniform NZR; supremacy does not
+    assert by_family["vqe"] == pytest.approx(0.0, abs=1e-12)
+    assert by_family["supremacy"] > 0.0

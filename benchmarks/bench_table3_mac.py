@@ -1,0 +1,18 @@
+"""Table 3 — #MAC after gate fusion (exact analytic reproduction)."""
+
+from conftest import run_once
+from repro.bench.experiments import table3
+from repro.bench.tables import geomean
+
+
+def test_table3_mac_counts(benchmark, scale):
+    rows = run_once(benchmark, table3.run, scale)
+    for row in rows:
+        assert row["bqsim_cost"] <= row["flatdd_cost"]
+        assert row["qiskit-aer_cost"] <= row["cuquantum_cost"]
+    if scale in ("medium", "paper"):
+        # cuQuantum column is exact: 4 MACs per gate per amplitude
+        for row in rows:
+            assert row["cuquantum_cost"] == 4 * row["num_gates"]
+        # paper geomeans: 10.76x / 3.85x / 1.23x
+        assert geomean([r["improve_cuquantum"] for r in rows]) > 3

@@ -1,0 +1,34 @@
+"""Shared configuration for the benchmark harness.
+
+Each module benchmarks one table or figure of the paper at the requested
+scale (``--repro-scale small|medium|paper``; default small so the whole
+harness completes quickly under pytest-benchmark).  Scale "medium" runs the
+paper's circuits up to 16 qubits with modeled timing; "paper" runs all 16
+circuits, including the multi-minute QNN fusions.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-scale",
+        action="store",
+        default="small",
+        choices=["small", "medium", "paper"],
+        help="workload scale for the reproduction benchmarks",
+    )
+
+
+@pytest.fixture(scope="session")
+def scale(request):
+    return request.config.getoption("--repro-scale")
+
+
+def run_once(benchmark, fn, *args):
+    """Run an experiment exactly once under pytest-benchmark's timer.
+
+    The experiments are deterministic end-to-end pipelines (many seconds at
+    larger scales), so one round is both meaningful and affordable.
+    """
+    return benchmark.pedantic(fn, args=args, rounds=1, iterations=1)

@@ -1,0 +1,88 @@
+"""Differential testing of quantum compiler passes with BQCS (QDiff-style).
+
+One of the paper's motivating applications: testing frameworks feed *many*
+input states through two supposedly equivalent circuits and compare outputs.
+Single-input simulators make this slow; batch simulation makes it cheap.
+
+This example "optimizes" a QFT circuit with a simple peephole pass (cancel
+adjacent self-inverse pairs, merge rotations), checks equivalence over
+random input batches with BQSim, then injects a subtle bug into the pass
+(dropping small-angle rotations) and shows the batch diff catching it.
+
+Run:  python examples/differential_testing.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit import Circuit
+from repro.circuit.gates import Gate
+from repro.circuit.generators import qft
+from repro.sim import BQSimSimulator, BatchSpec
+
+
+def peephole_optimize(circuit: Circuit, drop_below: float = 0.0) -> Circuit:
+    """Cancel adjacent inverse pairs and merge adjacent equal-qubit rotations.
+
+    ``drop_below`` is the injected bug: silently deleting rotations with
+    |angle| below the threshold (a classic "optimization" that is almost
+    right but changes the unitary).
+    """
+    out: list[Gate] = []
+    rotations = {"rz", "rx", "ry", "p"}
+    self_inverse = {"h", "x", "y", "z", "swap"}
+    for gate in circuit.gates:
+        if gate.name in rotations and abs(gate.params[0]) <= drop_below:
+            continue  # the bug (drop_below > 0 only)
+        if out:
+            prev = out[-1]
+            same_operands = (
+                prev.qubits == gate.qubits and prev.controls == gate.controls
+            )
+            if same_operands and gate.name == prev.name and gate.name in self_inverse:
+                out.pop()
+                continue
+            if same_operands and gate.name == prev.name and gate.name in rotations:
+                merged = prev.params[0] + gate.params[0]
+                out.pop()
+                if abs(merged) > 1e-12:
+                    out.append(Gate(gate.name, gate.qubits, (merged,), gate.controls))
+                continue
+        out.append(gate)
+    return Circuit(circuit.num_qubits, out, name=f"{circuit.name}_opt")
+
+
+def batch_diff(a: Circuit, b: Circuit, spec: BatchSpec) -> float:
+    """Max amplitude deviation between two circuits over random batches."""
+    simulator = BQSimSimulator()
+    ra = simulator.run(a, spec)
+    rb = simulator.run(b, spec)
+    return max(
+        float(np.abs(x - y).max()) for x, y in zip(ra.outputs, rb.outputs)
+    )
+
+
+def main() -> None:
+    original = qft(8)
+    # pad with a few redundant pairs so the pass has something to remove
+    noisy = Circuit(8, list(original.gates), name="qft_noisy")
+    noisy.h(3).h(3).x(5).x(5).rz(0.2, 1).rz(-0.2, 1)
+    print(f"original: {len(noisy)} gates")
+
+    spec = BatchSpec(num_batches=6, batch_size=32, seed=3)
+
+    good = peephole_optimize(noisy)
+    delta = batch_diff(noisy, good, spec)
+    print(f"correct pass:  {len(good)} gates, max batch deviation {delta:.2e}")
+    assert delta < 1e-8, "correct pass must be equivalence-preserving"
+
+    buggy = peephole_optimize(noisy, drop_below=0.05)
+    delta = batch_diff(noisy, buggy, spec)
+    print(f"buggy pass:    {len(buggy)} gates, max batch deviation {delta:.2e}")
+    assert delta > 1e-4, "the batch diff should expose the dropped rotations"
+    print("bug detected: dropping 'small' rotations changed the unitary")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Noisy simulation via Pauli trajectories — batches as noise realizations.
+
+The related work the paper builds on ([23, 40, 58]) batches *noise
+conditions*: a noisy channel is a probabilistic mixture of unitary
+circuits, and estimating its output means simulating many sampled
+trajectories.  Each trajectory here runs over a whole input batch with
+BQSim, and the Monte-Carlo average is validated against the exact
+density-matrix reference.
+
+Run:  python examples/noisy_trajectories.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit import zero_state_batch
+from repro.circuit.generators import ghz
+from repro.noise import (
+    NoiseModel,
+    density_probabilities,
+    depolarizing,
+    purity,
+    simulate_density,
+    simulate_noisy_batch,
+    state_fidelity_with_density,
+)
+from repro.sim.statevector import simulate_state
+
+
+def main() -> None:
+    num_qubits = 5
+    circuit = ghz(num_qubits)
+    ideal = simulate_state(circuit)
+
+    print(f"{circuit.name}: GHZ fidelity under depolarizing gate noise\n")
+    print(f"{'p':>6}  {'purity':>7}  {'fidelity':>8}  {'P(000..)+P(111..)':>18}  "
+          f"{'trajectory est.':>15}")
+    batch = zero_state_batch(num_qubits, 1)
+    last_fidelity = 1.1
+    for p in (0.0, 0.01, 0.03, 0.08):
+        noise = NoiseModel(depolarizing(p))
+        rho = simulate_density(circuit, noise)
+        exact = density_probabilities(rho)
+        fidelity = state_fidelity_with_density(ideal, rho)
+        ghz_weight = exact[0] + exact[-1]
+
+        estimate = simulate_noisy_batch(
+            circuit, noise, batch, num_trajectories=200, seed=7
+        )
+        est_weight = float(
+            estimate.probabilities[0, 0] + estimate.probabilities[-1, 0]
+        )
+        print(f"{p:6.2f}  {purity(rho):7.3f}  {fidelity:8.3f}  "
+              f"{ghz_weight:18.3f}  {est_weight:15.3f}")
+
+        assert abs(est_weight - ghz_weight) < 0.08, "trajectories must track the exact channel"
+        assert fidelity < last_fidelity + 1e-9, "fidelity decreases with noise"
+        last_fidelity = fidelity
+
+    print("\ntrajectory averages track the exact density matrix; GHZ "
+          "coherence decays with the gate error rate")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""QNN state analysis over input batches (the paper's QuantumFlow-style use).
+
+State analysis feeds hundreds of inputs through a quantum neural network to
+characterize its behaviour — here, the robustness of the QNN's output
+distribution to input perturbations.  The whole sweep is a single BQCS
+workload: every perturbation level is one batch.
+
+Run:  python examples/qnn_state_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit import perturbed_batch
+from repro.circuit.generators import qnn
+from repro.sim import BQSimSimulator, BatchSpec
+
+
+def readout_expectation(states: np.ndarray, qubit: int) -> np.ndarray:
+    """Per-input probability that the readout qubit measures |1>."""
+    dim = states.shape[0]
+    mask = (np.arange(dim) >> qubit) & 1
+    probs = np.abs(states) ** 2
+    return probs[mask == 1, :].sum(axis=0)
+
+
+def main() -> None:
+    num_qubits, batch_size = 8, 64
+    circuit = qnn(num_qubits, seed=5)
+    readout = num_qubits - 1
+    epsilons = [0.0, 0.01, 0.03, 0.1, 0.3]
+
+    batches = [
+        perturbed_batch(num_qubits, eps, batch_size, rng=42) for eps in epsilons
+    ]
+    spec = BatchSpec(num_batches=len(batches), batch_size=batch_size)
+    result = BQSimSimulator().run(circuit, spec, batches=batches)
+
+    plan = result.stats["plan"]
+    print(f"{circuit.name}: {len(circuit)} gates fused into {len(plan)} "
+          f"({plan.total_cost} MACs/amplitude); "
+          f"{spec.num_inputs} inputs in {result.modeled_time_ms:.1f} modeled ms\n")
+
+    clean = readout_expectation(result.outputs[0], readout)
+    print(f"{'epsilon':>8}  {'mean P(1)':>10}  {'drift from clean':>17}")
+    drifts = []
+    for eps, out in zip(epsilons, result.outputs):
+        p1 = readout_expectation(out, readout)
+        drift = float(np.abs(p1 - clean).mean())
+        drifts.append(drift)
+        print(f"{eps:8.2f}  {p1.mean():10.4f}  {drift:17.5f}")
+
+    assert drifts[0] == 0.0
+    assert all(a <= b + 1e-9 for a, b in zip(drifts, drifts[1:])), (
+        "readout drift should grow with perturbation strength"
+    )
+    print("\nreadout drift grows monotonically with input noise — the QNN's "
+          "sensitivity profile, measured in one batched simulation")
+
+
+if __name__ == "__main__":
+    main()

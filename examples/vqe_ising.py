@@ -1,0 +1,57 @@
+"""VQE on the transverse-field Ising model — the variational workload.
+
+Variational algorithms evaluate *many circuit configurations* per
+optimization step (the related-work workload [29] of the paper); this
+example minimizes the TFIM energy with a hardware-efficient ansatz using
+the deterministic Rotosolve optimizer, then cross-checks the optimum
+against exact diagonalization and measures the optimized state.
+
+Run:  python examples/vqe_ising.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit import sample_counts
+from repro.sim.statevector import simulate_state
+from repro.vqa import Ansatz, run_rotosolve, transverse_field_ising
+
+
+def main() -> None:
+    num_qubits = 4
+    hamiltonian = transverse_field_ising(num_qubits, j=1.0, h=0.7)
+    exact = hamiltonian.ground_energy()
+    ansatz = Ansatz(num_qubits, reps=2)
+    print(f"TFIM n={num_qubits} (J=1, h=0.7): exact ground energy {exact:.5f}")
+    print(f"ansatz: {ansatz.num_parameters} parameters, "
+          f"{len(ansatz.bind(ansatz.random_parameters(0)))} gates\n")
+
+    trace: list[float] = []
+    result = run_rotosolve(
+        ansatz,
+        hamiltonian,
+        sweeps=6,
+        # the identity start (theta = 0) mimics adiabatic initialization and
+        # avoids the local traps random starts fall into
+        initial=np.zeros(ansatz.num_parameters),
+        callback=lambda sweep, energy: trace.append(energy),
+    )
+    for sweep, energy in enumerate(trace):
+        print(f"sweep {sweep}: E = {energy:.5f} (gap {energy - exact:.5f})")
+
+    gap = result.energy - exact
+    print(f"\nconverged: E = {result.energy:.5f}, gap {gap:.5f}, "
+          f"{result.evaluations} circuit evaluations")
+    assert gap < 0.1, "VQE should reach the ground state within 0.1"
+
+    state = simulate_state(ansatz.bind(result.parameters))
+    counts = sample_counts(state, shots=1000, rng=0)[0]
+    top = sorted(counts.items(), key=lambda kv: -kv[1])[:4]
+    print("optimized-state samples:", ", ".join(f"{k}:{v}" for k, v in top))
+    # ferromagnetic TFIM: the all-0 and all-1 configurations dominate
+    assert counts.get("0" * num_qubits, 0) + counts.get("1" * num_qubits, 0) > 500
+
+
+if __name__ == "__main__":
+    main()

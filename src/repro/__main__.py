@@ -1,0 +1,133 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro simulate  --family vqe -n 10 [--qasm FILE]
+                              [--simulator bqsim|cuquantum|qiskit-aer|flatdd]
+                              [--batches N] [--batch-size B] [--execute]
+    python -m repro fuse      --family qnn -n 10      # show the fusion plan
+    python -m repro check     --qasm A.qasm --against B.qasm
+    python -m repro bench ... # alias of python -m repro.bench
+
+Circuits come either from a generator family (``--family``/``-n``) or an
+OpenQASM 2 file (``--qasm``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bench.runner import make_simulators
+from .circuit import load_qasm
+from .circuit.generators import FAMILIES, make_circuit
+from .dd.manager import DDManager
+from .fusion.bqcs import bqcs_fusion
+from .sim.base import BatchSpec
+
+
+def _circuit_from_args(args) -> "Circuit":
+    if args.qasm:
+        return load_qasm(args.qasm)
+    if not args.family:
+        raise SystemExit("need --family/-n or --qasm")
+    return make_circuit(args.family, args.num_qubits, seed=args.seed)
+
+
+def _add_circuit_args(parser) -> None:
+    parser.add_argument("--family", choices=sorted(FAMILIES), default=None)
+    parser.add_argument("-n", "--num-qubits", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--qasm", default=None, help="load an OpenQASM 2 file")
+
+
+def cmd_simulate(args) -> int:
+    circuit = _circuit_from_args(args)
+    simulators = make_simulators()
+    simulator = simulators[args.simulator]
+    spec = BatchSpec(num_batches=args.batches, batch_size=args.batch_size,
+                     seed=args.seed)
+    result = simulator.run(circuit, spec, execute=args.execute)
+    print(f"circuit   : {circuit.name} ({circuit.num_qubits} qubits, "
+          f"{len(circuit)} gates)")
+    print(f"workload  : {spec.num_batches} batches x {spec.batch_size} inputs")
+    print(f"simulator : {result.simulator}")
+    print(f"modeled   : {result.modeled_time_ms:.3f} ms "
+          f"{dict((k, round(v * 1e3, 3)) for k, v in result.breakdown.items())}")
+    if result.power:
+        print(f"power     : GPU {result.power.gpu_watts:.0f} W, "
+              f"CPU {result.power.cpu_watts:.0f} W")
+    if result.outputs is not None:
+        norm = float(abs(result.outputs[0][:, 0] ** 2).sum())
+        print(f"amplitudes: computed ({len(result.outputs)} output batches, "
+              f"first column norm {norm:.6f})")
+    return 0
+
+
+def cmd_fuse(args) -> int:
+    circuit = _circuit_from_args(args)
+    mgr = DDManager(circuit.num_qubits)
+    plan = bqcs_fusion(mgr, circuit)
+    print(f"{circuit.name}: {len(circuit)} gates -> {len(plan)} fused gates")
+    print(f"#MAC per amplitude: {plan.total_cost} "
+          f"(dense gate-by-gate would be {4 * len(circuit)})")
+    for i, fused in enumerate(plan.gates):
+        print(f"  fused[{i}]: cost {fused.cost}, "
+              f"{fused.num_source_gates} source gates "
+              f"{list(fused.gate_indices[:8])}{'...' if fused.num_source_gates > 8 else ''}")
+    return 0
+
+
+def cmd_check(args) -> int:
+    from .verify import check
+
+    a = load_qasm(args.qasm)
+    b = load_qasm(args.against)
+    result = check(a, b, prefer=args.method)
+    verdict = "EQUIVALENT" if result else "NOT equivalent"
+    print(f"{verdict} (method: {result.method}"
+          + (f", max deviation {result.max_deviation:.2e}"
+             if result.max_deviation is not None else "")
+          + ")")
+    return 0 if result else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "bench":
+        from .bench.__main__ import main as bench_main
+
+        sys.argv = [sys.argv[0]] + argv[1:]
+        bench_main()
+        return 0
+
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("simulate", help="run a batch simulation")
+    _add_circuit_args(p)
+    p.add_argument("--simulator", default="bqsim",
+                   choices=["bqsim", "cuquantum", "qiskit-aer", "flatdd"])
+    p.add_argument("--batches", type=int, default=10)
+    p.add_argument("--batch-size", type=int, default=32)
+    p.add_argument("--execute", action="store_true",
+                   help="compute real amplitudes (default: model-only)")
+    p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("fuse", help="show the BQCS-aware fusion plan")
+    _add_circuit_args(p)
+    p.set_defaults(fn=cmd_fuse)
+
+    p = sub.add_parser("check", help="equivalence-check two QASM files")
+    p.add_argument("--qasm", required=True)
+    p.add_argument("--against", required=True)
+    p.add_argument("--method", default="auto",
+                   choices=["auto", "exact", "simulative"])
+    p.set_defaults(fn=cmd_check)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

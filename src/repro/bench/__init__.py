@@ -1,0 +1,49 @@
+"""Benchmark harness: workloads, runner, and per-table/figure experiments."""
+
+from .runner import (
+    RunRecord,
+    SIMULATOR_ORDER,
+    make_cuquantum_variants,
+    make_simulators,
+    run_suite,
+)
+from .tables import fmt_ms, fmt_speedup, geomean, print_table, render_table
+from .workloads import (
+    MEDIUM_SPEC,
+    MEDIUM_SUITE,
+    PAPER_SPEC,
+    PAPER_SUITE,
+    PAPER_TABLE1_CV,
+    PAPER_TABLE2_MS,
+    PAPER_TABLE3_COST,
+    PAPER_TABLE4_MS,
+    SMALL_SPEC,
+    SMALL_SUITE,
+    Workload,
+    suite,
+)
+
+__all__ = [
+    "fmt_ms",
+    "fmt_speedup",
+    "geomean",
+    "make_cuquantum_variants",
+    "make_simulators",
+    "MEDIUM_SPEC",
+    "MEDIUM_SUITE",
+    "PAPER_SPEC",
+    "PAPER_SUITE",
+    "PAPER_TABLE1_CV",
+    "PAPER_TABLE2_MS",
+    "PAPER_TABLE3_COST",
+    "PAPER_TABLE4_MS",
+    "print_table",
+    "render_table",
+    "run_suite",
+    "RunRecord",
+    "SIMULATOR_ORDER",
+    "SMALL_SPEC",
+    "SMALL_SUITE",
+    "suite",
+    "Workload",
+]

@@ -1,0 +1,36 @@
+"""Run experiments from the command line:
+
+    python -m repro.bench [experiment ...] [--scale small|medium|paper]
+                          [--output DIR]
+
+With no experiment names, runs everything at the requested scale; with
+``--output``, also writes per-experiment JSON plus a Markdown report.
+"""
+
+import argparse
+
+from .experiments import ALL_EXPERIMENTS
+from .report import write_report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiments", nargs="*", default=[])
+    parser.add_argument(
+        "--scale", default="small", choices=["small", "medium", "paper"]
+    )
+    parser.add_argument(
+        "--output", default=None, help="directory for JSON/Markdown reports"
+    )
+    args = parser.parse_args()
+    names = args.experiments or sorted(ALL_EXPERIMENTS)
+    results = {}
+    for name in names:
+        results[name] = ALL_EXPERIMENTS[name].main(args.scale)
+    if args.output:
+        report = write_report(results, args.output, args.scale)
+        print(f"\nwrote {report}")
+
+
+if __name__ == "__main__":
+    main()

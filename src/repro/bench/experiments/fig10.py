@@ -1,0 +1,70 @@
+"""Figure 10 — scalability: BQSim speed-up over cuQuantum vs batch size.
+
+Sweeps the batch size (32..1024 at paper scale) with the batch count fixed
+and reports the runtime ratio.  The speed-up grows with batch size until
+the data movement saturates memory bandwidth, then flattens — the paper's
+saturation at B = 1024.
+"""
+
+from __future__ import annotations
+
+from ...circuit.generators import make_circuit
+from ...sim import BQSimSimulator, BatchSpec, CuQuantumSimulator
+from ..tables import print_table
+
+SETTINGS = {
+    "small": ((("qnn", 7), ("vqe", 8)), (4, 8, 16, 32), 4, True),
+    "medium": ((("qnn", 12), ("vqe", 16)), (32, 64, 128, 256, 512, 1024), 200, False),
+    "paper": ((("qnn", 17), ("vqe", 16)), (32, 64, 128, 256, 512, 1024), 200, False),
+}
+
+
+def run(scale: str = "small") -> list[dict]:
+    circuits, batch_sizes, num_batches, execute = SETTINGS.get(
+        scale, SETTINGS["small"]
+    )
+    bqsim, cuq = BQSimSimulator(), CuQuantumSimulator()
+    rows = []
+    for family, n in circuits:
+        circuit = make_circuit(family, n)
+        for batch_size in batch_sizes:
+            spec = BatchSpec(num_batches=num_batches, batch_size=batch_size)
+            rb = bqsim.run(circuit, spec, execute=execute)
+            rc = cuq.run(circuit, spec, execute=execute)
+            rows.append(
+                {
+                    "family": family,
+                    "num_qubits": n,
+                    "batch_size": batch_size,
+                    "bqsim_s": rb.modeled_time,
+                    "cuquantum_s": rc.modeled_time,
+                    "speedup": rc.modeled_time / rb.modeled_time,
+                }
+            )
+    return rows
+
+
+def main(scale: str = "small") -> list[dict]:
+    rows = run(scale)
+    print_table(
+        f"Figure 10: speed-up over cuQuantum vs batch size (scale={scale})",
+        ["circuit", "n", "batch size", "BQSim ms", "cuQuantum ms", "speed-up"],
+        [
+            [
+                r["family"],
+                r["num_qubits"],
+                r["batch_size"],
+                f"{r['bqsim_s'] * 1e3:.1f}",
+                f"{r['cuquantum_s'] * 1e3:.1f}",
+                f"{r['speedup']:.2f}x",
+            ]
+            for r in rows
+        ],
+    )
+    return rows
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(sys.argv[1] if len(sys.argv) > 1 else "small")

@@ -1,0 +1,72 @@
+"""Figure 11 — average power of the four simulators (10 batches).
+
+Uses the utilization-based power model: BQSim draws less GPU power than
+cuQuantum (fewer redundant MACs, better overlap) and far less CPU power
+than Aer/FlatDD (whose 8 busy processes saturate the host); FlatDD draws
+the least total power but runs orders of magnitude longer, so its energy is
+far higher.
+"""
+
+from __future__ import annotations
+
+from ...circuit.generators import make_circuit
+from ...sim import BatchSpec
+from ..runner import SIMULATOR_ORDER, make_simulators
+from ..tables import print_table
+
+CIRCUITS = {
+    "small": (("qnn", 7), ("vqe", 8), ("tsp", 8)),
+    "medium": (("qnn", 12), ("vqe", 16), ("tsp", 16)),
+    "paper": (("qnn", 17), ("vqe", 16), ("tsp", 16)),
+}
+
+
+def run(scale: str = "small") -> list[dict]:
+    execute = scale == "small"
+    spec = BatchSpec(num_batches=10, batch_size=16 if execute else 256)
+    simulators = make_simulators()
+    rows = []
+    for family, n in CIRCUITS.get(scale, CIRCUITS["small"]):
+        circuit = make_circuit(family, n)
+        for name in SIMULATOR_ORDER:
+            result = simulators[name].run(circuit, spec, execute=execute)
+            rows.append(
+                {
+                    "family": family,
+                    "num_qubits": n,
+                    "simulator": name,
+                    "gpu_watts": result.power.gpu_watts,
+                    "cpu_watts": result.power.cpu_watts,
+                    "total_watts": result.power.total_watts,
+                    "energy_j": result.power.total_watts * result.modeled_time,
+                    "runtime_s": result.modeled_time,
+                }
+            )
+    return rows
+
+
+def main(scale: str = "small") -> list[dict]:
+    rows = run(scale)
+    print_table(
+        f"Figure 11: average power in W, 10 batches (scale={scale})",
+        ["circuit", "n", "simulator", "GPU W", "CPU W", "total W", "energy J"],
+        [
+            [
+                r["family"],
+                r["num_qubits"],
+                r["simulator"],
+                f"{r['gpu_watts']:.1f}",
+                f"{r['cpu_watts']:.1f}",
+                f"{r['total_watts']:.1f}",
+                f"{r['energy_j']:.1f}",
+            ]
+            for r in rows
+        ],
+    )
+    return rows
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(sys.argv[1] if len(sys.argv) > 1 else "small")

@@ -1,0 +1,70 @@
+"""Figure 12 — BQSim runtime breakdown vs number of batches.
+
+Gate fusion and DD-to-ELL conversion are one-time costs; as the batch count
+N grows they amortize and simulation dominates (the paper's QNN n=21 goes
+from 16.2% + 41.3% overhead at N=10 to under 7% at N=200).
+"""
+
+from __future__ import annotations
+
+from ...circuit.generators import make_circuit
+from ...sim import BQSimSimulator, BatchSpec
+from ..tables import print_table
+
+CIRCUITS = {
+    "small": (("routing", 6), ("portfolio", 8), ("qnn", 8)),
+    "medium": (("routing", 6), ("portfolio", 16), ("qnn", 12)),
+    "paper": (("routing", 6), ("portfolio", 18), ("qnn", 17)),
+}
+BATCH_COUNTS = (10, 20, 50, 100, 200)
+
+
+def run(scale: str = "small") -> list[dict]:
+    execute = scale == "small"
+    batch_size = 16 if execute else 256
+    bqsim = BQSimSimulator()
+    rows = []
+    for family, n in CIRCUITS.get(scale, CIRCUITS["small"]):
+        circuit = make_circuit(family, n)
+        for num_batches in BATCH_COUNTS:
+            spec = BatchSpec(num_batches=num_batches, batch_size=batch_size)
+            result = bqsim.run(circuit, spec, execute=execute)
+            total = result.modeled_time
+            rows.append(
+                {
+                    "family": family,
+                    "num_qubits": n,
+                    "num_batches": num_batches,
+                    "fusion_pct": 100 * result.breakdown["fusion"] / total,
+                    "conversion_pct": 100 * result.breakdown["conversion"] / total,
+                    "simulation_pct": 100 * result.breakdown["simulation"] / total,
+                    "total_s": total,
+                }
+            )
+    return rows
+
+
+def main(scale: str = "small") -> list[dict]:
+    rows = run(scale)
+    print_table(
+        f"Figure 12: runtime breakdown in % (scale={scale})",
+        ["circuit", "n", "N", "fusion %", "conversion %", "simulation %"],
+        [
+            [
+                r["family"],
+                r["num_qubits"],
+                r["num_batches"],
+                f"{r['fusion_pct']:.1f}",
+                f"{r['conversion_pct']:.1f}",
+                f"{r['simulation_pct']:.1f}",
+            ]
+            for r in rows
+        ],
+    )
+    return rows
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(sys.argv[1] if len(sys.argv) > 1 else "small")

@@ -1,0 +1,79 @@
+"""Figure 13 — ablation study of BQSim's three stages (10 batches).
+
+Runs BQSim with each stage disabled in turn and reports runtimes normalized
+to the full pipeline.  Paper ranges: dropping gate fusion costs 1.39-6.73x,
+dropping DD-to-ELL conversion 5.55-35.08x, dropping the task graph
+1.46-1.73x.
+"""
+
+from __future__ import annotations
+
+from ...circuit.generators import make_circuit
+from ...sim import BQSimSimulator, BatchSpec
+from ..tables import print_table
+
+CIRCUITS = {
+    "small": (("qnn", 7), ("vqe", 8), ("portfolio", 8), ("tsp", 8)),
+    # medium swaps QNN n=17 for graph state n=16: at n<=12 the one-time
+    # fusion stage dominates a 10-batch run and masks the ablation effect
+    "medium": (("graphstate", 16), ("vqe", 16), ("portfolio", 16), ("tsp", 16)),
+    "paper": (("qnn", 17), ("vqe", 16), ("portfolio", 16), ("tsp", 16)),
+}
+
+CONFIGS = (
+    ("original", {}),
+    ("no-fusion", {"fusion": False}),
+    ("no-ell", {"use_ell": False}),
+    ("no-task-graph", {"task_graph": False}),
+)
+
+
+def run(scale: str = "small") -> list[dict]:
+    execute = scale == "small"
+    spec = BatchSpec(num_batches=10, batch_size=16 if execute else 256)
+    rows = []
+    for family, n in CIRCUITS.get(scale, CIRCUITS["small"]):
+        circuit = make_circuit(family, n)
+        times = {}
+        for label, kwargs in CONFIGS:
+            result = BQSimSimulator(**kwargs).run(circuit, spec, execute=execute)
+            times[label] = result.modeled_time
+        base = times["original"]
+        rows.append(
+            {
+                "family": family,
+                "num_qubits": n,
+                **{f"{label}_s": t for label, t in times.items()},
+                **{
+                    f"norm_{label}": t / base
+                    for label, t in times.items()
+                },
+            }
+        )
+    return rows
+
+
+def main(scale: str = "small") -> list[dict]:
+    rows = run(scale)
+    print_table(
+        f"Figure 13: normalized runtime without each stage (scale={scale})",
+        ["circuit", "n", "original", "no fusion", "no DD-to-ELL", "no task graph"],
+        [
+            [
+                r["family"],
+                r["num_qubits"],
+                "1.00",
+                f"{r['norm_no-fusion']:.2f}",
+                f"{r['norm_no-ell']:.2f}",
+                f"{r['norm_no-task-graph']:.2f}",
+            ]
+            for r in rows
+        ],
+    )
+    return rows
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(sys.argv[1] if len(sys.argv) > 1 else "small")

@@ -1,0 +1,106 @@
+"""Figure 5 — GPU-based vs CPU-based DD-to-ELL conversion.
+
+(a) conversion time vs number of qubits; (b) GPU/CPU time ratio vs number
+of DD edges.  Data points come from converting each fused gate of several
+circuits under both routes of the hybrid converter's cost model: GPU wins
+on large simple DDs, CPU wins once edge-heavy DDs make the kernel diverge.
+"""
+
+from __future__ import annotations
+
+from ...circuit.generators import make_circuit
+from ...dd.export import count_edges
+from ...dd.manager import DDManager
+from ...fusion.bqcs import bqcs_fusion
+from ...gpu.spec import CpuSpec, GpuSpec
+from ..tables import print_table
+
+#: circuits sampled for per-gate conversion data: (family, [qubit counts])
+SWEEPS = {
+    "small": (("vqe", (6, 8, 10)), ("qnn", (6, 8)), ("tsp", (6, 8, 10))),
+    "medium": (("vqe", (10, 12, 14, 16)), ("qnn", (10, 12)), ("tsp", (9, 12, 16))),
+    "paper": (("vqe", (10, 12, 14, 16)), ("qnn", (12, 14, 17)), ("tsp", (9, 16))),
+}
+
+
+def gate_conversion_samples(scale: str = "small") -> list[dict]:
+    """One sample per fused gate: qubit count, edges, both modeled times."""
+    gpu, cpu = GpuSpec(), CpuSpec()
+    samples = []
+    for family, sizes in SWEEPS.get(scale, SWEEPS["small"]):
+        for n in sizes:
+            circuit = make_circuit(family, n)
+            mgr = DDManager(n)
+            plan = bqcs_fusion(mgr, circuit)
+            rows = 1 << n
+            for fused in plan.gates:
+                edges = count_edges(fused.dd)
+                samples.append(
+                    {
+                        "family": family,
+                        "num_qubits": n,
+                        "edges": edges,
+                        "width": fused.cost,
+                        "gpu_s": gpu.conversion_time(rows, fused.cost, edges),
+                        "cpu_s": cpu.conversion_time(rows, fused.cost, edges),
+                    }
+                )
+    return samples
+
+
+def run(scale: str = "small") -> dict:
+    samples = gate_conversion_samples(scale)
+    by_qubits: dict[int, dict[str, float]] = {}
+    for s in samples:
+        agg = by_qubits.setdefault(s["num_qubits"], {"gpu": 0.0, "cpu": 0.0, "k": 0})
+        agg["gpu"] += s["gpu_s"]
+        agg["cpu"] += s["cpu_s"]
+        agg["k"] += 1
+    series_a = [
+        {
+            "num_qubits": n,
+            "gpu_ms": 1e3 * agg["gpu"] / agg["k"],
+            "cpu_ms": 1e3 * agg["cpu"] / agg["k"],
+        }
+        for n, agg in sorted(by_qubits.items())
+    ]
+    series_b = sorted(
+        (
+            {"edges": s["edges"], "ratio": s["gpu_s"] / s["cpu_s"]}
+            for s in samples
+        ),
+        key=lambda d: d["edges"],
+    )
+    return {"samples": samples, "time_vs_qubits": series_a, "ratio_vs_edges": series_b}
+
+
+def main(scale: str = "small") -> dict:
+    data = run(scale)
+    print_table(
+        f"Figure 5a: mean conversion time per gate in ms (scale={scale})",
+        ["#qubits", "GPU", "CPU"],
+        [
+            [r["num_qubits"], f"{r['gpu_ms']:.4f}", f"{r['cpu_ms']:.4f}"]
+            for r in data["time_vs_qubits"]
+        ],
+    )
+    ratios = data["ratio_vs_edges"]
+    buckets = {}
+    for r in ratios:
+        key = 1 << max(r["edges"].bit_length() - 1, 0)
+        buckets.setdefault(key, []).append(r["ratio"])
+    print_table(
+        "Figure 5b: GPU/CPU conversion-time ratio vs #edges (bucketed)",
+        ["#edges >=", "mean ratio", "samples"],
+        [
+            [k, f"{sum(v) / len(v):.2f}", len(v)]
+            for k, v in sorted(buckets.items())
+        ],
+    )
+    return data
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(sys.argv[1] if len(sys.argv) > 1 else "small")

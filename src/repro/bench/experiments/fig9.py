@@ -1,0 +1,88 @@
+"""Figure 9 — GPU-based vs CPU-based vs hybrid DD-to-ELL conversion.
+
+For each circuit, sums the modeled conversion time of the whole fused-gate
+list under three policies: always-GPU, always-CPU, and the hybrid threshold
+rule (tau).  Values are normalized by the hybrid time, as in the paper: the
+hybrid is never worse than either pure policy.
+"""
+
+from __future__ import annotations
+
+from ...circuit.generators import make_circuit
+from ...dd.export import count_edges
+from ...dd.manager import DDManager
+from ...ell.convert import DEFAULT_TAU
+from ...fusion.bqcs import bqcs_fusion
+from ...gpu.spec import CpuSpec, GpuSpec
+from ..tables import print_table
+
+CIRCUITS = {
+    "small": (("qnn", 8), ("qnn", 9), ("qnn", 10), ("vqe", 10), ("tsp", 10)),
+    "medium": (("qnn", 10), ("qnn", 12), ("qnn", 14), ("vqe", 16), ("tsp", 16)),
+    # qnn 19/21 would need hours of pure-Python fusion; 14/17 show the same
+    # hybrid-routing effect
+    "paper": (("qnn", 14), ("qnn", 17), ("vqe", 16), ("tsp", 16)),
+}
+
+
+def run(scale: str = "small", tau: int = DEFAULT_TAU) -> list[dict]:
+    gpu, cpu = GpuSpec(), CpuSpec()
+    rows = []
+    for family, n in CIRCUITS.get(scale, CIRCUITS["small"]):
+        circuit = make_circuit(family, n)
+        mgr = DDManager(n)
+        plan = bqcs_fusion(mgr, circuit)
+        dim = 1 << n
+        t_gpu = t_cpu = t_hybrid = 0.0
+        routes = {"gpu": 0, "cpu": 0}
+        for fused in plan.gates:
+            edges = count_edges(fused.dd)
+            g = gpu.conversion_time(dim, fused.cost, edges)
+            c = cpu.conversion_time(dim, fused.cost, edges)
+            t_gpu += g
+            t_cpu += c
+            if edges > tau:
+                t_hybrid += c
+                routes["cpu"] += 1
+            else:
+                t_hybrid += g
+                routes["gpu"] += 1
+        rows.append(
+            {
+                "family": family,
+                "num_qubits": n,
+                "gpu_s": t_gpu,
+                "cpu_s": t_cpu,
+                "hybrid_s": t_hybrid,
+                "norm_gpu": t_gpu / t_hybrid,
+                "norm_cpu": t_cpu / t_hybrid,
+                "routes": routes,
+            }
+        )
+    return rows
+
+
+def main(scale: str = "small") -> list[dict]:
+    rows = run(scale)
+    print_table(
+        f"Figure 9: conversion time normalized by hybrid (scale={scale})",
+        ["circuit", "n", "GPU-based", "CPU-based", "hybrid", "gpu/cpu routes"],
+        [
+            [
+                r["family"],
+                r["num_qubits"],
+                f"{r['norm_gpu']:.2f}",
+                f"{r['norm_cpu']:.2f}",
+                "1.00",
+                f"{r['routes']['gpu']}/{r['routes']['cpu']}",
+            ]
+            for r in rows
+        ],
+    )
+    return rows
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(sys.argv[1] if len(sys.argv) > 1 else "small")

@@ -1,0 +1,75 @@
+"""Extension experiment — multi-GPU batch partitioning (paper Section 4.2).
+
+The paper notes that "the batch of state vectors can be partitioned across
+multiple GPUs" because the circuit is optimized once into a reusable task
+graph.  This experiment sweeps the device count and reports the simulation
+speed-up over one device, which approaches the device count as per-device
+pipelines fill.
+"""
+
+from __future__ import annotations
+
+from ...circuit.generators import make_circuit
+from ...sim import BatchSpec, MultiGpuBQSimSimulator
+from ..tables import print_table
+
+SETTINGS = {
+    "small": ((("vqe", 8),), (1, 2, 4), 16, 32),
+    "medium": ((("vqe", 16), ("qnn", 12)), (1, 2, 4, 8), 200, 256),
+    "paper": ((("vqe", 16), ("qnn", 17)), (1, 2, 4, 8), 200, 256),
+}
+
+
+def run(scale: str = "small") -> list[dict]:
+    circuits, device_counts, num_batches, batch_size = SETTINGS.get(
+        scale, SETTINGS["small"]
+    )
+    spec = BatchSpec(num_batches=num_batches, batch_size=batch_size)
+    rows = []
+    for family, n in circuits:
+        circuit = make_circuit(family, n)
+        base = None
+        for devices in device_counts:
+            sim = MultiGpuBQSimSimulator(num_devices=devices)
+            result = sim.run(circuit, spec, execute=False)
+            t_sim = result.breakdown["simulation"]
+            if base is None:
+                base = t_sim
+            rows.append(
+                {
+                    "family": family,
+                    "num_qubits": n,
+                    "devices": devices,
+                    "sim_s": t_sim,
+                    "total_s": result.modeled_time,
+                    "speedup": base / t_sim,
+                    "efficiency": base / t_sim / devices,
+                }
+            )
+    return rows
+
+
+def main(scale: str = "small") -> list[dict]:
+    rows = run(scale)
+    print_table(
+        f"Multi-GPU scaling: simulation-stage speed-up (scale={scale})",
+        ["circuit", "n", "devices", "sim ms", "speed-up", "efficiency"],
+        [
+            [
+                r["family"],
+                r["num_qubits"],
+                r["devices"],
+                f"{r['sim_s'] * 1e3:.1f}",
+                f"{r['speedup']:.2f}x",
+                f"{r['efficiency'] * 100:.0f}%",
+            ]
+            for r in rows
+        ],
+    )
+    return rows
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(sys.argv[1] if len(sys.argv) > 1 else "small")

@@ -1,0 +1,67 @@
+"""Table 1 — uniformity of NZR across rows (average CV per circuit).
+
+Computes the coefficient of variation of the per-row non-zero counts for
+every fused gate matrix produced by BQCS-aware fusion, averaged per circuit.
+The paper reports 0 for VQE/QNN/TSP and 0.0328 for the supremacy circuit —
+near-uniform NZR is what justifies the padded ELL layout.
+"""
+
+from __future__ import annotations
+
+from ...circuit.generators import make_circuit
+from ...dd.manager import DDManager
+from ...dd.nzrv import nzr_statistics
+from ...fusion.bqcs import bqcs_fusion
+from ..tables import print_table
+from ..workloads import PAPER_TABLE1_CV
+
+#: (family, paper n, small-scale n)
+CIRCUITS = (
+    ("supremacy", 12, 10),
+    ("vqe", 16, 10),
+    ("qnn", 12, 8),
+    ("tsp", 16, 10),
+)
+
+
+def average_nzr_cv(family: str, num_qubits: int) -> float:
+    """Average CV of NZR over the circuit's BQCS-fused gate matrices."""
+    circuit = make_circuit(family, num_qubits)
+    mgr = DDManager(num_qubits)
+    plan = bqcs_fusion(mgr, circuit)
+    cvs = [nzr_statistics(mgr, fused.dd)["cv"] for fused in plan.gates]
+    return sum(cvs) / len(cvs) if cvs else 0.0
+
+
+def run(scale: str = "small") -> list[dict]:
+    rows = []
+    for family, paper_n, small_n in CIRCUITS:
+        n = paper_n if scale in ("paper", "medium") else small_n
+        rows.append(
+            {
+                "family": family,
+                "num_qubits": n,
+                "cv": average_nzr_cv(family, n),
+                "paper_cv": PAPER_TABLE1_CV[family],
+            }
+        )
+    return rows
+
+
+def main(scale: str = "small") -> list[dict]:
+    rows = run(scale)
+    print_table(
+        f"Table 1: average CV of NZR (scale={scale})",
+        ["circuit", "n", "CV of NZR", "paper"],
+        [
+            [r["family"], r["num_qubits"], f"{r['cv']:.4f}", f"{r['paper_cv']:.4f}"]
+            for r in rows
+        ],
+    )
+    return rows
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(sys.argv[1] if len(sys.argv) > 1 else "small")

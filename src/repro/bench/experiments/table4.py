@@ -1,0 +1,103 @@
+"""Table 4 — task-graph evaluation: BQCS runtime of BQSim vs cuQuantum
+running with BQSim's fusion (cuQuantum+B) and with Aer's fusion
+(cuQuantum+Q).
+
+The comparison isolates the execution strategy: all three use fused gates,
+but cuQuantum's batched API only accepts *dense* matrices with synchronous
+per-gate launches.  BQSim's fused gates span many qubits, so cuQuantum+B
+must materialize huge dense blocks — several runs exceed device memory,
+matching the "-" entries in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...sim import BQSimSimulator
+from ..runner import make_cuquantum_variants
+from ..tables import fmt_ms, fmt_speedup, geomean, print_table
+from ..workloads import PAPER_TABLE4_MS, suite
+
+
+#: rows skipped at paper scale: BQSim's and cuQuantum+B's plans need
+#: DD-based fusion, which takes hours of pure-Python host time on the
+#: largest QNNs (seconds in the paper's C++)
+PAPER_SKIP_ROWS = {("qnn", 19), ("qnn", 21)}
+
+
+def run(scale: str = "small", execute: bool | None = None) -> list[dict]:
+    workloads, spec, default_execute = suite(scale)
+    execute = default_execute if execute is None else execute
+    variants = make_cuquantum_variants()
+    bqsim = BQSimSimulator()
+    rows = []
+    for workload in workloads:
+        if scale == "paper" and workload.key in PAPER_SKIP_ROWS:
+            continue
+        circuit = workload.build()
+        result = bqsim.run(circuit, spec, execute=execute)
+        # the BQCS runtime excludes the one-time fusion/conversion stages
+        bq_time = result.breakdown["simulation"]
+        row = {
+            "family": workload.family,
+            "num_qubits": workload.num_qubits,
+            "bqsim_s": bq_time,
+            "paper_ms": PAPER_TABLE4_MS.get(workload.key),
+        }
+        for name, simulator in variants.items():
+            vres = simulator.run(circuit, spec, execute=execute)
+            row[f"{name}_s"] = vres.modeled_time
+            row[f"{name}_failed"] = bool(vres.stats.get("failed"))
+            row[f"speedup_{name}"] = (
+                vres.modeled_time / bq_time if bq_time > 0 else float("inf")
+            )
+        rows.append(row)
+    return rows
+
+
+def main(scale: str = "small") -> list[dict]:
+    rows = run(scale)
+    table = []
+    for r in rows:
+        table.append(
+            [
+                r["family"],
+                r["num_qubits"],
+                fmt_ms(r["cuquantum+Q_s"]),
+                "-" if r["cuquantum+B_failed"] else fmt_ms(r["cuquantum+B_s"]),
+                fmt_ms(r["bqsim_s"]),
+                fmt_speedup(r["speedup_cuquantum+Q"]),
+                "-"
+                if r["cuquantum+B_failed"]
+                else fmt_speedup(r["speedup_cuquantum+B"]),
+                "-"
+                if r["paper_ms"] is None
+                else f"{r['paper_ms'][0] / r['paper_ms'][2]:.2f}x",
+            ]
+        )
+    print_table(
+        f"Table 4: BQCS runtime in ms (scale={scale})",
+        [
+            "circuit", "n", "cuQuantum+Q", "cuQuantum+B", "BQSim",
+            "vs +Q", "vs +B", "paper vs +Q",
+        ],
+        table,
+    )
+    q_speedups = [r["speedup_cuquantum+Q"] for r in rows]
+    b_speedups = [
+        r["speedup_cuquantum+B"]
+        for r in rows
+        if not r["cuquantum+B_failed"] and math.isfinite(r["speedup_cuquantum+B"])
+    ]
+    print(
+        f"geomean speedups: vs cuQuantum+Q {geomean(q_speedups):.2f}x, "
+        f"vs cuQuantum+B {geomean(b_speedups):.2f}x "
+        "(paper: 3.62x / 407.42x)"
+    )
+    return rows
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(sys.argv[1] if len(sys.argv) > 1 else "small")

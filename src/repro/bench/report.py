@@ -1,0 +1,85 @@
+"""Experiment report writer: persist results as JSON and Markdown.
+
+``python -m repro.bench --output DIR`` routes every experiment's rows
+through :func:`write_report`, producing ``DIR/<experiment>.json`` (raw
+rows, machine-readable) and ``DIR/report.md`` (one Markdown section per
+experiment) — the artifacts EXPERIMENTS.md is distilled from.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Mapping, Sequence
+
+
+def _jsonable(value):
+    """Coerce experiment row values into JSON-safe primitives."""
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else str(value)
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "item"):  # numpy scalars
+        return _jsonable(value.item())
+    return repr(value)
+
+
+def rows_to_json(rows, scale: str) -> str:
+    if isinstance(rows, dict):  # fig5 returns a dict of series
+        payload = {k: _jsonable(v) for k, v in rows.items()}
+    else:
+        payload = [_jsonable(row) for row in rows]
+    return json.dumps({"scale": scale, "rows": payload}, indent=1)
+
+
+def rows_to_markdown(name: str, rows, scale: str) -> str:
+    """Render one experiment's rows as a Markdown table section."""
+    lines = [f"## {name} (scale={scale})", ""]
+    if isinstance(rows, dict):
+        rows = rows.get("time_vs_qubits") or next(
+            (v for v in rows.values() if isinstance(v, list)), []
+        )
+    rows = list(rows)
+    if not rows:
+        lines.append("_no rows_")
+        return "\n".join(lines) + "\n"
+    headers = [k for k in rows[0] if not isinstance(rows[0][k], (dict, list))]
+    lines.append("| " + " | ".join(headers) + " |")
+    lines.append("|" + "---|" * len(headers))
+    for row in rows:
+        cells = []
+        for key in headers:
+            value = row.get(key)
+            if isinstance(value, float):
+                cells.append(f"{value:.4g}")
+            else:
+                cells.append(str(value))
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines) + "\n"
+
+
+def write_report(
+    results: Mapping[str, object],
+    output_dir: str | Path,
+    scale: str,
+) -> Path:
+    """Write per-experiment JSON files plus a combined Markdown report.
+
+    ``results`` maps experiment name to the rows its ``run()`` returned.
+    Returns the path of the Markdown report.
+    """
+    out = Path(output_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    sections = [f"# Reproduction report (scale={scale})", ""]
+    for name in sorted(results):
+        rows = results[name]
+        (out / f"{name}.json").write_text(rows_to_json(rows, scale))
+        sections.append(rows_to_markdown(name, rows, scale))
+    report = out / "report.md"
+    report.write_text("\n".join(sections))
+    return report

@@ -1,0 +1,46 @@
+"""Plain-text table rendering and small statistics helpers for the harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's average for exponentially spread data)."""
+    values = [v for v in values if v > 0 and math.isfinite(v)]
+    if not values:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def fmt_ms(seconds: float) -> str:
+    """Format seconds as whole milliseconds; non-finite values become '-'."""
+    if not math.isfinite(seconds):
+        return "-"
+    return f"{seconds * 1e3:.0f}"
+
+
+def fmt_speedup(value: float) -> str:
+    """Format a ratio as 'N.NNx'; non-finite values become '-'."""
+    if not math.isfinite(value):
+        return "-"
+    return f"{value:.2f}x"
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a fixed-width table with a header rule."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]) -> None:
+    """Print a titled fixed-width table to stdout."""
+    print(f"\n== {title} ==")
+    print(render_table(headers, rows))

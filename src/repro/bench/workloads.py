@@ -1,0 +1,161 @@
+"""Benchmark workloads mirroring the paper's evaluation (Section 4).
+
+``PAPER_SUITE`` lists the 16 circuits of Tables 2-4 at the paper's qubit
+counts; ``paper_reference`` embeds the published numbers so every experiment
+prints paper-vs-measured side by side (recorded in EXPERIMENTS.md).
+
+Pure-Python numerics cannot chew through 200 x 256 inputs at n = 21, so each
+experiment supports three scales:
+
+* ``"small"``  — scaled-down circuits, real numerics (default for tests);
+* ``"medium"`` — paper circuits up to n=16, model-only timing;
+* ``"paper"``  — all 16 circuits at full size, model-only timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuit import Circuit
+from ..circuit.generators import make_circuit
+from ..sim.base import BatchSpec
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark circuit instance."""
+
+    family: str
+    num_qubits: int
+    seed: int = 0
+
+    @property
+    def key(self) -> tuple[str, int]:
+        return (self.family, self.num_qubits)
+
+    @property
+    def label(self) -> str:
+        return f"{self.family} (n={self.num_qubits})"
+
+    def build(self) -> Circuit:
+        return make_circuit(self.family, self.num_qubits, seed=self.seed)
+
+
+#: the paper's 16 evaluation circuits (Table 2 order)
+PAPER_SUITE: tuple[Workload, ...] = tuple(
+    Workload(family, n)
+    for family, sizes in (
+        ("qnn", (17, 19, 21)),
+        ("vqe", (12, 14, 16)),
+        ("portfolio", (16, 17, 18)),
+        ("graphstate", (16, 18, 20)),
+        ("tsp", (9, 16)),
+        ("routing", (6, 12)),
+    )
+    for n in sizes
+)
+
+#: same families, capped at n=16 (medium scale, model-only)
+MEDIUM_SUITE: tuple[Workload, ...] = tuple(
+    w for w in PAPER_SUITE if w.num_qubits <= 16
+)
+
+#: scaled-down suite with real numerics (tests and default benches)
+SMALL_SUITE: tuple[Workload, ...] = (
+    Workload("qnn", 6),
+    Workload("vqe", 8),
+    Workload("portfolio", 7),
+    Workload("graphstate", 8),
+    Workload("tsp", 7),
+    Workload("routing", 6),
+)
+
+PAPER_SPEC = BatchSpec(num_batches=200, batch_size=256)
+MEDIUM_SPEC = BatchSpec(num_batches=200, batch_size=256)
+SMALL_SPEC = BatchSpec(num_batches=4, batch_size=16)
+
+
+def suite(scale: str) -> tuple[tuple[Workload, ...], BatchSpec, bool]:
+    """(workloads, batch spec, execute-numerics?) for a named scale."""
+    if scale == "small":
+        return SMALL_SUITE, SMALL_SPEC, True
+    if scale == "medium":
+        return MEDIUM_SUITE, MEDIUM_SPEC, False
+    if scale == "paper":
+        return PAPER_SUITE, PAPER_SPEC, False
+    raise KeyError(f"unknown scale {scale!r}; use small|medium|paper")
+
+
+# ---------------------------------------------------------------------------
+# Published numbers (for paper-vs-measured reporting)
+# ---------------------------------------------------------------------------
+
+#: Table 2 — runtimes in ms: (cuQuantum, Qiskit Aer, FlatDD, BQSim);
+#: None marks runs the paper terminated after 24 h.
+PAPER_TABLE2_MS: dict[tuple[str, int], tuple[float | None, ...]] = {
+    ("qnn", 17): (246280, 1663228, 24195648, 24218),
+    ("qnn", 19): (1181539, 5491441, None, 113254),
+    ("qnn", 21): (5598394, 20428647, None, 517621),
+    ("vqe", 12): (1433, 394267, 167565, 884),
+    ("vqe", 14): (5901, 470945, 576705, 2495),
+    ("vqe", 16): (24619, 874623, 2442323, 10026),
+    ("portfolio", 16): (56934, 1035447, 3393370, 11159),
+    ("portfolio", 17): (122784, 1755908, 6979064, 24551),
+    ("portfolio", 18): (264992, 3135291, 15009161, 51675),
+    ("graphstate", 16): (18424, 872669, 1056870, 9822),
+    ("graphstate", 18): (75305, 2923585, 4537635, 39611),
+    ("graphstate", 20): (308446, 10285365, 20036118, 157555),
+    ("tsp", 9): (245, 373035, 130619, 138),
+    ("tsp", 16): (36083, 886423, 3986412, 16435),
+    ("routing", 6): (51, 363760, 54736, 31),
+    ("routing", 12): (1628, 392998, 240627, 666),
+}
+
+#: Table 3 — #MAC per input divided by 2^n (cuQuantum, Aer, FlatDD, BQSim)
+PAPER_TABLE3_COST: dict[tuple[str, int], tuple[int, int, int, int]] = {
+    ("qnn", 17): (3736, 459, 151, 132),
+    ("qnn", 19): (4632, 508, 167, 148),
+    ("qnn", 21): (5624, 562, 183, 164),
+    ("vqe", 12): (232, 88, 85, 62),
+    ("vqe", 14): (272, 104, 97, 78),
+    ("vqe", 16): (312, 120, 116, 92),
+    ("portfolio", 16): (1696, 1416, 136, 128),
+    ("portfolio", 17): (1904, 1608, 147, 136),
+    ("portfolio", 18): (2124, 1812, 152, 144),
+    ("graphstate", 16): (128, 64, 35, 32),
+    ("graphstate", 18): (144, 72, 39, 36),
+    ("graphstate", 20): (160, 80, 43, 40),
+    ("tsp", 9): (376, 160, 186, 108),
+    ("tsp", 16): (684, 300, 266, 192),
+    ("routing", 6): (156, 60, 74, 48),
+    ("routing", 12): (324, 132, 122, 96),
+}
+
+#: Table 4 — BQCS runtimes in ms: (cuQuantum+Q, cuQuantum+B, BQSim);
+#: None for the failed (out-of-memory) cuQuantum+B runs.
+PAPER_TABLE4_MS: dict[tuple[str, int], tuple[float, float | None, float]] = {
+    ("qnn", 17): (367121, None, 22605),
+    ("qnn", 19): (1828465, None, 105745),
+    ("qnn", 21): (9054894, None, 481913),
+    ("vqe", 12): (1192, 24334, 854),
+    ("vqe", 14): (4820, 69319242, 2439),
+    ("vqe", 16): (19655, 1266788, 9809),
+    ("portfolio", 16): (77945, None, 10786),
+    ("portfolio", 17): (175373, None, 23790),
+    ("portfolio", 18): (386924, None, 49981),
+    ("graphstate", 16): (17253, 3053229, 9736),
+    ("graphstate", 18): (70727, 43888468, 39215),
+    ("graphstate", 20): (286244, None, 155771),
+    ("tsp", 9): (224, 46769, 111),
+    ("tsp", 16): (28093, 238363, 15919),
+    ("routing", 6): (36, 2889, 22),
+    ("routing", 12): (1320, 6479010, 637),
+}
+
+#: Table 1 — average CV of NZR for the fusion gate matrices
+PAPER_TABLE1_CV: dict[str, float] = {
+    "supremacy": 0.0328,
+    "vqe": 0.0,
+    "qnn": 0.0,
+    "tsp": 0.0,
+}

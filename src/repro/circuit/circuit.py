@@ -1,0 +1,189 @@
+"""Quantum circuit intermediate representation.
+
+A :class:`Circuit` is an ordered list of :class:`~repro.circuit.gates.Gate`
+applications over ``num_qubits`` qubits.  Gates are applied left to right:
+simulating the circuit computes ``M_{L-1} ... M_1 M_0 |psi>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..errors import CircuitError
+from .gates import Gate
+
+
+@dataclass
+class Circuit:
+    """An ordered sequence of gates on a fixed-width qubit register."""
+
+    num_qubits: int
+    gates: list[Gate] = field(default_factory=list)
+    name: str = "circuit"
+
+    def __post_init__(self) -> None:
+        if self.num_qubits <= 0:
+            raise CircuitError("circuit needs at least one qubit")
+        for gate in self.gates:
+            self._check(gate)
+
+    def _check(self, gate: Gate) -> None:
+        top = max(gate.all_qubits)
+        if top >= self.num_qubits:
+            raise CircuitError(
+                f"gate {gate} touches qubit {top} but circuit has "
+                f"{self.num_qubits} qubit(s)"
+            )
+
+    # -- construction -------------------------------------------------------
+
+    def append(self, gate: Gate) -> "Circuit":
+        """Append a prebuilt gate; returns ``self`` for chaining."""
+        self._check(gate)
+        self.gates.append(gate)
+        return self
+
+    def add(
+        self,
+        name: str,
+        qubits: Sequence[int] | int,
+        params: Sequence[float] = (),
+        controls: Sequence[int] = (),
+    ) -> "Circuit":
+        """Append a gate by name; accepts controlled aliases (``cx``, ...)."""
+        if isinstance(qubits, int):
+            qubits = (qubits,)
+        return self.append(Gate.make(name, qubits, params, controls))
+
+    def extend(self, gates: Iterable[Gate]) -> "Circuit":
+        for gate in gates:
+            self.append(gate)
+        return self
+
+    # convenience one-liners used heavily by the generators
+    def h(self, q: int) -> "Circuit":
+        return self.add("h", q)
+
+    def x(self, q: int) -> "Circuit":
+        return self.add("x", q)
+
+    def z(self, q: int) -> "Circuit":
+        return self.add("z", q)
+
+    def rx(self, theta: float, q: int) -> "Circuit":
+        return self.add("rx", q, (theta,))
+
+    def ry(self, theta: float, q: int) -> "Circuit":
+        return self.add("ry", q, (theta,))
+
+    def rz(self, theta: float, q: int) -> "Circuit":
+        return self.add("rz", q, (theta,))
+
+    def p(self, lam: float, q: int) -> "Circuit":
+        return self.add("p", q, (lam,))
+
+    def cx(self, control: int, target: int) -> "Circuit":
+        return self.add("x", target, controls=(control,))
+
+    def cz(self, control: int, target: int) -> "Circuit":
+        return self.add("z", target, controls=(control,))
+
+    def cp(self, lam: float, control: int, target: int) -> "Circuit":
+        return self.add("p", target, (lam,), controls=(control,))
+
+    def swap(self, a: int, b: int) -> "Circuit":
+        return self.add("swap", (a, b))
+
+    def rzz(self, theta: float, a: int, b: int) -> "Circuit":
+        return self.add("rzz", (a, b), (theta,))
+
+    def ccx(self, c0: int, c1: int, target: int) -> "Circuit":
+        return self.add("x", target, controls=(c0, c1))
+
+    # -- inspection ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self.gates)
+
+    def __getitem__(self, index: int) -> Gate:
+        return self.gates[index]
+
+    @property
+    def num_gates(self) -> int:
+        return len(self.gates)
+
+    def depth(self) -> int:
+        """Number of layers when gates on disjoint qubits run concurrently."""
+        frontier = [0] * self.num_qubits
+        for gate in self.gates:
+            level = 1 + max(frontier[q] for q in gate.all_qubits)
+            for q in gate.all_qubits:
+                frontier[q] = level
+        return max(frontier, default=0)
+
+    def counts(self) -> dict[str, int]:
+        """Histogram of gate names (controls folded into the base name)."""
+        out: dict[str, int] = {}
+        for gate in self.gates:
+            key = "c" * len(gate.controls) + gate.name
+            out[key] = out.get(key, 0) + 1
+        return out
+
+    def inverse(self) -> "Circuit":
+        """Circuit implementing the inverse unitary."""
+        inv = Circuit(self.num_qubits, name=f"{self.name}_dg")
+        for gate in reversed(self.gates):
+            inv.append(gate.dagger())
+        return inv
+
+    def to_matrix(self) -> np.ndarray:
+        """Dense ``2^n x 2^n`` unitary of the whole circuit (small ``n`` only).
+
+        Intended for validation; refuses to build matrices above 2^12.
+        """
+        if self.num_qubits > 12:
+            raise CircuitError("to_matrix() is limited to 12 qubits")
+        dim = 1 << self.num_qubits
+        out = np.eye(dim, dtype=np.complex128)
+        for gate in self.gates:
+            out = gate_unitary(gate, self.num_qubits) @ out
+        return out
+
+    def __str__(self) -> str:
+        body = "; ".join(str(g) for g in self.gates[:8])
+        more = f"; ... +{len(self.gates) - 8} gates" if len(self.gates) > 8 else ""
+        return f"<Circuit {self.name!r} n={self.num_qubits} [{body}{more}]>"
+
+
+def gate_unitary(gate: Gate, num_qubits: int) -> np.ndarray:
+    """Dense ``2^n x 2^n`` unitary for one gate embedded in ``num_qubits``.
+
+    Used by the reference simulator and by tests.  Exponential in ``n``;
+    callers keep ``n`` small.
+    """
+    dim = 1 << num_qubits
+    local = gate.full_matrix()
+    operands = gate.all_qubits
+    k = len(operands)
+    out = np.zeros((dim, dim), dtype=np.complex128)
+    rest = [q for q in range(num_qubits) if q not in operands]
+    for other in range(1 << len(rest)):
+        base = 0
+        for i, q in enumerate(rest):
+            if (other >> i) & 1:
+                base |= 1 << q
+        idx = np.empty(1 << k, dtype=np.int64)
+        for local_i in range(1 << k):
+            v = base
+            for i, q in enumerate(operands):
+                if (local_i >> i) & 1:
+                    v |= 1 << q
+            idx[local_i] = v
+        out[np.ix_(idx, idx)] = local
+    return out

@@ -1,0 +1,95 @@
+"""ASCII circuit rendering.
+
+``draw(circuit)`` produces a fixed-width text diagram — one wire per qubit,
+one column per scheduling layer — for READMEs, logs, and debugging::
+
+    q0: --H---*-------
+              |
+    q1: ------X---*---
+                  |
+    q2: ----------X---
+"""
+
+from __future__ import annotations
+
+from ..errors import CircuitError
+from .circuit import Circuit
+from .gates import Gate
+
+
+def _gate_label(gate: Gate) -> str:
+    name = gate.name.upper()
+    if gate.name == "x" and gate.controls:
+        name = "X"
+    if gate.params:
+        name += f"({gate.params[0]:.2g})" if len(gate.params) == 1 else "(..)"
+    return name
+
+
+def _layers(circuit: Circuit) -> list[list[Gate]]:
+    """Frontier layering: a gate lands in the first layer after every prior
+    gate on any wire of its *span* (lowest to highest operand), so drawn
+    order always respects circuit order."""
+    layers: list[list[Gate]] = []
+    frontier = [0] * circuit.num_qubits
+    for gate in circuit.gates:
+        span = range(min(gate.all_qubits), max(gate.all_qubits) + 1)
+        layer_index = max(frontier[q] for q in span)
+        while len(layers) <= layer_index:
+            layers.append([])
+        layers[layer_index].append(gate)
+        for q in span:
+            frontier[q] = layer_index + 1
+    return layers
+
+
+def _center(text: str, width: int, fill: str) -> str:
+    pad = max(width - len(text), 0)
+    return fill * (pad // 2) + text + fill * (pad - pad // 2)
+
+
+def draw(circuit: Circuit, max_width: int = 120) -> str:
+    """Render the circuit as ASCII art (wraps into blocks when too wide)."""
+    n = circuit.num_qubits
+    columns: list[list[str]] = []  # per layer: n wire cells then n-1 gap cells
+    for layer in _layers(circuit):
+        width = max(len(_gate_label(g)) for g in layer)
+        wires = ["-" * width] * n
+        gaps = [" " * width] * max(n - 1, 0)
+        for gate in layer:
+            label = _gate_label(gate)
+            for q in gate.qubits:
+                wires[q] = _center(label, width, "-")
+            for q in gate.controls:
+                wires[q] = _center("*", width, "-")
+            for q in range(min(gate.all_qubits), max(gate.all_qubits)):
+                gaps[q] = _center("|", width, " ")
+        columns.append(wires + gaps)
+
+    lines: list[str] = []
+    for q in range(n):
+        prefix = f"q{q}: "
+        lines.append(prefix + "-" + "--".join(col[q] for col in columns) + "-")
+        if q < n - 1:
+            gap = " " * len(prefix) + " " + "  ".join(col[n + q] for col in columns)
+            lines.append(gap.rstrip())
+    return _wrap([line for line in lines if line], max_width)
+
+
+def _wrap(lines: list[str], max_width: int) -> str:
+    if all(len(line) <= max_width for line in lines):
+        return "\n".join(lines)
+    prefix_len = max((line.index(":") + 2 for line in lines if ":" in line), default=0)
+    chunk = max_width - prefix_len
+    if chunk <= 0:
+        raise CircuitError("max_width too small to draw the circuit")
+    body = [(line[:prefix_len], line[prefix_len:]) for line in lines]
+    length = max(len(segment) for _, segment in body)
+    blocks = []
+    for start in range(0, length, chunk):
+        block_lines = []
+        for prefix, segment in body:
+            head = prefix if start == 0 else " " * prefix_len
+            block_lines.append((head + segment[start : start + chunk]).rstrip())
+        blocks.append("\n".join(line for line in block_lines if line.strip()))
+    return ("\n" + "." * 8 + "\n").join(blocks)

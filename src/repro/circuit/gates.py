@@ -1,0 +1,326 @@
+"""Quantum gate library.
+
+A :class:`Gate` is an *instance* of a named gate applied to concrete qubits,
+optionally under positive controls.  The base matrix of a gate acts on
+``gate.qubits`` only; control qubits are kept symbolic (``gate.controls``) so
+that decision-diagram construction and cost analysis can exploit control
+structure instead of expanding dense controlled matrices.
+
+Qubit-order convention (matching Qiskit): ``qubits[i]`` contributes bit ``i``
+of the *local* matrix index, and global state index bit ``q`` is the value of
+qubit ``q``; qubit 0 is the least-significant bit of the state index.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import CircuitError
+
+SQRT1_2 = 1.0 / math.sqrt(2.0)
+
+
+def _mat(rows: Sequence[Sequence[complex]]) -> np.ndarray:
+    return np.array(rows, dtype=np.complex128)
+
+
+# ---------------------------------------------------------------------------
+# Base matrices for the standard gate set
+# ---------------------------------------------------------------------------
+
+def _rx(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return _mat([[c, -1j * s], [-1j * s, c]])
+
+
+def _ry(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return _mat([[c, -s], [s, c]])
+
+
+def _rz(theta: float) -> np.ndarray:
+    e = cmath.exp(-1j * theta / 2)
+    return _mat([[e, 0], [0, e.conjugate()]])
+
+
+def _p(lam: float) -> np.ndarray:
+    return _mat([[1, 0], [0, cmath.exp(1j * lam)]])
+
+
+def _u3(theta: float, phi: float, lam: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return _mat(
+        [
+            [c, -cmath.exp(1j * lam) * s],
+            [cmath.exp(1j * phi) * s, cmath.exp(1j * (phi + lam)) * c],
+        ]
+    )
+
+
+def _u2(phi: float, lam: float) -> np.ndarray:
+    return _u3(math.pi / 2, phi, lam)
+
+
+def _rzz(theta: float) -> np.ndarray:
+    e = cmath.exp(-1j * theta / 2)
+    return np.diag([e, e.conjugate(), e.conjugate(), e]).astype(np.complex128)
+
+
+def _rxx(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), -1j * math.sin(theta / 2)
+    m = np.zeros((4, 4), dtype=np.complex128)
+    for i in range(4):
+        m[i, i] = c
+        m[i, i ^ 3] = s
+    return m
+
+
+def _ryy(theta: float) -> np.ndarray:
+    # RYY = cos(t/2) I - i sin(t/2) (Y (x) Y); the anti-diagonal of Y (x) Y is
+    # (-1, 1, 1, -1) for local indices 0..3.
+    c, s = math.cos(theta / 2), 1j * math.sin(theta / 2)
+    m = np.zeros((4, 4), dtype=np.complex128)
+    for i in range(4):
+        m[i, i] = c
+        m[i, i ^ 3] = -s if i in (1, 2) else s
+    return m
+
+
+def _fsim(theta: float, phi: float) -> np.ndarray:
+    # Google Sycamore's fSim gate: partial iSWAP plus controlled phase.
+    c, s = math.cos(theta), math.sin(theta)
+    return _mat(
+        [
+            [1, 0, 0, 0],
+            [0, c, -1j * s, 0],
+            [0, -1j * s, c, 0],
+            [0, 0, 0, cmath.exp(-1j * phi)],
+        ]
+    )
+
+
+_SWAP = _mat([[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]])
+_ISWAP = _mat([[1, 0, 0, 0], [0, 0, 1j, 0], [0, 1j, 0, 0], [0, 0, 0, 1]])
+
+_FIXED: dict[str, np.ndarray] = {
+    "id": _mat([[1, 0], [0, 1]]),
+    "x": _mat([[0, 1], [1, 0]]),
+    "y": _mat([[0, -1j], [1j, 0]]),
+    "z": _mat([[1, 0], [0, -1]]),
+    "h": _mat([[SQRT1_2, SQRT1_2], [SQRT1_2, -SQRT1_2]]),
+    "s": _mat([[1, 0], [0, 1j]]),
+    "sdg": _mat([[1, 0], [0, -1j]]),
+    "t": _mat([[1, 0], [0, cmath.exp(1j * math.pi / 4)]]),
+    "tdg": _mat([[1, 0], [0, cmath.exp(-1j * math.pi / 4)]]),
+    "sx": 0.5 * _mat([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]]),
+    "sxdg": 0.5 * _mat([[1 - 1j, 1 + 1j], [1 + 1j, 1 - 1j]]),
+    "swap": _SWAP,
+    "iswap": _ISWAP,
+}
+
+_PARAMETRIC: dict[str, tuple[int, Callable[..., np.ndarray]]] = {
+    "rx": (1, _rx),
+    "ry": (1, _ry),
+    "rz": (1, _rz),
+    "p": (1, _p),
+    "u1": (1, _p),
+    "u2": (2, _u2),
+    "u3": (3, _u3),
+    "u": (3, _u3),
+    "rzz": (1, _rzz),
+    "rxx": (1, _rxx),
+    "ryy": (1, _ryy),
+    "fsim": (2, _fsim),
+}
+
+#: number of non-control qubits each named gate's base matrix acts on
+_BASE_ARITY: dict[str, int] = {name: 1 for name in _FIXED}
+_BASE_ARITY.update(
+    {"swap": 2, "iswap": 2, "rzz": 2, "rxx": 2, "ryy": 2, "fsim": 2}
+)
+for _name, (_nparams, _fn) in _PARAMETRIC.items():
+    _BASE_ARITY.setdefault(_name, 1)
+
+#: gates whose printed name is a controlled alias: name -> (base, #controls)
+CONTROLLED_ALIASES: dict[str, tuple[str, int]] = {
+    "cx": ("x", 1),
+    "cnot": ("x", 1),
+    "cy": ("y", 1),
+    "cz": ("z", 1),
+    "ch": ("h", 1),
+    "cs": ("s", 1),
+    "csx": ("sx", 1),
+    "cp": ("p", 1),
+    "cu1": ("p", 1),
+    "crx": ("rx", 1),
+    "cry": ("ry", 1),
+    "crz": ("rz", 1),
+    "cu3": ("u3", 1),
+    "cswap": ("swap", 1),
+    "ccx": ("x", 2),
+    "ccz": ("z", 2),
+    "mcx": ("x", -1),  # arity inferred from operand count
+}
+
+
+def base_matrix(name: str, params: Sequence[float] = ()) -> np.ndarray:
+    """Return the base (uncontrolled) unitary for gate ``name``.
+
+    Raises :class:`CircuitError` for unknown names or wrong parameter counts.
+    """
+    if name in _FIXED:
+        if params:
+            raise CircuitError(f"gate '{name}' takes no parameters, got {len(params)}")
+        return _FIXED[name].copy()
+    if name in _PARAMETRIC:
+        nparams, fn = _PARAMETRIC[name]
+        if len(params) != nparams:
+            raise CircuitError(
+                f"gate '{name}' takes {nparams} parameter(s), got {len(params)}"
+            )
+        return fn(*params)
+    raise CircuitError(f"unknown gate '{name}'")
+
+
+def base_arity(name: str) -> int:
+    """Number of target qubits of ``name``'s base matrix."""
+    try:
+        return _BASE_ARITY[name]
+    except KeyError:
+        raise CircuitError(f"unknown gate '{name}'") from None
+
+
+def known_gate_names() -> frozenset[str]:
+    """All gate names accepted by :func:`base_matrix`, plus controlled aliases."""
+    return frozenset(_BASE_ARITY) | frozenset(CONTROLLED_ALIASES)
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate application inside a circuit.
+
+    Attributes:
+        name: base gate name (controlled aliases are resolved at construction).
+        qubits: target qubits; ``qubits[i]`` is bit ``i`` of the local index.
+        params: rotation angles / phases.
+        controls: positive-control qubits (all must be ``1`` to apply).
+    """
+
+    name: str
+    qubits: tuple[int, ...]
+    params: tuple[float, ...] = ()
+    controls: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        arity = base_arity(self.name)
+        if len(self.qubits) != arity:
+            raise CircuitError(
+                f"gate '{self.name}' acts on {arity} qubit(s), got {len(self.qubits)}"
+            )
+        all_qubits = self.qubits + self.controls
+        if len(set(all_qubits)) != len(all_qubits):
+            raise CircuitError(f"duplicate qubit in {self!r}")
+        if any(q < 0 for q in all_qubits):
+            raise CircuitError(f"negative qubit index in {self!r}")
+        base_matrix(self.name, self.params)  # validates name/params eagerly
+
+    @staticmethod
+    def make(
+        name: str,
+        qubits: Sequence[int],
+        params: Sequence[float] = (),
+        controls: Sequence[int] = (),
+    ) -> "Gate":
+        """Build a gate, resolving controlled aliases like ``cx`` or ``ccz``.
+
+        For aliases, leading operands in ``qubits`` are the controls, matching
+        OpenQASM convention (``cx control, target``).
+        """
+        name = name.lower()
+        extra_controls: tuple[int, ...] = tuple(controls)
+        if name in CONTROLLED_ALIASES:
+            base, nctrl = CONTROLLED_ALIASES[name]
+            if nctrl < 0:  # mcx: everything but the last operand is a control
+                nctrl = len(qubits) - base_arity(base)
+            if nctrl < 0 or len(qubits) < nctrl + base_arity(base):
+                raise CircuitError(f"too few operands for '{name}': {qubits}")
+            extra_controls = extra_controls + tuple(qubits[:nctrl])
+            qubits = qubits[nctrl:]
+            name = base
+        return Gate(name, tuple(qubits), tuple(params), extra_controls)
+
+    @property
+    def all_qubits(self) -> tuple[int, ...]:
+        """Targets followed by controls."""
+        return self.qubits + self.controls
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.qubits) + len(self.controls)
+
+    def matrix(self) -> np.ndarray:
+        """Base matrix over ``self.qubits`` (controls not expanded)."""
+        return base_matrix(self.name, self.params)
+
+    def full_matrix(self) -> np.ndarray:
+        """Dense unitary over ``self.all_qubits`` with controls expanded.
+
+        Local bit ``i`` is ``all_qubits[i]``: target bits first, then control
+        bits (most-significant).
+        """
+        base = self.matrix()
+        k_t = len(self.qubits)
+        k = self.num_qubits
+        dim = 1 << k
+        full = np.eye(dim, dtype=np.complex128)
+        ctrl_mask = ((1 << len(self.controls)) - 1) << k_t
+        block = slice(ctrl_mask, ctrl_mask + (1 << k_t))
+        full[block, block] = base
+        return full
+
+    def is_diagonal(self, tol: float = 1e-12) -> bool:
+        """True if the expanded gate matrix is diagonal."""
+        m = self.matrix()
+        return bool(np.allclose(m, np.diag(np.diag(m)), atol=tol))
+
+    def dagger(self) -> "Gate":
+        """Inverse gate (conjugate-transpose), staying in the named gate set."""
+        inverses = {
+            "s": "sdg",
+            "sdg": "s",
+            "t": "tdg",
+            "tdg": "t",
+            "sx": "sxdg",
+            "sxdg": "sx",
+        }
+        if self.name in inverses:
+            return Gate(inverses[self.name], self.qubits, (), self.controls)
+        if self.name in ("id", "x", "y", "z", "h", "swap"):
+            return self
+        if self.name in ("rx", "ry", "rz", "p", "u1", "rzz", "rxx", "ryy"):
+            return Gate(self.name, self.qubits, (-self.params[0],), self.controls)
+        if self.name == "fsim":
+            th, ph = self.params
+            return Gate(self.name, self.qubits, (-th, -ph), self.controls)
+        if self.name in ("u3", "u"):
+            th, ph, lam = self.params
+            return Gate(self.name, self.qubits, (-th, -lam, -ph), self.controls)
+        if self.name == "u2":
+            ph, lam = self.params
+            return Gate("u3", self.qubits, (-math.pi / 2, -lam, -ph), self.controls)
+        if self.name == "iswap":
+            raise CircuitError("iswap inverse is not in the named gate set")
+        raise CircuitError(f"no symbolic inverse for '{self.name}'")
+
+    def __str__(self) -> str:
+        args = ",".join(f"{p:.6g}" for p in self.params)
+        head = f"{self.name}({args})" if args else self.name
+        operands = ",".join(
+            [f"c{q}" for q in self.controls] + [f"q{q}" for q in self.qubits]
+        )
+        return f"{head} {operands}"

@@ -1,0 +1,54 @@
+"""Benchmark circuit generators (MQT-Bench-style families + textbook algorithms)."""
+
+from .algorithms import deutsch_jozsa, grover, qaoa_maxcut, qpe, wstate
+
+from .families import (
+    FAMILIES,
+    ghz,
+    graphstate,
+    make_circuit,
+    portfolio,
+    qft,
+    qnn,
+    random_circuit,
+    routing,
+    supremacy,
+    tsp,
+    vqe,
+)
+from .twolocal import (
+    compose,
+    full_pairs,
+    linear_pairs,
+    real_amplitudes,
+    ring_pairs,
+    two_local,
+    zz_feature_map,
+)
+
+__all__ = [
+    "FAMILIES",
+    "deutsch_jozsa",
+    "grover",
+    "qaoa_maxcut",
+    "qpe",
+    "wstate",
+    "compose",
+    "full_pairs",
+    "ghz",
+    "graphstate",
+    "linear_pairs",
+    "make_circuit",
+    "portfolio",
+    "qft",
+    "qnn",
+    "random_circuit",
+    "real_amplitudes",
+    "ring_pairs",
+    "routing",
+    "supremacy",
+    "tsp",
+    "two_local",
+    "vqe",
+    "zz_feature_map",
+]

@@ -1,0 +1,154 @@
+"""Textbook-algorithm circuit generators (Grover, Deutsch-Jozsa, W state,
+quantum phase estimation) — additional MQT-Bench-style workloads that
+exercise multi-controlled gates and oracle structure beyond the paper's six
+evaluation families.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ...errors import CircuitError
+from ..circuit import Circuit
+from ..gates import Gate
+
+
+def grover(num_qubits: int, marked: int | None = None, iterations: int | None = None,
+           seed: int = 0) -> Circuit:
+    """Grover search over ``num_qubits`` with a phase oracle for ``marked``.
+
+    Defaults to a random marked element and the optimal iteration count
+    ``round(pi/4 * sqrt(2^n))`` capped at 8 (simulation workload, not a
+    search record).
+    """
+    if num_qubits < 2:
+        raise CircuitError("grover needs at least two qubits")
+    rng = np.random.default_rng(seed)
+    if marked is None:
+        marked = int(rng.integers(1 << num_qubits))
+    if iterations is None:
+        iterations = min(round(math.pi / 4 * math.sqrt(1 << num_qubits)), 8)
+    circuit = Circuit(num_qubits, name=f"grover_n{num_qubits}")
+    for q in range(num_qubits):
+        circuit.h(q)
+    for _ in range(iterations):
+        _phase_oracle(circuit, marked)
+        _diffuser(circuit)
+    return circuit
+
+
+def _phase_oracle(circuit: Circuit, marked: int) -> None:
+    """Flip the phase of |marked> with X-conjugated multi-controlled Z."""
+    n = circuit.num_qubits
+    zeros = [q for q in range(n) if not (marked >> q) & 1]
+    for q in zeros:
+        circuit.x(q)
+    circuit.append(Gate("z", (n - 1,), (), tuple(range(n - 1))))
+    for q in zeros:
+        circuit.x(q)
+
+
+def _diffuser(circuit: Circuit) -> None:
+    n = circuit.num_qubits
+    for q in range(n):
+        circuit.h(q)
+        circuit.x(q)
+    circuit.append(Gate("z", (n - 1,), (), tuple(range(n - 1))))
+    for q in range(n):
+        circuit.x(q)
+        circuit.h(q)
+
+
+def deutsch_jozsa(num_qubits: int, balanced: bool = True, seed: int = 0) -> Circuit:
+    """Deutsch-Jozsa on ``num_qubits - 1`` input qubits plus one ancilla.
+
+    The oracle is constant (identity) or a random balanced inner-product
+    function; measuring the input register gives all-zeros iff constant.
+    """
+    if num_qubits < 2:
+        raise CircuitError("deutsch-jozsa needs an input qubit and an ancilla")
+    rng = np.random.default_rng(seed)
+    ancilla = num_qubits - 1
+    circuit = Circuit(num_qubits, name=f"dj_n{num_qubits}")
+    circuit.x(ancilla)
+    for q in range(num_qubits):
+        circuit.h(q)
+    if balanced:
+        pattern = int(rng.integers(1, 1 << (num_qubits - 1)))
+        for q in range(num_qubits - 1):
+            if (pattern >> q) & 1:
+                circuit.cx(q, ancilla)
+    for q in range(num_qubits - 1):
+        circuit.h(q)
+    return circuit
+
+
+def wstate(num_qubits: int, seed: int = 0) -> Circuit:
+    """W-state preparation via cascaded controlled rotations."""
+    if num_qubits < 2:
+        raise CircuitError("wstate needs at least two qubits")
+    circuit = Circuit(num_qubits, name=f"wstate_n{num_qubits}")
+    circuit.x(num_qubits - 1)
+    for k in range(num_qubits - 1, 0, -1):
+        theta = 2 * math.acos(math.sqrt(1.0 / (k + 1)))
+        # controlled-ry from qubit k to qubit k-1 followed by cx back
+        circuit.add("ry", k - 1, (theta,), controls=(k,))
+        circuit.cx(k - 1, k)
+    return circuit
+
+
+def qaoa_maxcut(
+    num_qubits: int,
+    edges: list[tuple[int, int]] | None = None,
+    p: int = 2,
+    seed: int = 0,
+) -> Circuit:
+    """QAOA ansatz for MaxCut: p layers of cost (RZZ per edge) + mixer (RX).
+
+    Defaults to a ring graph; angles are seeded-random (as MQT-Bench's
+    pre-trained instances are for simulation purposes).
+    """
+    if num_qubits < 2:
+        raise CircuitError("qaoa needs at least two qubits")
+    rng = np.random.default_rng(seed)
+    if edges is None:
+        edges = [(i, (i + 1) % num_qubits) for i in range(num_qubits)]
+    circuit = Circuit(num_qubits, name=f"qaoa_n{num_qubits}")
+    for q in range(num_qubits):
+        circuit.h(q)
+    for _ in range(p):
+        gamma = float(rng.uniform(0, math.pi))
+        beta = float(rng.uniform(0, math.pi))
+        for a, b in edges:
+            circuit.rzz(2 * gamma, a, b)
+        for q in range(num_qubits):
+            circuit.rx(2 * beta, q)
+    return circuit
+
+
+def qpe(num_qubits: int, phase: float | None = None, seed: int = 0) -> Circuit:
+    """Quantum phase estimation of ``p(2*pi*phase)`` with an exact-phase
+    default, using ``num_qubits - 1`` counting qubits."""
+    if num_qubits < 2:
+        raise CircuitError("qpe needs counting qubits and a target")
+    counting = num_qubits - 1
+    rng = np.random.default_rng(seed)
+    if phase is None:
+        phase = int(rng.integers(1, 1 << counting)) / (1 << counting)
+    target = num_qubits - 1
+    circuit = Circuit(num_qubits, name=f"qpe_n{num_qubits}")
+    circuit.x(target)
+    for q in range(counting):
+        circuit.h(q)
+    for q in range(counting):
+        circuit.cp(2 * math.pi * phase * (1 << q), q, target)
+    # inverse QFT on the counting register
+    for q in range(counting // 2):
+        circuit.swap(q, counting - 1 - q)
+    for q in range(counting):
+        for k in range(q):
+            circuit.cp(-math.pi / (1 << (q - k)), k, q)
+        circuit.h(q)
+    return circuit

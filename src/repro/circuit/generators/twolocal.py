@@ -1,0 +1,138 @@
+"""Shared ansatz builders (TwoLocal / feature maps) used by the MQT-Bench
+circuit families.
+
+Gate counts of the paper's benchmark circuits decompose exactly into these
+templates; see each family module for the specific instantiation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ...errors import CircuitError
+from ..circuit import Circuit
+
+Entanglement = Sequence[tuple[int, int]]
+
+
+def linear_pairs(num_qubits: int) -> list[tuple[int, int]]:
+    """Chain entanglement: (0,1), (1,2), ..."""
+    return [(i, i + 1) for i in range(num_qubits - 1)]
+
+
+def ring_pairs(num_qubits: int) -> list[tuple[int, int]]:
+    """Ring entanglement: chain plus the closing (n-1, 0) edge."""
+    pairs = linear_pairs(num_qubits)
+    if num_qubits > 2:
+        pairs.append((num_qubits - 1, 0))
+    return pairs
+
+
+def full_pairs(num_qubits: int) -> list[tuple[int, int]]:
+    """All-to-all entanglement: every (i, j) with i < j."""
+    return [
+        (i, j) for i in range(num_qubits) for j in range(i + 1, num_qubits)
+    ]
+
+
+def resolve_entanglement(kind: str, num_qubits: int) -> list[tuple[int, int]]:
+    makers: dict[str, Callable[[int], list[tuple[int, int]]]] = {
+        "linear": linear_pairs,
+        "ring": ring_pairs,
+        "full": full_pairs,
+    }
+    try:
+        return makers[kind](num_qubits)
+    except KeyError:
+        raise CircuitError(f"unknown entanglement kind {kind!r}") from None
+
+
+def two_local(
+    num_qubits: int,
+    reps: int,
+    rng: np.random.Generator,
+    rotation: str = "ry",
+    entangler: str = "cx",
+    entanglement: str = "linear",
+    name: str = "two_local",
+) -> Circuit:
+    """Qiskit-style ``TwoLocal``: ``reps`` blocks of rotations + entanglers,
+    closed by one final rotation layer.
+
+    Total gates: ``(reps + 1) * n`` rotations plus ``reps * |pairs|``
+    entanglers — the counting identity used to match the paper's circuits.
+    """
+    circuit = Circuit(num_qubits, name=name)
+    pairs = resolve_entanglement(entanglement, num_qubits)
+    for _ in range(reps):
+        for q in range(num_qubits):
+            circuit.add(rotation, q, (float(rng.uniform(0, 4 * math.pi)),))
+        for a, b in pairs:
+            if entangler == "cx":
+                circuit.cx(a, b)
+            elif entangler == "cz":
+                circuit.cz(a, b)
+            elif entangler == "rzz":
+                circuit.rzz(float(rng.uniform(0, 2 * math.pi)), a, b)
+            else:
+                raise CircuitError(f"unknown entangler {entangler!r}")
+    for q in range(num_qubits):
+        circuit.add(rotation, q, (float(rng.uniform(0, 4 * math.pi)),))
+    return circuit
+
+
+def zz_feature_map(
+    num_qubits: int,
+    reps: int,
+    rng: np.random.Generator,
+    entanglement: str = "full",
+    name: str = "zz_feature_map",
+) -> Circuit:
+    """Qiskit ``ZZFeatureMap``: per rep, H + P on every qubit, then a
+    CX / P / CX sandwich per entangled pair.
+
+    Gates per rep: ``2n + 3 * |pairs|``.
+    """
+    circuit = Circuit(num_qubits, name=name)
+    pairs = resolve_entanglement(entanglement, num_qubits)
+    for _ in range(reps):
+        for q in range(num_qubits):
+            circuit.h(q)
+            circuit.p(float(rng.uniform(0, 2 * math.pi)), q)
+        for a, b in pairs:
+            circuit.cx(a, b)
+            circuit.p(float(rng.uniform(0, 2 * math.pi)), b)
+            circuit.cx(a, b)
+    return circuit
+
+
+def real_amplitudes(
+    num_qubits: int,
+    reps: int,
+    rng: np.random.Generator,
+    entanglement: str = "linear",
+    name: str = "real_amplitudes",
+) -> Circuit:
+    """Qiskit ``RealAmplitudes``: TwoLocal with RY rotations and CX."""
+    return two_local(
+        num_qubits,
+        reps,
+        rng,
+        rotation="ry",
+        entangler="cx",
+        entanglement=entanglement,
+        name=name,
+    )
+
+
+def compose(first: Circuit, *rest: Circuit, name: str | None = None) -> Circuit:
+    """Concatenate circuits over the same register."""
+    out = Circuit(first.num_qubits, list(first.gates), name=name or first.name)
+    for circuit in rest:
+        if circuit.num_qubits != first.num_qubits:
+            raise CircuitError("cannot compose circuits of different widths")
+        out.extend(circuit.gates)
+    return out

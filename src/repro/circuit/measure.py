@@ -1,0 +1,121 @@
+"""Measurement and observable utilities over batch simulation outputs.
+
+BQCS produces a ``(2^n, batch)`` block of output amplitudes; these helpers
+turn it into the quantities applications actually consume: measurement
+probabilities, sampled bitstrings, marginals, and Pauli-string expectations.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+
+
+def _check_states(states: np.ndarray) -> int:
+    if states.ndim == 1:
+        states = states.reshape(-1, 1)
+    dim = states.shape[0]
+    if dim == 0 or dim & (dim - 1):
+        raise SimulationError(f"state dimension {dim} is not a power of two")
+    return dim.bit_length() - 1
+
+
+def probabilities(states: np.ndarray) -> np.ndarray:
+    """Measurement probabilities per basis state, columns normalized."""
+    _check_states(states)
+    p = np.abs(states) ** 2
+    totals = p.sum(axis=0, keepdims=True) if p.ndim > 1 else p.sum()
+    return p / totals
+
+
+def marginal_probability(states: np.ndarray, qubit: int, value: int = 1) -> np.ndarray:
+    """Per-input probability that ``qubit`` measures ``value``."""
+    n = _check_states(states)
+    if not 0 <= qubit < n:
+        raise SimulationError(f"qubit {qubit} out of range for n={n}")
+    p = probabilities(states)
+    mask = ((np.arange(p.shape[0]) >> qubit) & 1) == value
+    return p[mask].sum(axis=0)
+
+
+def sample_counts(
+    states: np.ndarray,
+    shots: int,
+    rng: np.random.Generator | int | None = None,
+) -> list[dict[str, int]]:
+    """Sample measurement outcomes; one counts dict per input column.
+
+    Keys are bitstrings with qubit ``n-1`` leftmost (Qiskit convention).
+    """
+    n = _check_states(states)
+    if states.ndim == 1:
+        states = states.reshape(-1, 1)
+    rng = np.random.default_rng(rng)
+    p = probabilities(states)
+    results = []
+    for column in range(states.shape[1]):
+        outcomes = rng.choice(p.shape[0], size=shots, p=p[:, column])
+        counts: dict[str, int] = {}
+        for outcome in outcomes:
+            key = format(outcome, f"0{n}b")
+            counts[key] = counts.get(key, 0) + 1
+        results.append(counts)
+    return results
+
+
+_PAULIS = {
+    "I": np.eye(2, dtype=np.complex128),
+    "X": np.array([[0, 1], [1, 0]], dtype=np.complex128),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=np.complex128),
+    "Z": np.array([[1, 0], [0, -1]], dtype=np.complex128),
+}
+
+
+def pauli_expectation(states: np.ndarray, pauli: str) -> np.ndarray:
+    """Per-input expectation of a Pauli string.
+
+    ``pauli[0]`` acts on the highest qubit (n-1), matching the bitstring
+    convention of :func:`sample_counts`.
+    """
+    n = _check_states(states)
+    if len(pauli) != n:
+        raise SimulationError(
+            f"Pauli string length {len(pauli)} != {n} qubits"
+        )
+    if any(ch not in _PAULIS for ch in pauli.upper()):
+        raise SimulationError(f"bad Pauli string {pauli!r}")
+    if states.ndim == 1:
+        states = states.reshape(-1, 1)
+    transformed = states.copy()
+    # apply each single-qubit Pauli by index manipulation
+    for position, ch in enumerate(pauli.upper()):
+        qubit = n - 1 - position
+        if ch == "I":
+            continue
+        dim = states.shape[0]
+        idx = np.arange(dim)
+        bit = (idx >> qubit) & 1
+        flipped = idx ^ (1 << qubit)
+        if ch == "X":
+            transformed = transformed[flipped]
+        elif ch == "Z":
+            transformed = transformed * np.where(bit, -1.0, 1.0)[:, None]
+        else:  # Y: (Y psi)[i] = (+i if bit else -i) * psi[i ^ mask]
+            phase = np.where(bit, 1j, -1j)[:, None]
+            transformed = transformed[flipped] * phase
+    values = np.einsum("ib,ib->b", states.conj(), transformed)
+    return values.real
+
+
+def fidelity(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Per-input state fidelity ``|<a|b>|^2`` between two output blocks."""
+    if a.shape != b.shape:
+        raise SimulationError("fidelity needs equal-shaped state blocks")
+    if a.ndim == 1:
+        a, b = a.reshape(-1, 1), b.reshape(-1, 1)
+    overlaps = np.einsum("ib,ib->b", a.conj(), b)
+    norms = np.linalg.norm(a, axis=0) * np.linalg.norm(b, axis=0)
+    return np.abs(overlaps / norms) ** 2

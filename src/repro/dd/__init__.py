@@ -1,0 +1,82 @@
+"""QMDD-style decision diagrams: construction, arithmetic, NZRV, flat layout."""
+
+from .algebra import (
+    adjoint,
+    expectation,
+    hilbert_schmidt,
+    matrix_kron,
+    process_fidelity,
+    trace,
+    vector_inner,
+)
+from .build import (
+    basis_vector_dd,
+    circuit_matrix_dd,
+    gate_matrix_dd,
+    matrix_dd_from_dense,
+    vector_dd_from_dense,
+)
+from .export import (
+    count_edges,
+    count_nodes,
+    iter_matrix_entries,
+    matrix_to_dense,
+    reachable_nodes,
+    vector_to_dense,
+)
+from .dot import matrix_to_dot, vector_to_dot
+from .flat import FlatDD, flat_entry, flatten_matrix_dd
+from .manager import DDManager
+from .node import Edge, MNode, ONE_EDGE, VNode, ZERO_EDGE
+from .simulate import simulate_circuit_dd, simulate_state_dd, state_dd_size
+from .nzrv import (
+    is_diagonal_dd,
+    is_permutation_like,
+    max_nzr,
+    nzr_statistics,
+    nzr_vector,
+    vector_max,
+    vector_moments,
+)
+
+__all__ = [
+    "adjoint",
+    "basis_vector_dd",
+    "circuit_matrix_dd",
+    "count_edges",
+    "count_nodes",
+    "DDManager",
+    "Edge",
+    "expectation",
+    "flat_entry",
+    "FlatDD",
+    "flatten_matrix_dd",
+    "gate_matrix_dd",
+    "hilbert_schmidt",
+    "is_diagonal_dd",
+    "is_permutation_like",
+    "iter_matrix_entries",
+    "matrix_dd_from_dense",
+    "matrix_kron",
+    "matrix_to_dense",
+    "matrix_to_dot",
+    "max_nzr",
+    "MNode",
+    "nzr_statistics",
+    "nzr_vector",
+    "ONE_EDGE",
+    "process_fidelity",
+    "reachable_nodes",
+    "simulate_circuit_dd",
+    "simulate_state_dd",
+    "state_dd_size",
+    "trace",
+    "vector_dd_from_dense",
+    "vector_inner",
+    "vector_max",
+    "vector_moments",
+    "vector_to_dense",
+    "vector_to_dot",
+    "VNode",
+    "ZERO_EDGE",
+]

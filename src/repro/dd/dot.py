@@ -1,0 +1,66 @@
+"""Graphviz DOT export of decision diagrams (the paper's Figure 1/6 views).
+
+``matrix_to_dot`` / ``vector_to_dot`` serialize a DD for rendering with
+``dot -Tsvg``: one record node per DD node (labelled with its qubit level),
+solid edges annotated with their weights, and a square terminal.  Zero
+edges are omitted, like in the paper's figures.
+"""
+
+from __future__ import annotations
+
+from .export import reachable_nodes
+from .node import Edge
+
+
+def _fmt_weight(w: complex) -> str:
+    if w == 1:
+        return ""
+    if w.imag == 0:
+        return f"{w.real:.4g}"
+    if w.real == 0:
+        return f"{w.imag:.4g}i"
+    return f"{w.real:.4g}{w.imag:+.4g}i"
+
+
+def _edges_of(node) -> list[tuple[int, Edge]]:
+    return [(slot, child) for slot, child in enumerate(node.children) if child.weight != 0]
+
+
+def _to_dot(edge: Edge, kind: str) -> str:
+    lines = [
+        "digraph DD {",
+        "  rankdir=TB;",
+        '  node [shape=circle, fontsize=10];',
+        '  terminal [shape=square, label="1"];',
+        '  root [shape=point];',
+    ]
+    if edge.weight == 0:
+        lines.append("}")
+        return "\n".join(lines)
+    for node in reachable_nodes(edge):
+        lines.append(f'  n{node.nid} [label="q{node.level}"];')
+    target = "terminal" if edge.node is None else f"n{edge.node.nid}"
+    label = _fmt_weight(edge.weight)
+    lines.append(f'  root -> {target} [label="{label}"];')
+    for node in reachable_nodes(edge):
+        for slot, child in _edges_of(node):
+            dst = "terminal" if child.node is None else f"n{child.node.nid}"
+            head = _fmt_weight(child.weight)
+            if kind == "matrix":
+                slot_label = f"{slot >> 1}{slot & 1}"  # row bit, col bit
+            else:
+                slot_label = str(slot)
+            text = f"{slot_label}" + (f": {head}" if head else "")
+            lines.append(f'  n{node.nid} -> {dst} [label="{text}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def matrix_to_dot(edge: Edge) -> str:
+    """DOT source for a matrix DD (edge labels are ``<row bit><col bit>``)."""
+    return _to_dot(edge, "matrix")
+
+
+def vector_to_dot(edge: Edge) -> str:
+    """DOT source for a vector DD (edge labels are the row bit)."""
+    return _to_dot(edge, "vector")

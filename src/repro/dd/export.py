@@ -1,0 +1,109 @@
+"""DD export and inspection: dense conversion, entry iteration, sizes."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import DDError
+from .node import Edge, MNode, VNode
+
+
+def _expect_level(edge: Edge, level: int) -> None:
+    if edge.weight != 0 and edge.level != level:
+        raise DDError(f"edge at level {edge.level}, expected {level}")
+
+
+def matrix_to_dense(edge: Edge, num_qubits: int) -> np.ndarray:
+    """Expand a matrix DD to a dense ``2^n x 2^n`` array."""
+    dim = 1 << num_qubits
+    out = np.zeros((dim, dim), dtype=np.complex128)
+    _expect_level(edge, num_qubits - 1)
+
+    def rec(e: Edge, level: int, row: int, col: int, acc: complex) -> None:
+        if e.weight == 0:
+            return
+        acc = acc * e.weight
+        if level < 0:
+            out[row, col] = acc
+            return
+        node = e.node
+        half = 1 << level
+        for i, child in enumerate(node.children):
+            rec(child, level - 1, row + (i >> 1) * half, col + (i & 1) * half, acc)
+
+    rec(edge, num_qubits - 1, 0, 0, 1.0)
+    return out
+
+
+def vector_to_dense(edge: Edge, num_qubits: int) -> np.ndarray:
+    """Expand a vector DD to a dense length-``2^n`` array."""
+    dim = 1 << num_qubits
+    out = np.zeros(dim, dtype=np.complex128)
+    _expect_level(edge, num_qubits - 1)
+
+    def rec(e: Edge, level: int, offset: int, acc: complex) -> None:
+        if e.weight == 0:
+            return
+        acc = acc * e.weight
+        if level < 0:
+            out[offset] = acc
+            return
+        half = 1 << level
+        rec(e.node.children[0], level - 1, offset, acc)
+        rec(e.node.children[1], level - 1, offset + half, acc)
+
+    rec(edge, num_qubits - 1, 0, acc=1.0)
+    return out
+
+
+def iter_matrix_entries(
+    edge: Edge, num_qubits: int
+) -> Iterator[tuple[int, int, complex]]:
+    """Yield ``(row, col, value)`` for every structurally non-zero entry."""
+
+    def rec(e: Edge, level: int, row: int, col: int, acc: complex):
+        if e.weight == 0:
+            return
+        acc = acc * e.weight
+        if level < 0:
+            yield (row, col, acc)
+            return
+        half = 1 << level
+        for i, child in enumerate(e.node.children):
+            yield from rec(child, level - 1, row + (i >> 1) * half, col + (i & 1) * half, acc)
+
+    _expect_level(edge, num_qubits - 1)
+    yield from rec(edge, num_qubits - 1, 0, 0, 1.0)
+
+
+def reachable_nodes(edge: Edge) -> list[MNode | VNode]:
+    """Unique nodes reachable from ``edge`` (excluding the terminal)."""
+    seen: dict[int, MNode | VNode] = {}
+    stack = [edge]
+    while stack:
+        e = stack.pop()
+        node = e.node
+        if node is None or node.nid in seen:
+            continue
+        seen[node.nid] = node
+        stack.extend(node.children)
+    return list(seen.values())
+
+
+def count_nodes(edge: Edge) -> int:
+    """Unique non-terminal nodes reachable from ``edge``."""
+    return len(reachable_nodes(edge))
+
+
+def count_edges(edge: Edge) -> int:
+    """Edges in the DD as the paper counts them for the hybrid-conversion
+    threshold: the root edge plus every non-zero child slot of every
+    reachable node."""
+    if edge.weight == 0:
+        return 0
+    total = 1
+    for node in reachable_nodes(edge):
+        total += sum(1 for child in node.children if child.weight != 0)
+    return total

@@ -1,0 +1,87 @@
+"""Decision-diagram nodes and edges (QMDD-style).
+
+Two node kinds exist: :class:`MNode` for matrix DDs (four children, indexed
+``row_bit * 2 + col_bit``) and :class:`VNode` for vector DDs (two children,
+indexed by the row bit).  An :class:`Edge` couples a node pointer with a
+complex weight; ``node is None`` denotes the constant-one terminal, and a
+weight of exactly ``0`` denotes the constant-zero edge (which always points
+at the terminal for canonicity).
+
+This package keeps *full chains*: a non-zero edge entering level ``l`` points
+at a node whose level is exactly ``l``, so operands of every binary operation
+are level-aligned.  Level skipping (as in some QMDD variants) is deliberately
+not used; the only cross-level edges are zero edges.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Union
+
+#: decimal places used when canonicalizing complex weights for hashing
+WEIGHT_DECIMALS = 10
+WEIGHT_TOL = 10.0**-WEIGHT_DECIMALS
+
+
+def weight_key(w: complex) -> tuple[float, float]:
+    """Canonical hash key for an edge weight (tolerance-rounded)."""
+    r = round(w.real, WEIGHT_DECIMALS)
+    i = round(w.imag, WEIGHT_DECIMALS)
+    # avoid the -0.0 / +0.0 split
+    return (r + 0.0, i + 0.0)
+
+
+class Edge(NamedTuple):
+    """A weighted pointer to a DD node (``None`` = terminal)."""
+
+    node: Union["MNode", "VNode", None]
+    weight: complex
+
+    @property
+    def is_zero(self) -> bool:
+        return self.weight == 0
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.node is None
+
+    @property
+    def level(self) -> int:
+        """Level of the pointed-to node; terminals live at level -1."""
+        return -1 if self.node is None else self.node.level
+
+    def scaled(self, factor: complex) -> "Edge":
+        if factor == 0:
+            return ZERO_EDGE
+        return Edge(self.node, self.weight * factor)
+
+
+ZERO_EDGE = Edge(None, 0.0)
+ONE_EDGE = Edge(None, 1.0)
+
+
+class MNode:
+    """Matrix-DD node: children order (c00, c01, c10, c11) = row*2+col."""
+
+    __slots__ = ("level", "children", "nid")
+
+    def __init__(self, level: int, children: tuple[Edge, Edge, Edge, Edge], nid: int):
+        self.level = level
+        self.children = children
+        self.nid = nid
+
+    def __repr__(self) -> str:
+        return f"<MNode#{self.nid} L{self.level}>"
+
+
+class VNode:
+    """Vector-DD node: children order (c0, c1) = the row bit at this level."""
+
+    __slots__ = ("level", "children", "nid")
+
+    def __init__(self, level: int, children: tuple[Edge, Edge], nid: int):
+        self.level = level
+        self.children = children
+        self.nid = nid
+
+    def __repr__(self) -> str:
+        return f"<VNode#{self.nid} L{self.level}>"

@@ -1,0 +1,43 @@
+"""ELL sparse format, DD-to-ELL converters, and the spMM kernel math."""
+
+from .alternatives import (
+    COOMatrix,
+    CSRMatrix,
+    coo_from_ell,
+    coo_spmm,
+    csr_from_ell,
+    csr_spmm,
+)
+from .convert import (
+    ConversionResult,
+    DEFAULT_TAU,
+    ell_from_dd,
+    ell_from_dd_cpu,
+    ell_from_flat_gpu,
+)
+from .format import ELLMatrix, ell_from_dense
+from .persist import EllBundle, bundle_from_plan, load_bundle, save_bundle
+from .spmm import ell_spmm, spmm_bytes, spmm_macs
+
+__all__ = [
+    "bundle_from_plan",
+    "ConversionResult",
+    "coo_from_ell",
+    "coo_spmm",
+    "COOMatrix",
+    "csr_from_ell",
+    "csr_spmm",
+    "CSRMatrix",
+    "DEFAULT_TAU",
+    "ell_from_dd",
+    "ell_from_dd_cpu",
+    "ell_from_dense",
+    "ell_from_flat_gpu",
+    "ell_spmm",
+    "EllBundle",
+    "ELLMatrix",
+    "load_bundle",
+    "save_bundle",
+    "spmm_bytes",
+    "spmm_macs",
+]

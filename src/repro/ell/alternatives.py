@@ -1,0 +1,193 @@
+"""CSR and COO sparse formats — the alternatives the paper rejects.
+
+Section 3.2: "We choose ELL over other sparse formats (e.g., CSR, COO)
+because the NZRs of quantum gate matrices are distributed roughly uniformly
+across rows, which is best suited for ELL."  This module implements both
+alternatives with matching spMM kernels and device cost models so the
+design choice can be *measured* (see the ``ablation_formats`` experiment):
+
+* **CSR** assigns one thread(-group) per row; rows with different lengths
+  diverge, and the row-pointer indirection adds a dependent load per row.
+* **COO** iterates non-zeros and scatters with atomic adds; contended
+  atomics on the output serialize updates.
+* **ELL**'s padded layout wastes ``(width - nnz(row))`` slots per row — but
+  with CV(NZR) ~ 0 there is nearly nothing to waste, and accesses are
+  perfectly coalesced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConversionError, SimulationError
+from ..gpu.spec import COMPLEX_BYTES, GpuSpec, state_block_bytes
+from .format import ELLMatrix
+
+
+@dataclass(frozen=True)
+class CSRMatrix:
+    """Compressed sparse row gate matrix."""
+
+    num_qubits: int
+    indptr: np.ndarray  # int64[rows + 1]
+    indices: np.ndarray  # int64[nnz]
+    data: np.ndarray  # complex128[nnz]
+
+    def __post_init__(self) -> None:
+        rows = 1 << self.num_qubits
+        if self.indptr.shape != (rows + 1,):
+            raise ConversionError("CSR indptr has wrong length")
+        if self.indices.shape != self.data.shape:
+            raise ConversionError("CSR indices/data length mismatch")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.data.shape[0]:
+            raise ConversionError("CSR indptr endpoints inconsistent")
+
+    @property
+    def num_rows(self) -> int:
+        return int(self.indptr.shape[0] - 1)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.data.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.indptr.nbytes + self.indices.nbytes + self.data.nbytes)
+
+    def row_nnz(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros((self.num_rows, self.num_rows), dtype=np.complex128)
+        for row in range(self.num_rows):
+            lo, hi = self.indptr[row], self.indptr[row + 1]
+            out[row, self.indices[lo:hi]] = self.data[lo:hi]
+        return out
+
+
+@dataclass(frozen=True)
+class COOMatrix:
+    """Coordinate-list gate matrix."""
+
+    num_qubits: int
+    rows: np.ndarray  # int64[nnz]
+    cols: np.ndarray  # int64[nnz]
+    data: np.ndarray  # complex128[nnz]
+
+    def __post_init__(self) -> None:
+        if not (self.rows.shape == self.cols.shape == self.data.shape):
+            raise ConversionError("COO arrays must have equal length")
+
+    @property
+    def nnz(self) -> int:
+        return int(self.data.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.rows.nbytes + self.cols.nbytes + self.data.nbytes)
+
+    def to_dense(self) -> np.ndarray:
+        dim = 1 << self.num_qubits
+        out = np.zeros((dim, dim), dtype=np.complex128)
+        np.add.at(out, (self.rows, self.cols), self.data)
+        return out
+
+
+def csr_from_ell(ell: ELLMatrix) -> CSRMatrix:
+    """Strip ELL padding into CSR."""
+    mask = ell.values != 0
+    counts = mask.sum(axis=1)
+    indptr = np.zeros(ell.num_rows + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return CSRMatrix(
+        num_qubits=ell.num_qubits,
+        indptr=indptr,
+        indices=ell.cols[mask],
+        data=ell.values[mask],
+    )
+
+
+def coo_from_ell(ell: ELLMatrix) -> COOMatrix:
+    """Strip ELL padding into COO (row-major order)."""
+    mask = ell.values != 0
+    row_index = np.broadcast_to(
+        np.arange(ell.num_rows, dtype=np.int64)[:, None], ell.values.shape
+    )
+    return COOMatrix(
+        num_qubits=ell.num_qubits,
+        rows=row_index[mask],
+        cols=ell.cols[mask],
+        data=ell.values[mask],
+    )
+
+
+def csr_spmm(csr: CSRMatrix, states: np.ndarray) -> np.ndarray:
+    """CSR sparse-matrix times state block."""
+    if states.shape[0] != csr.num_rows:
+        raise SimulationError("state dimension mismatch in csr_spmm")
+    out = np.zeros_like(states)
+    contrib = csr.data[:, None] * states[csr.indices, :]
+    row_of = np.repeat(np.arange(csr.num_rows), csr.row_nnz())
+    np.add.at(out, row_of, contrib)
+    return out
+
+
+def coo_spmm(coo: COOMatrix, states: np.ndarray) -> np.ndarray:
+    """COO scatter-add sparse-matrix times state block."""
+    if states.shape[0] != (1 << coo.num_qubits):
+        raise SimulationError("state dimension mismatch in coo_spmm")
+    out = np.zeros_like(states)
+    np.add.at(out, coo.rows, coo.data[:, None] * states[coo.cols, :])
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Device cost models (see the module docstring for the effects modeled)
+# ---------------------------------------------------------------------------
+
+def ell_kernel_time(
+    spec: GpuSpec, num_qubits: int, batch_size: int, width: int
+) -> float:
+    """Padded-uniform ELL kernel: (width + 1) coalesced state sweeps."""
+    block = state_block_bytes(num_qubits, batch_size)
+    macs = (1 << num_qubits) * width * batch_size
+    return spec.kernel_time(macs, (width + 1) * block)
+
+
+def csr_kernel_time(
+    spec: GpuSpec,
+    num_qubits: int,
+    batch_size: int,
+    row_nnz: np.ndarray,
+    divergence_penalty: float = 0.15,
+) -> float:
+    """CSR kernel: warps run at their *longest* row; short rows idle.
+
+    The imbalance factor is max/mean NZR within a warp (approximated
+    globally); the row-pointer walk adds one dependent load per row.
+    """
+    rows = 1 << num_qubits
+    mean = max(float(row_nnz.mean()), 1e-12)
+    imbalance = float(row_nnz.max()) / mean
+    block = state_block_bytes(num_qubits, batch_size)
+    macs = int(row_nnz.sum()) * batch_size
+    traffic = (float(row_nnz.max()) + 1.0) * block + rows * 8
+    base = spec.kernel_time(macs * imbalance, traffic)
+    return base * (1.0 + divergence_penalty * (imbalance - 1.0))
+
+
+def coo_kernel_time(
+    spec: GpuSpec,
+    num_qubits: int,
+    batch_size: int,
+    nnz: int,
+    atomic_penalty: float = 2.5,
+) -> float:
+    """COO kernel: per-non-zero scatter with atomic adds on the output."""
+    block = state_block_bytes(num_qubits, batch_size)
+    macs = nnz * batch_size
+    gathers = nnz * batch_size * COMPLEX_BYTES  # value gather
+    scatters = atomic_penalty * nnz * batch_size * COMPLEX_BYTES
+    return spec.kernel_time(macs, gathers + scatters + block)

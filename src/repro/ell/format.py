@@ -1,0 +1,85 @@
+"""The ELL sparse-matrix format (value matrix + column-index matrix).
+
+Each row stores exactly ``width`` entries, where ``width`` is the maximum
+number of non-zeros per row (max NZR) of the matrix; shorter rows are padded
+with ``(value 0, column 0)`` pairs, as in Figure 7a of the paper.  The padded
+layout is what gives the BQCS kernel its uniform per-row #MAC and low thread
+divergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConversionError
+
+
+@dataclass(frozen=True)
+class ELLMatrix:
+    """ELL representation of a ``2^n x 2^n`` gate matrix."""
+
+    num_qubits: int
+    values: np.ndarray  # complex128[rows, width]
+    cols: np.ndarray  # int64[rows, width]
+
+    def __post_init__(self) -> None:
+        rows = 1 << self.num_qubits
+        if self.values.shape != self.cols.shape:
+            raise ConversionError("ELL value/column shapes differ")
+        if self.values.shape[0] != rows:
+            raise ConversionError(
+                f"ELL has {self.values.shape[0]} rows, expected {rows}"
+            )
+        if self.cols.size and (
+            self.cols.min() < 0 or self.cols.max() >= rows
+        ):
+            raise ConversionError("ELL column index out of range")
+
+    @property
+    def num_rows(self) -> int:
+        return int(self.values.shape[0])
+
+    @property
+    def width(self) -> int:
+        """Entries per row == max NZR == #MAC per state amplitude."""
+        return int(self.values.shape[1])
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.values.nbytes + self.cols.nbytes)
+
+    @property
+    def macs_per_input(self) -> int:
+        """Multiply-accumulates to apply this gate to one state vector."""
+        return self.num_rows * self.width
+
+    def to_dense(self) -> np.ndarray:
+        """Dense expansion (validation only; exponential in ``n``)."""
+        out = np.zeros((self.num_rows, self.num_rows), dtype=np.complex128)
+        for k in range(self.width):
+            np.add.at(out, (np.arange(self.num_rows), self.cols[:, k]), self.values[:, k])
+        return out
+
+    def row_nnz(self) -> np.ndarray:
+        """Actual non-zero count per row (excluding padding)."""
+        return (self.values != 0).sum(axis=1)
+
+
+def ell_from_dense(matrix: np.ndarray) -> ELLMatrix:
+    """Build an ELL matrix from a dense array (reference/tests)."""
+    matrix = np.asarray(matrix, dtype=np.complex128)
+    rows = matrix.shape[0]
+    if matrix.shape != (rows, rows) or rows & (rows - 1):
+        raise ConversionError(f"not a square power-of-two matrix: {matrix.shape}")
+    num_qubits = rows.bit_length() - 1
+    nnz = (matrix != 0).sum(axis=1)
+    width = max(int(nnz.max()), 1)
+    values = np.zeros((rows, width), dtype=np.complex128)
+    cols = np.zeros((rows, width), dtype=np.int64)
+    for r in range(rows):
+        nz = np.flatnonzero(matrix[r])
+        values[r, : nz.size] = matrix[r, nz]
+        cols[r, : nz.size] = nz
+    return ELLMatrix(num_qubits, values, cols)

@@ -1,0 +1,95 @@
+"""Persisting compiled simulation artifacts.
+
+The paper highlights that "the circuit is optimized once into a reusable
+simulation task graph"; this module makes the expensive one-time artifacts
+— the fused-gate ELL matrices — reusable *across processes* by saving them
+to a single ``.npz`` archive.  A saved bundle can be loaded and fed
+straight to the spMM kernels without re-running fusion or conversion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import ConversionError
+from .format import ELLMatrix
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class EllBundle:
+    """An ordered list of fused-gate ELL matrices for one circuit."""
+
+    circuit_name: str
+    num_qubits: int
+    matrices: tuple[ELLMatrix, ...]
+
+    def __len__(self) -> int:
+        return len(self.matrices)
+
+    @property
+    def total_cost(self) -> int:
+        """#MAC per amplitude across the bundle."""
+        return sum(m.width for m in self.matrices)
+
+    def apply(self, states: np.ndarray) -> np.ndarray:
+        """Push a state block through every matrix in order."""
+        from .spmm import ell_spmm
+
+        for matrix in self.matrices:
+            states = ell_spmm(matrix, states)
+        return states
+
+
+def save_bundle(bundle: EllBundle, path: str | Path) -> Path:
+    """Write a bundle as a compressed ``.npz`` archive."""
+    path = Path(path)
+    payload: dict[str, np.ndarray] = {
+        "format_version": np.array(_FORMAT_VERSION),
+        "num_qubits": np.array(bundle.num_qubits),
+        "num_gates": np.array(len(bundle.matrices)),
+        "circuit_name": np.array(bundle.circuit_name),
+    }
+    for i, matrix in enumerate(bundle.matrices):
+        payload[f"values_{i}"] = matrix.values
+        payload[f"cols_{i}"] = matrix.cols
+    np.savez_compressed(path, **payload)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_bundle(path: str | Path) -> EllBundle:
+    """Load a bundle previously written by :func:`save_bundle`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        version = int(data["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ConversionError(
+                f"bundle format {version} not supported (expected {_FORMAT_VERSION})"
+            )
+        num_qubits = int(data["num_qubits"])
+        num_gates = int(data["num_gates"])
+        matrices = []
+        for i in range(num_gates):
+            try:
+                values = data[f"values_{i}"]
+                cols = data[f"cols_{i}"]
+            except KeyError:
+                raise ConversionError(f"bundle is missing arrays for gate {i}") from None
+            matrices.append(ELLMatrix(num_qubits, values, cols))
+        return EllBundle(
+            circuit_name=str(data["circuit_name"]),
+            num_qubits=num_qubits,
+            matrices=tuple(matrices),
+        )
+
+
+def bundle_from_plan(circuit_name: str, num_qubits: int, ells) -> EllBundle:
+    """Wrap a list of converted ELL matrices as a bundle."""
+    return EllBundle(
+        circuit_name=circuit_name,
+        num_qubits=num_qubits,
+        matrices=tuple(ells),
+    )

@@ -1,0 +1,50 @@
+"""ELL-based sparse-matrix multiplication — the BQCS kernel's math.
+
+``out[r, b] = sum_k values[r, k] * states[cols[r, k], b]``: a gather plus a
+multiply-accumulate per ELL slot, applied to the whole batch at once.  The
+loop runs over the (small) ELL width so NumPy vectorizes across rows and
+batch inputs; padded slots contribute ``0 * states[0, b]`` and are harmless,
+exactly like the idle lanes of the real kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+from .format import ELLMatrix
+
+
+def ell_spmm(ell: ELLMatrix, states: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Multiply an ELL gate matrix by a ``(2^n, batch)`` state block."""
+    if states.shape[0] != ell.num_rows:
+        raise SimulationError(
+            f"state dim {states.shape[0]} != ELL rows {ell.num_rows}"
+        )
+    if out is None:
+        out = np.zeros_like(states)
+    elif out.shape != states.shape:
+        raise SimulationError("output buffer shape mismatch")
+    else:
+        if out is states:
+            raise SimulationError("ell_spmm cannot run in place")
+        out[:] = 0
+    for k in range(ell.width):
+        out += ell.values[:, k : k + 1] * states[ell.cols[:, k], :]
+    return out
+
+
+def spmm_macs(ell: ELLMatrix, batch_size: int) -> int:
+    """#MAC for one kernel call: rows x width x batch."""
+    return ell.macs_per_input * batch_size
+
+
+def spmm_bytes(ell: ELLMatrix, batch_size: int, complex_bytes: int = 16) -> int:
+    """Device memory traffic of one kernel call (reads + writes).
+
+    Gate data is read once; the state block is gathered ``width`` times and
+    written once.
+    """
+    state_block = ell.num_rows * batch_size * complex_bytes
+    gathers = ell.width * state_block
+    return ell.nbytes + gathers + state_block

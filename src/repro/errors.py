@@ -1,0 +1,39 @@
+"""Exception hierarchy for the :mod:`repro` package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class CircuitError(ReproError):
+    """Malformed circuit, gate, or qubit specification."""
+
+
+class QasmError(ReproError):
+    """OpenQASM parsing failed."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class DDError(ReproError):
+    """Decision-diagram invariant violation or unsupported operation."""
+
+
+class FusionError(ReproError):
+    """Gate-fusion planning failed."""
+
+
+class ConversionError(ReproError):
+    """DD-to-ELL conversion failed."""
+
+
+class DeviceError(ReproError):
+    """Virtual-GPU misuse (bad buffer, unscheduled task, capacity overflow)."""
+
+
+class SimulationError(ReproError):
+    """Batch simulation failed or produced inconsistent results."""

@@ -1,0 +1,21 @@
+"""Gate fusion: BQCS-aware (the paper's), FlatDD greedy, and Aer array-based."""
+
+from .array_fusion import aer_fusion, cuquantum_plan
+from .bqcs import bqcs_fusion, no_fusion_plan
+from .cost import bqcs_cost, dense_gate_cost, is_cost_one, total_nonzeros
+from .greedy import flatdd_fusion
+from .plan import FusedGate, FusionPlan
+
+__all__ = [
+    "aer_fusion",
+    "bqcs_cost",
+    "bqcs_fusion",
+    "cuquantum_plan",
+    "dense_gate_cost",
+    "flatdd_fusion",
+    "FusedGate",
+    "FusionPlan",
+    "is_cost_one",
+    "no_fusion_plan",
+    "total_nonzeros",
+]

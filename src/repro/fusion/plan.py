@@ -1,0 +1,60 @@
+"""Fusion plan data types shared by all fusion algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..dd.node import Edge
+
+
+@dataclass(frozen=True)
+class FusedGate:
+    """One fused gate: a DD matrix plus its provenance and BQCS cost.
+
+    ``cost`` is the max NZR of the matrix (#MAC per state amplitude when the
+    gate runs as an ELL spMM); ``nnz`` is the total non-zero count (the
+    CPU-oriented metric FlatDD's fusion optimizes).
+    """
+
+    dd: Edge
+    cost: int
+    gate_indices: tuple[int, ...]
+    nnz: float = 0.0
+
+    @property
+    def num_source_gates(self) -> int:
+        return len(self.gate_indices)
+
+
+@dataclass(frozen=True)
+class FusionPlan:
+    """Ordered fused gates for one circuit (applied left to right)."""
+
+    num_qubits: int
+    gates: tuple[FusedGate, ...]
+    algorithm: str
+    source_gate_count: int
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    @property
+    def total_cost(self) -> int:
+        """Sum of per-gate BQCS costs (#MAC per amplitude for the circuit)."""
+        return sum(g.cost for g in self.gates)
+
+    def macs_per_input(self) -> int:
+        """#MAC to push one state vector through the fused circuit — the
+        Table 3 quantity (per input)."""
+        return self.total_cost * (1 << self.num_qubits)
+
+    def macs(self, num_inputs: int) -> int:
+        return self.macs_per_input() * num_inputs
+
+    def summary(self) -> str:
+        costs = ",".join(str(g.cost) for g in self.gates)
+        return (
+            f"<FusionPlan {self.algorithm}: {self.source_gate_count} gates -> "
+            f"{len(self.gates)} fused (costs {costs})>"
+        )

@@ -1,0 +1,99 @@
+"""Timeline analysis: critical path and slack.
+
+Given a scheduled :class:`~repro.gpu.engine.Timeline`, find the chain of
+tasks that determines the makespan (dependencies *and* engine-FIFO
+constraints both count as precedence) and the slack of every other task —
+the standard questions when deciding whether more overlap or faster kernels
+would help a pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DeviceError
+from .engine import Task, Timeline
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """The makespan-determining chain, in execution order."""
+
+    tasks: tuple[Task, ...]
+    length: float
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(t.name for t in self.tasks)
+
+    def engine_share(self) -> dict[str, float]:
+        """Fraction of the critical path spent on each engine."""
+        shares: dict[str, float] = {}
+        for task in self.tasks:
+            shares[task.engine] = shares.get(task.engine, 0.0) + task.duration
+        if self.length > 0:
+            shares = {k: v / self.length for k, v in shares.items()}
+        return shares
+
+
+def _predecessors(timeline: Timeline) -> dict[int, list[int]]:
+    """Explicit dependencies plus the engine-FIFO predecessor."""
+    preds: dict[int, list[int]] = {t.tid: list(t.deps) for t in timeline.tasks}
+    by_engine: dict[str, list[Task]] = {}
+    for task in timeline.tasks:
+        by_engine.setdefault(task.engine, []).append(task)
+    for tasks in by_engine.values():
+        tasks.sort(key=lambda t: (t.start, t.tid))
+        for prev, nxt in zip(tasks, tasks[1:]):
+            preds[nxt.tid].append(prev.tid)
+    return preds
+
+
+def critical_path(timeline: Timeline) -> CriticalPath:
+    """Walk back from the last-finishing task through binding predecessors.
+
+    A predecessor is *binding* when the task started exactly when it ended
+    (within tolerance); ties prefer explicit dependencies over FIFO order.
+    """
+    if not timeline.tasks:
+        return CriticalPath(tasks=(), length=0.0)
+    index = {t.tid: t for t in timeline.tasks}
+    for task in timeline.tasks:
+        if task.start < 0:
+            raise DeviceError(f"task {task.name!r} is not scheduled")
+    preds = _predecessors(timeline)
+    current = max(timeline.tasks, key=lambda t: t.end)
+    chain = [current]
+    while True:
+        binding = None
+        for pid in preds[current.tid]:
+            pred = index[pid]
+            if abs(pred.end - current.start) < 1e-12:
+                if binding is None or pid in current.deps:
+                    binding = pred
+        if binding is None:
+            break
+        chain.append(binding)
+        current = binding
+    chain.reverse()
+    return CriticalPath(tasks=tuple(chain), length=chain[-1].end - chain[0].start)
+
+
+def slack(timeline: Timeline) -> dict[int, float]:
+    """Per-task slack: how much later a task could finish without moving the
+    makespan, given successors' start times (local slack)."""
+    succs: dict[int, list[Task]] = {t.tid: [] for t in timeline.tasks}
+    preds = _predecessors(timeline)
+    index = {t.tid: t for t in timeline.tasks}
+    for task in timeline.tasks:
+        for pid in preds[task.tid]:
+            succs[pid].append(task)
+    makespan = timeline.makespan
+    out: dict[int, float] = {}
+    for task in timeline.tasks:
+        if succs[task.tid]:
+            limit = min(s.start for s in succs[task.tid])
+        else:
+            limit = makespan
+        out[task.tid] = max(limit - task.end, 0.0)
+    return out

@@ -1,0 +1,147 @@
+"""The virtual GPU device: buffers, kernels, and memcpys.
+
+The device plays two roles at once:
+
+* **numerics** — buffer contents are real NumPy arrays, kernels run real
+  functions eagerly at submission time (valid because tasks are submitted in
+  a topological order, like building a CUDA graph stream-by-stream);
+* **timing** — every submission also appends a task to a
+  :class:`~repro.gpu.graph.TaskGraph`, whose analytic schedule provides the
+  device-model runtime, utilization, and power.
+
+This split is the substitution documented in DESIGN.md: results are exact,
+times come from the calibrated device model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import DeviceError
+from .engine import Timeline
+from .graph import TaskGraph, TaskHandle
+from .spec import GpuSpec
+
+
+@dataclass
+class DeviceBuffer:
+    """A named device allocation holding a dense complex block."""
+
+    name: str
+    nbytes: int
+    array: np.ndarray | None = None
+
+    def require(self) -> np.ndarray:
+        if self.array is None:
+            raise DeviceError(f"buffer {self.name!r} read before any write")
+        return self.array
+
+
+class VirtualGPU:
+    """One virtual device with a task graph attached."""
+
+    def __init__(self, spec: GpuSpec | None = None, mode: str = "graph"):
+        self.spec = spec or GpuSpec()
+        self.graph = TaskGraph(self.spec, mode=mode)
+        self._buffers: dict[str, DeviceBuffer] = {}
+        self._allocated = 0
+
+    # -- memory ---------------------------------------------------------------
+
+    def alloc(self, name: str, nbytes: int) -> DeviceBuffer:
+        if name in self._buffers:
+            raise DeviceError(f"buffer {name!r} already allocated")
+        if self._allocated + nbytes > self.spec.memory_bytes:
+            raise DeviceError(
+                f"device out of memory: {self._allocated + nbytes} bytes "
+                f"requested, capacity {self.spec.memory_bytes}"
+            )
+        buffer = DeviceBuffer(name=name, nbytes=nbytes)
+        self._buffers[name] = buffer
+        self._allocated += nbytes
+        return buffer
+
+    def free(self, buffer: DeviceBuffer) -> None:
+        stored = self._buffers.pop(buffer.name, None)
+        if stored is None:
+            raise DeviceError(f"buffer {buffer.name!r} not allocated")
+        self._allocated -= stored.nbytes
+        stored.array = None
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self._allocated
+
+    # -- work submission --------------------------------------------------------
+
+    def h2d(
+        self,
+        buffer: DeviceBuffer,
+        host_array: np.ndarray,
+        deps: Sequence[TaskHandle] = (),
+        name: str | None = None,
+    ) -> TaskHandle:
+        """Host-to-device copy (eagerly stores a private copy)."""
+        if host_array.nbytes > buffer.nbytes:
+            raise DeviceError(
+                f"copy of {host_array.nbytes} B into {buffer.nbytes} B buffer"
+            )
+        buffer.array = np.array(host_array, copy=True)
+        return self.graph.add(
+            name or f"h2d:{buffer.name}",
+            "h2d",
+            self.spec.copy_time(host_array.nbytes),
+            deps,
+        )
+
+    def d2h(
+        self,
+        buffer: DeviceBuffer,
+        deps: Sequence[TaskHandle] = (),
+        name: str | None = None,
+    ) -> tuple[TaskHandle, np.ndarray]:
+        """Device-to-host copy; returns the handle and the snapshot."""
+        snapshot = np.array(buffer.require(), copy=True)
+        handle = self.graph.add(
+            name or f"d2h:{buffer.name}",
+            "d2h",
+            self.spec.copy_time(snapshot.nbytes),
+            deps,
+        )
+        return handle, snapshot
+
+    def kernel(
+        self,
+        name: str,
+        fn: Callable[[], None],
+        macs: float = 0.0,
+        bytes_moved: float = 0.0,
+        deps: Sequence[TaskHandle] = (),
+        duration: float | None = None,
+    ) -> TaskHandle:
+        """Submit a compute kernel; ``fn`` performs the real math eagerly.
+
+        Duration defaults to the roofline model over ``macs``/``bytes_moved``;
+        pass ``duration`` to pin a pre-priced cost instead.
+        """
+        fn()
+        if duration is None:
+            duration = self.spec.kernel_time(macs, bytes_moved)
+        return self.graph.add(name, "compute", duration, deps)
+
+    def raw_task(
+        self,
+        name: str,
+        engine: str,
+        duration: float,
+        deps: Sequence[TaskHandle] = (),
+    ) -> TaskHandle:
+        """Submit a pre-priced task (e.g. conversion kernels, host stages)."""
+        return self.graph.add(name, engine, duration, deps)
+
+    def run(self) -> Timeline:
+        """Schedule everything submitted so far."""
+        return self.graph.execute()

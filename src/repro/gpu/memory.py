@@ -1,0 +1,114 @@
+"""A device memory pool: first-fit allocation with coalescing free lists.
+
+Real GPU runtimes allocate buffers out of pools rather than raw
+``cudaMalloc`` calls; this model gives the virtual device the same
+machinery — aligned block placement, fragmentation accounting, and reuse —
+and is what :class:`~repro.gpu.device.VirtualGPU` would sit on in a
+multi-tenant setting (e.g. the multi-GPU sharding of Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DeviceError
+
+DEFAULT_ALIGNMENT = 256  # bytes, cudaMalloc's guarantee
+
+
+@dataclass(frozen=True)
+class PoolBlock:
+    """One live allocation inside the pool."""
+
+    offset: int
+    nbytes: int
+    tag: str
+
+
+class MemoryPool:
+    """First-fit allocator over one contiguous device arena."""
+
+    def __init__(self, capacity: int, alignment: int = DEFAULT_ALIGNMENT):
+        if capacity <= 0:
+            raise DeviceError("pool capacity must be positive")
+        if alignment <= 0 or alignment & (alignment - 1):
+            raise DeviceError("alignment must be a positive power of two")
+        self.capacity = capacity
+        self.alignment = alignment
+        self._free: list[tuple[int, int]] = [(0, capacity)]  # (offset, size)
+        self._live: dict[int, PoolBlock] = {}
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(b.nbytes for b in self._live.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return sum(size for _, size in self._free)
+
+    @property
+    def largest_free_block(self) -> int:
+        return max((size for _, size in self._free), default=0)
+
+    def fragmentation(self) -> float:
+        """1 - largest free block / total free bytes (0 = unfragmented)."""
+        free = self.free_bytes
+        if free == 0:
+            return 0.0
+        return 1.0 - self.largest_free_block / free
+
+    def live_blocks(self) -> list[PoolBlock]:
+        return sorted(self._live.values(), key=lambda b: b.offset)
+
+    # -- allocate / release -----------------------------------------------------
+
+    def _round_up(self, value: int) -> int:
+        mask = self.alignment - 1
+        return (value + mask) & ~mask
+
+    def allocate(self, nbytes: int, tag: str = "") -> PoolBlock:
+        """First-fit allocation; raises :class:`DeviceError` when no free
+        range fits (distinguishing exhaustion from fragmentation)."""
+        if nbytes <= 0:
+            raise DeviceError("allocation size must be positive")
+        needed = self._round_up(nbytes)
+        for index, (offset, size) in enumerate(self._free):
+            if size >= needed:
+                block = PoolBlock(offset=offset, nbytes=needed, tag=tag)
+                remainder = size - needed
+                if remainder:
+                    self._free[index] = (offset + needed, remainder)
+                else:
+                    del self._free[index]
+                self._live[block.offset] = block
+                return block
+        if needed <= self.free_bytes:
+            raise DeviceError(
+                f"pool fragmented: {needed} B requested, {self.free_bytes} B "
+                f"free but largest block is {self.largest_free_block} B"
+            )
+        raise DeviceError(
+            f"pool exhausted: {needed} B requested, {self.free_bytes} B free"
+        )
+
+    def release(self, block: PoolBlock) -> None:
+        """Return a block to the pool, coalescing adjacent free ranges."""
+        stored = self._live.pop(block.offset, None)
+        if stored is None or stored.nbytes != block.nbytes:
+            raise DeviceError("releasing a block the pool does not own")
+        self._free.append((block.offset, block.nbytes))
+        self._free.sort()
+        merged: list[tuple[int, int]] = []
+        for offset, size in self._free:
+            if merged and merged[-1][0] + merged[-1][1] == offset:
+                merged[-1] = (merged[-1][0], merged[-1][1] + size)
+            else:
+                merged.append((offset, size))
+        self._free = merged
+
+    def reset(self) -> None:
+        """Drop every allocation (end-of-run teardown)."""
+        self._live.clear()
+        self._free = [(0, self.capacity)]

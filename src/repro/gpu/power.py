@@ -1,0 +1,49 @@
+"""Roofline-based power model (the Figure 11 substitution).
+
+Average GPU power is modeled as idle power plus two activity terms: the FP
+pipelines draw in proportion to the *achieved* MAC rate and the memory
+system in proportion to the achieved bandwidth.  This captures the paper's
+finding: cuQuantum's dense batched applies are compute-bound (high
+arithmetic intensity, high draw, and ~3x more total MACs), while BQSim's
+ELL spMM is memory-bound and draws markedly less despite keeping the GPU
+busy.  Host power scales with modeled core utilization, which is what makes
+the 8-process Aer/FlatDD setups expensive on the CPU side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .spec import CpuSpec, GpuSpec
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Average power draw (watts) over one simulation run."""
+
+    gpu_watts: float
+    cpu_watts: float
+
+    @property
+    def total_watts(self) -> float:
+        return self.gpu_watts + self.cpu_watts
+
+    def energy_joules(self, runtime_s: float) -> float:
+        return self.total_watts * runtime_s
+
+
+def gpu_power_from_work(
+    macs: float, bytes_moved: float, runtime_s: float, spec: GpuSpec
+) -> float:
+    """Average GPU power given total kernel work over a runtime."""
+    if runtime_s <= 0:
+        return spec.idle_power
+    mac_util = min(macs / (runtime_s * spec.mac_rate), 1.0)
+    bw_util = min(bytes_moved / (runtime_s * spec.mem_bandwidth), 1.0)
+    return spec.idle_power + mac_util * spec.compute_power + bw_util * spec.mem_power
+
+
+def cpu_power_from_utilization(utilization: float, spec: CpuSpec) -> float:
+    """Average host power at a given multicore utilization in [0, 1]."""
+    u = min(max(utilization, 0.0), 1.0)
+    return spec.idle_power + u * spec.active_power

@@ -1,0 +1,96 @@
+"""Timeline inspection and export: Chrome-trace JSON and ASCII Gantt.
+
+A :class:`~repro.gpu.engine.Timeline` holds the scheduled tasks of one
+virtual-GPU run; this module renders it for humans (terminal Gantt chart)
+and for tools (the Trace Event format consumed by ``chrome://tracing`` and
+Perfetto) — the debugging surface a real task-graph runtime ships with.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from ..errors import DeviceError
+from .engine import ENGINES, Task, Timeline
+
+#: stable lane order for rendering
+_LANES = ("host", "h2d", "compute", "d2h")
+
+
+def to_chrome_trace(timeline: Timeline, time_unit: float = 1e-6) -> str:
+    """Serialize a timeline as Trace Event JSON (complete 'X' events).
+
+    ``time_unit`` converts modeled seconds into the microseconds the format
+    expects (1e-6 means timestamps are reported in real microseconds).
+    """
+    events = []
+    for task in timeline.tasks:
+        if task.start < 0:
+            raise DeviceError(f"task {task.name!r} is not scheduled")
+        events.append(
+            {
+                "name": task.name,
+                "cat": task.engine,
+                "ph": "X",
+                "ts": task.start / time_unit,
+                "dur": task.duration / time_unit,
+                "pid": 0,
+                "tid": _LANES.index(task.engine) if task.engine in _LANES else 99,
+                "args": {"deps": list(task.deps)},
+            }
+        )
+    meta = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": i,
+            "args": {"name": lane},
+        }
+        for i, lane in enumerate(_LANES)
+    ]
+    return json.dumps({"traceEvents": meta + events}, indent=1)
+
+
+def render_gantt(
+    timeline: Timeline,
+    width: int = 72,
+    lanes: Sequence[str] = _LANES,
+) -> str:
+    """ASCII Gantt chart: one row per engine, '#' marks busy spans."""
+    span = timeline.makespan
+    if span <= 0:
+        return "(empty timeline)"
+    lines = []
+    for lane in lanes:
+        tasks = timeline.engine_tasks(lane)
+        if not tasks:
+            continue
+        row = [" "] * width
+        for task in tasks:
+            lo = int(task.start / span * (width - 1))
+            hi = max(int(task.end / span * (width - 1)), lo)
+            for i in range(lo, hi + 1):
+                row[i] = "#"
+        busy = timeline.busy_time(lane)
+        lines.append(
+            f"{lane:>8} |{''.join(row)}| {busy * 1e3:8.3f} ms "
+            f"({timeline.utilization(lane) * 100:5.1f}%)"
+        )
+    lines.append(
+        f"{'total':>8}  {' ' * width}  {span * 1e3:8.3f} ms "
+        f"(overlap {timeline.overlap_fraction() * 100:.0f}%)"
+    )
+    return "\n".join(lines)
+
+
+def summarize(timeline: Timeline) -> dict:
+    """Machine-readable timeline statistics."""
+    return {
+        "makespan_s": timeline.makespan,
+        "num_tasks": len(timeline.tasks),
+        "overlap_fraction": timeline.overlap_fraction(),
+        "busy_s": {e: timeline.busy_time(e) for e in ENGINES},
+        "utilization": {e: timeline.utilization(e) for e in ENGINES},
+    }

@@ -1,0 +1,37 @@
+"""Noise substrate: Kraus channels, density-matrix reference, trajectories."""
+
+from .channels import (
+    NoiseChannel,
+    NoiseModel,
+    amplitude_damping,
+    bit_flip,
+    depolarizing,
+    phase_flip,
+)
+from .density import (
+    density_probabilities,
+    purity,
+    simulate_density,
+    state_fidelity_with_density,
+)
+from .mitigation import ZNEResult, richardson_extrapolate, zero_noise_extrapolation
+from .trajectories import TrajectoryResult, sample_trajectory, simulate_noisy_batch
+
+__all__ = [
+    "amplitude_damping",
+    "bit_flip",
+    "density_probabilities",
+    "depolarizing",
+    "NoiseChannel",
+    "NoiseModel",
+    "phase_flip",
+    "purity",
+    "richardson_extrapolate",
+    "sample_trajectory",
+    "simulate_density",
+    "simulate_noisy_batch",
+    "state_fidelity_with_density",
+    "TrajectoryResult",
+    "zero_noise_extrapolation",
+    "ZNEResult",
+]

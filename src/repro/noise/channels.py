@@ -1,0 +1,119 @@
+"""Quantum noise channels (Kraus representation).
+
+The substrate for noisy batch simulation: a :class:`NoiseChannel` is a CPTP
+map given by Kraus operators; :class:`NoiseModel` attaches channels to gate
+applications.  Channels whose Kraus operators are (scaled) Paulis expose a
+``pauli_probabilities`` decomposition, which is what the trajectory sampler
+consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+
+_I = np.eye(2, dtype=np.complex128)
+_X = np.array([[0, 1], [1, 0]], dtype=np.complex128)
+_Y = np.array([[0, -1j], [1j, 0]], dtype=np.complex128)
+_Z = np.array([[1, 0], [0, -1]], dtype=np.complex128)
+PAULIS = {"I": _I, "X": _X, "Y": _Y, "Z": _Z}
+
+
+@dataclass(frozen=True)
+class NoiseChannel:
+    """A single-qubit CPTP channel in Kraus form."""
+
+    name: str
+    kraus: tuple[np.ndarray, ...]
+
+    def __post_init__(self) -> None:
+        total = sum(k.conj().T @ k for k in self.kraus)
+        if not np.allclose(total, np.eye(2), atol=1e-9):
+            raise SimulationError(
+                f"channel {self.name!r} is not trace preserving"
+            )
+
+    def apply_to_density(self, rho: np.ndarray) -> np.ndarray:
+        """Apply to a single-qubit density matrix (reference semantics)."""
+        return sum(k @ rho @ k.conj().T for k in self.kraus)
+
+    def pauli_probabilities(self) -> dict[str, float] | None:
+        """If every Kraus operator is ``sqrt(p) * Pauli``, return the Pauli
+        mixture ``{I: p0, X: p1, ...}``; otherwise ``None``."""
+        probs: dict[str, float] = {"I": 0.0, "X": 0.0, "Y": 0.0, "Z": 0.0}
+        for k in self.kraus:
+            matched = False
+            for label, pauli in PAULIS.items():
+                # k = c * pauli for complex c?
+                nz = np.abs(pauli) > 0.5
+                if not np.allclose(k[~nz], 0, atol=1e-12):
+                    continue
+                values = k[nz] / pauli[nz]
+                if np.allclose(values, values.flat[0], atol=1e-12):
+                    probs[label] += float(abs(values.flat[0]) ** 2)
+                    matched = True
+                    break
+            if not matched:
+                return None
+        if abs(sum(probs.values()) - 1.0) > 1e-9:
+            return None
+        return probs
+
+
+def depolarizing(p: float) -> NoiseChannel:
+    """Uniform Pauli noise with total error probability ``p``."""
+    if not 0 <= p <= 1:
+        raise SimulationError("depolarizing probability must be in [0, 1]")
+    return NoiseChannel(
+        name=f"depolarizing({p})",
+        kraus=(
+            np.sqrt(1 - p) * _I,
+            np.sqrt(p / 3) * _X,
+            np.sqrt(p / 3) * _Y,
+            np.sqrt(p / 3) * _Z,
+        ),
+    )
+
+
+def bit_flip(p: float) -> NoiseChannel:
+    """X error with probability ``p``."""
+    if not 0 <= p <= 1:
+        raise SimulationError("bit-flip probability must be in [0, 1]")
+    return NoiseChannel(
+        name=f"bit_flip({p})",
+        kraus=(np.sqrt(1 - p) * _I, np.sqrt(p) * _X),
+    )
+
+
+def phase_flip(p: float) -> NoiseChannel:
+    """Z error with probability ``p``."""
+    if not 0 <= p <= 1:
+        raise SimulationError("phase-flip probability must be in [0, 1]")
+    return NoiseChannel(
+        name=f"phase_flip({p})",
+        kraus=(np.sqrt(1 - p) * _I, np.sqrt(p) * _Z),
+    )
+
+
+def amplitude_damping(gamma: float) -> NoiseChannel:
+    """T1 relaxation (not a Pauli channel; density-matrix path only)."""
+    if not 0 <= gamma <= 1:
+        raise SimulationError("damping rate must be in [0, 1]")
+    k0 = np.array([[1, 0], [0, np.sqrt(1 - gamma)]], dtype=np.complex128)
+    k1 = np.array([[0, np.sqrt(gamma)], [0, 0]], dtype=np.complex128)
+    return NoiseChannel(name=f"amplitude_damping({gamma})", kraus=(k0, k1))
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Per-gate noise: after every gate, apply ``gate_channel`` to each
+    qubit the gate touched (a standard depolarizing-after-gate model)."""
+
+    gate_channel: NoiseChannel
+
+    def is_pauli(self) -> bool:
+        return self.gate_channel.pauli_probabilities() is not None

@@ -1,0 +1,81 @@
+"""Exact density-matrix simulation (the reference for noisy runs).
+
+Keeps the full ``2^n x 2^n`` density matrix and applies gates as
+``U rho U^dagger`` and channels as Kraus sums, using the same index
+machinery as the state-vector reference.  Exponentially sized in ``n`` —
+intended as a small-``n`` oracle for validating the trajectory sampler.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuit.circuit import Circuit, gate_unitary
+from ..errors import SimulationError
+from .channels import NoiseModel
+
+_MAX_QUBITS = 8
+
+
+def _embed_single(num_qubits: int, qubit: int, op: np.ndarray) -> np.ndarray:
+    """Embed a 2x2 operator on one qubit into the full space."""
+    full = np.array([[1.0]], dtype=np.complex128)
+    for q in reversed(range(num_qubits)):
+        full = np.kron(full, op if q == qubit else np.eye(2))
+    return full
+
+
+def simulate_density(
+    circuit: Circuit,
+    noise: NoiseModel | None = None,
+    initial: np.ndarray | None = None,
+) -> np.ndarray:
+    """Final density matrix of a (noisy) circuit run.
+
+    ``initial`` may be a state vector or a density matrix; defaults to
+    ``|0...0><0...0|``.
+    """
+    n = circuit.num_qubits
+    if n > _MAX_QUBITS:
+        raise SimulationError(
+            f"density-matrix reference is limited to {_MAX_QUBITS} qubits"
+        )
+    dim = 1 << n
+    if initial is None:
+        rho = np.zeros((dim, dim), dtype=np.complex128)
+        rho[0, 0] = 1.0
+    elif initial.ndim == 1:
+        state = initial.astype(np.complex128).reshape(dim, 1)
+        rho = state @ state.conj().T
+    else:
+        rho = initial.astype(np.complex128).copy()
+        if rho.shape != (dim, dim):
+            raise SimulationError("initial density matrix has wrong shape")
+
+    for gate in circuit.gates:
+        u = gate_unitary(gate, n)
+        rho = u @ rho @ u.conj().T
+        if noise is not None:
+            for qubit in gate.all_qubits:
+                kraus_full = [
+                    _embed_single(n, qubit, k)
+                    for k in noise.gate_channel.kraus
+                ]
+                rho = sum(k @ rho @ k.conj().T for k in kraus_full)
+    return rho
+
+
+def density_probabilities(rho: np.ndarray) -> np.ndarray:
+    """Measurement probabilities (the diagonal, clipped to real)."""
+    return np.clip(np.real(np.diag(rho)), 0.0, 1.0)
+
+
+def purity(rho: np.ndarray) -> float:
+    """``tr(rho^2)`` — 1 for pure states, 1/2^n for maximally mixed."""
+    return float(np.real(np.trace(rho @ rho)))
+
+
+def state_fidelity_with_density(state: np.ndarray, rho: np.ndarray) -> float:
+    """``<psi| rho |psi>`` for a pure target state."""
+    state = state.reshape(-1)
+    return float(np.real(state.conj() @ rho @ state))

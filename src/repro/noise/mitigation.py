@@ -1,0 +1,85 @@
+"""Zero-noise extrapolation (ZNE) on top of trajectory simulation.
+
+A simple error-mitigation layer: evaluate an observable at several *scaled*
+noise strengths (the digital analog of pulse stretching) and Richardson-
+extrapolate to zero noise.  Each scaled evaluation is one trajectory-batch
+workload, so mitigation multiplies the BQCS demand — another reason batch
+simulation throughput matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..circuit.circuit import Circuit
+from ..circuit.inputs import InputBatch
+from ..errors import SimulationError
+from .channels import NoiseModel, depolarizing
+from .trajectories import simulate_noisy_batch
+
+
+@dataclass(frozen=True)
+class ZNEResult:
+    """Mitigated estimate plus the raw scaled measurements."""
+
+    mitigated: float
+    scales: tuple[float, ...]
+    values: tuple[float, ...]
+
+    @property
+    def raw(self) -> float:
+        """The unmitigated (scale-1) value."""
+        return self.values[0]
+
+
+def richardson_extrapolate(
+    scales: Sequence[float], values: Sequence[float]
+) -> float:
+    """Polynomial extrapolation of ``values(scales)`` to scale 0.
+
+    With k points this fits the unique degree-(k-1) polynomial and
+    evaluates it at zero — the standard Richardson ZNE estimator.
+    """
+    scales = np.asarray(scales, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if scales.shape != values.shape or scales.size < 2:
+        raise SimulationError("need >= 2 matching scale/value points")
+    if len(set(scales.tolist())) != scales.size:
+        raise SimulationError("noise scales must be distinct")
+    coeffs = np.polynomial.polynomial.polyfit(scales, values, scales.size - 1)
+    return float(coeffs[0])  # the constant term is the value at scale 0
+
+
+def zero_noise_extrapolation(
+    circuit: Circuit,
+    base_error: float,
+    batch: InputBatch,
+    observable: Callable[[np.ndarray], float],
+    scales: Sequence[float] = (1.0, 2.0, 3.0),
+    num_trajectories: int = 200,
+    seed: int = 0,
+) -> ZNEResult:
+    """Mitigate a probability-level observable under depolarizing noise.
+
+    ``observable`` maps the trajectory-averaged probability block
+    ``(2^n, batch)`` to a scalar.  Noise scaling multiplies the depolarizing
+    error probability (clamped to the valid range).
+    """
+    if not 0 < base_error < 1:
+        raise SimulationError("base_error must be in (0, 1)")
+    values = []
+    for i, scale in enumerate(scales):
+        scaled = min(base_error * scale, 1.0)
+        noise = NoiseModel(depolarizing(scaled))
+        result = simulate_noisy_batch(
+            circuit, noise, batch, num_trajectories=num_trajectories,
+            seed=seed + i,
+        )
+        values.append(float(observable(result.probabilities)))
+    mitigated = richardson_extrapolate(scales, values)
+    return ZNEResult(
+        mitigated=mitigated, scales=tuple(scales), values=tuple(values)
+    )

@@ -1,0 +1,154 @@
+"""Common simulator API and result types.
+
+Every simulator (BQSim and the three baselines) implements
+:meth:`BatchSimulator.run` over one circuit and a stream of input batches.
+Results carry both the *numeric outputs* (exact amplitudes, when
+``execute=True``) and the *modeled runtime* from the calibrated device model
+(see :mod:`repro.gpu.spec`), which is what the bench harness reports —
+letting experiments run at the paper's full scale where pure-Python numerics
+would be prohibitive.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..circuit import Circuit, InputBatch, generate_batches
+from ..errors import SimulationError
+from ..gpu.engine import Timeline
+from ..gpu.power import PowerReport
+
+
+@dataclass
+class BatchSpec:
+    """Describes the input stream without materializing it."""
+
+    num_batches: int
+    batch_size: int
+    seed: int = 0
+
+    @property
+    def num_inputs(self) -> int:
+        return self.num_batches * self.batch_size
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one batch-simulation run."""
+
+    simulator: str
+    circuit_name: str
+    num_qubits: int
+    spec: BatchSpec
+    modeled_time: float  # seconds, from the device model
+    breakdown: dict[str, float] = field(default_factory=dict)
+    power: PowerReport | None = None
+    timeline: Timeline | None = None
+    outputs: list[np.ndarray] | None = None
+    wall_time: float = 0.0
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def modeled_time_ms(self) -> float:
+        return self.modeled_time * 1e3
+
+    def output_batch(self, index: int) -> np.ndarray:
+        if self.outputs is None:
+            raise SimulationError("run with execute=True to obtain amplitudes")
+        return self.outputs[index]
+
+
+class BatchSimulator(abc.ABC):
+    """Interface implemented by BQSim and the baseline simulators."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def run(
+        self,
+        circuit: Circuit,
+        spec: BatchSpec,
+        batches: Sequence[InputBatch] | None = None,
+        execute: bool = True,
+    ) -> SimulationResult:
+        """Simulate ``circuit`` over the input stream described by ``spec``.
+
+        ``batches`` overrides the generated stream; ``execute=False`` skips
+        all numerics (and array materialization) and returns model-only
+        timings, enabling paper-scale experiments.
+        """
+
+    def _resolve_batches(
+        self,
+        circuit: Circuit,
+        spec: BatchSpec,
+        batches: Sequence[InputBatch] | None,
+        execute: bool,
+    ) -> list[InputBatch] | None:
+        if not execute:
+            return None
+        if batches is None:
+            return list(
+                generate_batches(
+                    circuit.num_qubits, spec.num_batches, spec.batch_size, spec.seed
+                )
+            )
+        batches = list(batches)
+        if len(batches) != spec.num_batches:
+            raise SimulationError(
+                f"expected {spec.num_batches} batches, got {len(batches)}"
+            )
+        for batch in batches:
+            if batch.num_qubits != circuit.num_qubits:
+                raise SimulationError("batch width does not match circuit")
+            if batch.batch_size != spec.batch_size:
+                raise SimulationError("batch size does not match spec")
+        return batches
+
+
+class PlanCache:
+    """Per-simulator cache of fusion artifacts keyed by circuit identity.
+
+    Experiments sweep batch counts and ablation flags over one circuit;
+    fusion is a deterministic function of the circuit, so each simulator
+    caches its (manager, plan, ...) tuple per circuit object.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[int, tuple[object, object]] = {}
+
+    def get(self, circuit, build):
+        key = id(circuit)
+        hit = self._entries.get(key)
+        if hit is None or hit[0] is not circuit:
+            hit = (circuit, build())
+            self._entries[key] = hit
+        return hit[1]
+
+
+class _StageTimer:
+    """Context helper measuring host wall time of pipeline stages."""
+
+    def __init__(self) -> None:
+        self.wall: dict[str, float] = {}
+
+    def time(self, stage: str):
+        timer = self
+
+        class _Ctx:
+            def __enter__(self_inner):
+                self_inner.t0 = time.perf_counter()
+                return self_inner
+
+            def __exit__(self_inner, *exc):
+                timer.wall[stage] = timer.wall.get(stage, 0.0) + (
+                    time.perf_counter() - self_inner.t0
+                )
+                return False
+
+        return _Ctx()

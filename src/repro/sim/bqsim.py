@@ -1,0 +1,305 @@
+"""The BQSim simulator: the paper's three-stage pipeline.
+
+Stage 1 — BQCS-aware gate fusion on DDs (Section 3.1).
+Stage 2 — hybrid DD-to-ELL conversion (Section 3.2).
+Stage 3 — task-graph execution of ELL spMM kernels over rotating device
+buffers with overlapped H2D/D2H copies (Section 3.3, Figure 8).
+
+Ablation switches mirror Figure 13: ``fusion=False`` skips stage 1,
+``use_ell=False`` simulates straight from flat DDs on the device (each
+kernel pays a DFS walk per amplitude), ``task_graph=False`` launches every
+kernel/copy synchronously.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from ..circuit import Circuit, InputBatch
+from ..dd.export import count_edges, count_nodes
+from ..dd.manager import DDManager
+from ..ell.convert import DEFAULT_TAU, ell_from_dd
+from ..ell.format import ELLMatrix
+from ..ell.spmm import ell_spmm
+from ..errors import SimulationError
+from ..fusion.bqcs import bqcs_fusion, no_fusion_plan
+from ..fusion.plan import FusionPlan
+from ..gpu.device import VirtualGPU
+from ..gpu.power import PowerReport, cpu_power_from_utilization, gpu_power_from_work
+from ..gpu.spec import (
+    COMPLEX_BYTES,
+    CpuSpec,
+    GpuSpec,
+    ell_kernel_bytes,
+    state_block_bytes,
+)
+from .base import BatchSimulator, BatchSpec, PlanCache, SimulationResult
+
+NUM_BUFFERS = 4
+
+
+def buffer_indices(batch_index: int, kernel_index: int, kernels_per_batch: int) -> tuple[int, int]:
+    """The paper's buffer-selection formulas (Section 3.3.2): input and
+    output buffer for kernel ``I_k`` of batch ``I_B``."""
+    base = 2 * (batch_index % 2)
+    phase = (batch_index // 2) * (kernels_per_batch + 1) + kernel_index
+    return base + phase % 2, base + (phase + 1) % 2
+
+
+class BQSimSimulator(BatchSimulator):
+    """GPU-accelerated batch quantum circuit simulation with DDs."""
+
+    name = "bqsim"
+
+    def __init__(
+        self,
+        gpu: GpuSpec | None = None,
+        cpu: CpuSpec | None = None,
+        tau: int = DEFAULT_TAU,
+        fusion: bool = True,
+        use_ell: bool = True,
+        task_graph: bool = True,
+        max_fused_cost: int | None = None,
+        snapshots: bool = False,
+    ):
+        self.gpu = gpu or GpuSpec()
+        self.cpu = cpu or CpuSpec()
+        self.tau = tau
+        self.fusion = fusion
+        self.use_ell = use_ell
+        self.task_graph = task_graph
+        self.max_fused_cost = max_fused_cost
+        #: capture the full state after every fused gate (paper Section 2.1:
+        #: full-state simulation exposes the amplitudes at each gate)
+        self.snapshots = snapshots
+        self._plans = PlanCache()
+
+    # -- pipeline stages ------------------------------------------------------
+
+    def plan_circuit(self, mgr: DDManager, circuit: Circuit) -> FusionPlan:
+        if self.fusion:
+            return bqcs_fusion(mgr, circuit, max_cost=self.max_fused_cost)
+        return no_fusion_plan(mgr, circuit)
+
+    def _prepare(self, circuit: Circuit) -> dict:
+        """Stages 1 and 2 (fusion + conversion analysis), cached per circuit
+        since both are deterministic one-time work."""
+
+        def build() -> dict:
+            mgr = DDManager(circuit.num_qubits)
+            plan = self.plan_circuit(mgr, circuit)
+            fused_nodes = sum(count_nodes(g.dd) for g in plan.gates)
+            rows = 1 << plan.num_qubits
+            infos: list[dict] = []
+            for fused in plan.gates:
+                edges = count_edges(fused.dd)
+                route = "cpu" if edges > self.tau else "gpu"
+                if route == "gpu":
+                    t = self.gpu.conversion_time(rows, fused.cost, edges)
+                else:
+                    t = self.cpu.conversion_time(rows, fused.cost, edges)
+                if not self.use_ell:
+                    t = 0.0  # ablation: simulate straight from the flat DD
+                infos.append(
+                    {"route": route, "edges": edges, "width": fused.cost, "time": t}
+                )
+            return {
+                "mgr": mgr,
+                "plan": plan,
+                "fused_nodes": fused_nodes,
+                "conv_infos": infos,
+                "ells": None,
+            }
+
+        return self._plans.get(circuit, build)
+
+    def _materialize_ells(self, prepared: dict) -> list[ELLMatrix]:
+        if prepared["ells"] is None:
+            plan: FusionPlan = prepared["plan"]
+            prepared["ells"] = [
+                ell_from_dd(
+                    fused.dd, plan.num_qubits, max_nzr=fused.cost, tau=self.tau
+                ).ell
+                for fused in plan.gates
+            ]
+        return prepared["ells"]
+
+    # -- main entry point -------------------------------------------------------
+
+    def run(
+        self,
+        circuit: Circuit,
+        spec: BatchSpec,
+        batches: Sequence[InputBatch] | None = None,
+        execute: bool = True,
+    ) -> SimulationResult:
+        wall_start = time.perf_counter()
+        n = circuit.num_qubits
+
+        # stages 1 and 2: fusion + conversion (one-time, cached per circuit)
+        prepared = self._prepare(circuit)
+        plan: FusionPlan = prepared["plan"]
+        conv_infos = prepared["conv_infos"]
+        t_fusion = self.cpu.fusion_time(len(circuit.gates), prepared["fused_nodes"])
+        t_conversion = sum(info["time"] for info in conv_infos)
+        ells = self._materialize_ells(prepared) if execute else None
+
+        # stage 3: task-graph execution
+        batches = self._resolve_batches(circuit, spec, batches, execute)
+        device = VirtualGPU(self.gpu, mode="graph" if self.task_graph else "stream")
+        work = {"macs": 0.0, "bytes": 0.0}
+        outputs, snapshots = self._simulate(
+            device, plan, conv_infos, ells, batches, spec, work
+        )
+        timeline = device.run()
+        t_sim = timeline.makespan
+
+        total = t_fusion + t_conversion + t_sim
+        host_busy = t_fusion + sum(
+            info["time"] for info in conv_infos if info["route"] == "cpu"
+        )
+        power = PowerReport(
+            gpu_watts=gpu_power_from_work(
+                work["macs"], work["bytes"], t_sim, self.gpu
+            ),
+            cpu_watts=cpu_power_from_utilization(
+                min(host_busy / total, 1.0) if total > 0 else 0.0, self.cpu
+            ),
+        )
+        return SimulationResult(
+            simulator=self.name,
+            circuit_name=circuit.name,
+            num_qubits=n,
+            spec=spec,
+            modeled_time=total,
+            breakdown={
+                "fusion": t_fusion,
+                "conversion": t_conversion,
+                "simulation": t_sim,
+            },
+            power=power,
+            timeline=timeline,
+            outputs=outputs,
+            wall_time=time.perf_counter() - wall_start,
+            stats={
+                "fused_gates": len(plan),
+                "total_cost": plan.total_cost,
+                "macs": plan.macs(spec.num_inputs),
+                "conversion_routes": [i["route"] for i in conv_infos],
+                "plan": plan,
+                "overlap_fraction": timeline.overlap_fraction(),
+                "snapshots": snapshots,
+            },
+        )
+
+    # -- task-graph construction -------------------------------------------------
+
+    def _simulate(
+        self,
+        device: VirtualGPU,
+        plan: FusionPlan,
+        conv_infos: list[dict],
+        ells: list[ELLMatrix] | None,
+        batches: list[InputBatch] | None,
+        spec: BatchSpec,
+        work: dict | None = None,
+    ) -> tuple[list[np.ndarray] | None, list[list[np.ndarray]] | None]:
+        n = plan.num_qubits
+        rows = 1 << n
+        kernels = max(len(plan), 1)
+        block = state_block_bytes(n, spec.batch_size)
+        if NUM_BUFFERS * block > device.spec.memory_bytes:
+            raise SimulationError(
+                f"{NUM_BUFFERS} state buffers of {block} B exceed device "
+                f"memory ({device.spec.memory_bytes} B); reduce the batch "
+                "size or shard across devices"
+            )
+        executing = batches is not None
+        buffers = (
+            [device.alloc(f"D[{i}]", block) for i in range(NUM_BUFFERS)]
+            if executing
+            else None
+        )
+
+        writer = [None] * NUM_BUFFERS  # last task writing each buffer
+        readers: list[list] = [[] for _ in range(NUM_BUFFERS)]
+        outputs: list[np.ndarray] | None = [] if executing else None
+        snapshots: list[list[np.ndarray]] | None = (
+            [] if (self.snapshots and executing) else None
+        )
+        dfs_penalty = 1.0 if self.use_ell else float(n)
+
+        for ib in range(spec.num_batches):
+            in_idx, _ = buffer_indices(ib, 0, kernels)
+            # H2D: write hazard on the input buffer (WAR + WAW)
+            deps = readers[in_idx] + ([writer[in_idx]] if writer[in_idx] else [])
+            if executing:
+                handle = device.h2d(
+                    buffers[in_idx], batches[ib].states, deps, name=f"h2d:b{ib}"
+                )
+            else:
+                handle = device.raw_task(
+                    f"h2d:b{ib}", "h2d", self.gpu.copy_time(block), deps
+                )
+            writer[in_idx], readers[in_idx] = handle, []
+            if snapshots is not None:
+                snapshots.append([])
+
+            for ik in range(len(plan.gates)):
+                src, dst = buffer_indices(ib, ik, kernels)
+                width = conv_infos[ik]["width"]
+                ell_bytes = rows * width * (COMPLEX_BYTES + 8)
+                macs = rows * width * spec.batch_size
+                traffic = ell_kernel_bytes(n, spec.batch_size, width, ell_bytes)
+                duration = self.gpu.kernel_time(macs, traffic) * dfs_penalty
+                if work is not None:
+                    work["macs"] += macs
+                    work["bytes"] += traffic
+                deps = [writer[src]] + readers[dst]
+                if writer[dst] is not None:
+                    deps.append(writer[dst])
+                if executing:
+                    ell = ells[ik]
+                    src_buf, dst_buf = buffers[src], buffers[dst]
+
+                    def body(ell=ell, src_buf=src_buf, dst_buf=dst_buf):
+                        dst_buf.array = ell_spmm(ell, src_buf.require())
+
+                    handle = device.kernel(
+                        f"k{ik}:b{ib}", body, deps=deps, duration=duration
+                    )
+                else:
+                    handle = device.raw_task(f"k{ik}:b{ib}", "compute", duration, deps)
+                readers[src].append(handle)
+                writer[dst] = handle
+                readers[dst] = []
+                if self.snapshots:
+                    # per-gate full-state capture: an extra D2H per kernel
+                    if executing:
+                        snap_handle, snap = device.d2h(
+                            buffers[dst], [handle], name=f"snap:k{ik}:b{ib}"
+                        )
+                        snapshots[ib].append(snap)
+                    else:
+                        snap_handle = device.raw_task(
+                            f"snap:k{ik}:b{ib}", "d2h",
+                            self.gpu.copy_time(block), [handle],
+                        )
+                    readers[dst].append(snap_handle)
+
+            final_idx, _ = buffer_indices(ib, len(plan.gates), kernels)
+            deps = [writer[final_idx]] if writer[final_idx] else []
+            if executing:
+                handle, snapshot = device.d2h(
+                    buffers[final_idx], deps, name=f"d2h:b{ib}"
+                )
+                outputs.append(snapshot)
+            else:
+                handle = device.raw_task(
+                    f"d2h:b{ib}", "d2h", self.gpu.copy_time(block), deps
+                )
+            readers[final_idx].append(handle)
+        return outputs, snapshots

@@ -1,0 +1,54 @@
+"""Cross-validation of simulators against the dense reference.
+
+The paper validates BQSim by "comparing our simulation results with the
+baselines, where we observe identical state amplitudes in the output";
+:func:`cross_validate` does the same across all four simulators plus the
+dense NumPy reference.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..circuit import Circuit, InputBatch, generate_batches
+from ..errors import SimulationError
+from .base import BatchSimulator, BatchSpec
+from .statevector import simulate_batch
+
+
+def cross_validate(
+    circuit: Circuit,
+    spec: BatchSpec,
+    simulators: Sequence[BatchSimulator],
+    batches: Sequence[InputBatch] | None = None,
+    atol: float = 1e-8,
+) -> dict[str, float]:
+    """Run every simulator on the same inputs and compare amplitudes.
+
+    Returns the max absolute deviation from the dense reference per
+    simulator; raises :class:`SimulationError` if any exceeds ``atol``.
+    """
+    if batches is None:
+        batches = list(
+            generate_batches(
+                circuit.num_qubits, spec.num_batches, spec.batch_size, spec.seed
+            )
+        )
+    references = [simulate_batch(circuit, batch) for batch in batches]
+    deviations: dict[str, float] = {}
+    for simulator in simulators:
+        result = simulator.run(circuit, spec, batches=batches, execute=True)
+        if result.outputs is None:
+            raise SimulationError(f"{simulator.name} returned no amplitudes")
+        worst = 0.0
+        for got, ref in zip(result.outputs, references):
+            worst = max(worst, float(np.abs(got - ref).max()))
+        deviations[result.simulator] = worst
+        if worst > atol:
+            raise SimulationError(
+                f"{result.simulator} deviates from the dense reference by "
+                f"{worst:.2e} (> {atol:.0e}) on {circuit.name}"
+            )
+    return deviations

@@ -1,0 +1,27 @@
+"""Quantum-program testing on BQCS: mutations and a differential fuzzer."""
+
+from .fuzzer import DifferentialFuzzer, FuzzFinding, FuzzReport
+from .mutations import (
+    BREAKING,
+    PRESERVING,
+    commute_disjoint_pair,
+    drop_gate,
+    insert_identity_pair,
+    perturb_angle,
+    rewrite_gate,
+    swap_operands,
+)
+
+__all__ = [
+    "BREAKING",
+    "commute_disjoint_pair",
+    "DifferentialFuzzer",
+    "drop_gate",
+    "FuzzFinding",
+    "FuzzReport",
+    "insert_identity_pair",
+    "perturb_angle",
+    "PRESERVING",
+    "rewrite_gate",
+    "swap_operands",
+]

@@ -1,0 +1,127 @@
+"""A QDiff-style differential fuzzer driven by batch simulation.
+
+The loop: mutate a seed circuit, simulate seed and mutant over a shared
+random input batch with BQSim, and compare.  Semantics-preserving mutants
+that *deviate* expose simulator/optimizer bugs; semantics-breaking mutants
+that go *undetected* expose oracle blind spots.  Because each comparison is
+one batch simulation, the oracle cost is exactly the BQCS workload the
+paper accelerates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..circuit.circuit import Circuit
+from ..circuit.inputs import random_batch
+from ..errors import SimulationError
+from ..sim.base import BatchSpec
+from ..sim.bqsim import BQSimSimulator
+from .mutations import BREAKING, PRESERVING, MutationFn
+
+
+@dataclass
+class FuzzFinding:
+    """One anomalous (circuit, mutant) pair."""
+
+    kind: str  # "preserving-deviation" or "breaking-undetected"
+    mutation: str
+    iteration: int
+    deviation: float
+    mutant: Circuit
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate fuzzing outcome."""
+
+    iterations: int
+    preserving_checked: int = 0
+    breaking_checked: int = 0
+    breaking_detected: int = 0
+    findings: list[FuzzFinding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no preserving mutant deviated."""
+        return not any(f.kind == "preserving-deviation" for f in self.findings)
+
+    @property
+    def detection_rate(self) -> float:
+        if self.breaking_checked == 0:
+            return 1.0
+        return self.breaking_detected / self.breaking_checked
+
+
+class DifferentialFuzzer:
+    """Batch-simulation differential fuzzing of one seed circuit."""
+
+    def __init__(
+        self,
+        batch_size: int = 32,
+        atol: float = 1e-8,
+        detect_threshold: float = 1e-6,
+        simulator: BQSimSimulator | None = None,
+    ):
+        self.batch_size = batch_size
+        self.atol = atol
+        self.detect_threshold = detect_threshold
+        self.simulator = simulator or BQSimSimulator()
+
+    def _deviation(self, a: Circuit, b: Circuit, seed: int) -> float:
+        """Max amplitude deviation (up to global phase) over one batch."""
+        batch = random_batch(a.num_qubits, self.batch_size, rng=seed)
+        spec = BatchSpec(num_batches=1, batch_size=self.batch_size)
+        out_a = self.simulator.run(a, spec, batches=[batch]).outputs[0]
+        out_b = self.simulator.run(b, spec, batches=[batch]).outputs[0]
+        anchor = np.unravel_index(np.argmax(np.abs(out_a)), out_a.shape)
+        if abs(out_b[anchor]) < 1e-14:
+            return float("inf")
+        phase = out_a[anchor] / out_b[anchor]
+        if abs(abs(phase) - 1.0) > 1e-6:
+            return float("inf")
+        return float(np.abs(out_a - phase * out_b).max())
+
+    def run(
+        self,
+        seed_circuit: Circuit,
+        iterations: int = 20,
+        seed: int = 0,
+        preserving: dict[str, MutationFn] | None = None,
+        breaking: dict[str, MutationFn] | None = None,
+    ) -> FuzzReport:
+        """Alternate preserving and breaking mutations for ``iterations``."""
+        if iterations < 1:
+            raise SimulationError("need at least one fuzzing iteration")
+        preserving = PRESERVING if preserving is None else preserving
+        breaking = BREAKING if breaking is None else breaking
+        rng = np.random.default_rng(seed)
+        report = FuzzReport(iterations=iterations)
+        for k in range(iterations):
+            if preserving and (k % 2 == 0 or not breaking):
+                name = list(preserving)[int(rng.integers(len(preserving)))]
+                mutant = preserving[name](seed_circuit, rng)
+                deviation = self._deviation(seed_circuit, mutant, seed + k)
+                report.preserving_checked += 1
+                if deviation > self.atol:
+                    report.findings.append(
+                        FuzzFinding(
+                            "preserving-deviation", name, k, deviation, mutant
+                        )
+                    )
+            elif breaking:
+                name = list(breaking)[int(rng.integers(len(breaking)))]
+                mutant = breaking[name](seed_circuit, rng)
+                deviation = self._deviation(seed_circuit, mutant, seed + k)
+                report.breaking_checked += 1
+                if deviation > self.detect_threshold:
+                    report.breaking_detected += 1
+                else:
+                    report.findings.append(
+                        FuzzFinding(
+                            "breaking-undetected", name, k, deviation, mutant
+                        )
+                    )
+        return report

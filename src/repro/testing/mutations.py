@@ -1,0 +1,163 @@
+"""Circuit mutation operators for fuzz testing.
+
+QDiff-style testing ([63] in the paper) mutates quantum programs and checks
+the outputs of supposedly-equivalent variants over many inputs.  Mutations
+come in two flavors:
+
+* **semantics-preserving** — insert an identity pair, rewrite a gate into
+  an equivalent sequence, commute disjoint neighbors: the mutant must stay
+  equivalent, so any detected deviation is a *simulator or optimizer bug*;
+* **semantics-breaking** — drop a gate, perturb an angle, swap operands:
+  the mutant should be distinguishable, so a fuzzer that *fails* to detect
+  it has an oracle weakness (or hit an unlucky input batch).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..circuit.circuit import Circuit
+from ..circuit.gates import Gate
+from ..errors import CircuitError
+
+MutationFn = Callable[[Circuit, np.random.Generator], Circuit]
+
+
+def _copy(circuit: Circuit) -> Circuit:
+    return Circuit(circuit.num_qubits, list(circuit.gates), name=circuit.name)
+
+
+# -- semantics-preserving -----------------------------------------------------
+
+def insert_identity_pair(circuit: Circuit, rng: np.random.Generator) -> Circuit:
+    """Insert ``g . g^-1`` at a random position."""
+    out = _copy(circuit)
+    position = int(rng.integers(len(out) + 1))
+    qubit = int(rng.integers(out.num_qubits))
+    choices = ("h", "x", "s", "t", "sx")
+    name = choices[int(rng.integers(len(choices)))]
+    gate = Gate.make(name, [qubit])
+    out.gates[position:position] = [gate, gate.dagger()]
+    return out
+
+
+def rewrite_gate(circuit: Circuit, rng: np.random.Generator) -> Circuit:
+    """Replace one gate with an equivalent sequence (z = s s, x = h z h,
+    cz = h cx h, rz = two half rotations)."""
+    out = _copy(circuit)
+    if not out.gates:
+        return out
+    rewrites: dict[str, Callable[[Gate], list[Gate]]] = {
+        "z": lambda g: [Gate("s", g.qubits, (), g.controls)] * 2
+        if not g.controls
+        else [g],
+        "x": lambda g: [
+            Gate("h", g.qubits), Gate("z", g.qubits), Gate("h", g.qubits)
+        ]
+        if not g.controls
+        else [
+            Gate("h", g.qubits),
+            Gate("z", g.qubits, (), g.controls),
+            Gate("h", g.qubits),
+        ],
+        "rz": lambda g: [
+            Gate("rz", g.qubits, (g.params[0] / 2,), g.controls),
+            Gate("rz", g.qubits, (g.params[0] / 2,), g.controls),
+        ],
+        "ry": lambda g: [
+            Gate("ry", g.qubits, (g.params[0] / 2,), g.controls),
+            Gate("ry", g.qubits, (g.params[0] / 2,), g.controls),
+        ],
+        "swap": lambda g: [
+            Gate("x", (g.qubits[1],), (), (g.qubits[0],)),
+            Gate("x", (g.qubits[0],), (), (g.qubits[1],)),
+            Gate("x", (g.qubits[1],), (), (g.qubits[0],)),
+        ]
+        if not g.controls
+        else [g],
+    }
+    candidates = [
+        i for i, g in enumerate(out.gates) if g.name in rewrites
+    ]
+    if not candidates:
+        return out
+    index = candidates[int(rng.integers(len(candidates)))]
+    gate = out.gates[index]
+    out.gates[index : index + 1] = rewrites[gate.name](gate)
+    return out
+
+
+def commute_disjoint_pair(circuit: Circuit, rng: np.random.Generator) -> Circuit:
+    """Swap a random adjacent pair acting on disjoint qubits."""
+    out = _copy(circuit)
+    candidates = [
+        i
+        for i in range(len(out) - 1)
+        if not set(out.gates[i].all_qubits) & set(out.gates[i + 1].all_qubits)
+    ]
+    if candidates:
+        i = candidates[int(rng.integers(len(candidates)))]
+        out.gates[i], out.gates[i + 1] = out.gates[i + 1], out.gates[i]
+    return out
+
+
+# -- semantics-breaking --------------------------------------------------------
+
+def drop_gate(circuit: Circuit, rng: np.random.Generator) -> Circuit:
+    """Delete one random gate."""
+    out = _copy(circuit)
+    if out.gates:
+        del out.gates[int(rng.integers(len(out)))]
+    return out
+
+
+def perturb_angle(
+    circuit: Circuit, rng: np.random.Generator, magnitude: float = 0.05
+) -> Circuit:
+    """Nudge one rotation angle (or inject a small rz if none exists)."""
+    out = _copy(circuit)
+    candidates = [i for i, g in enumerate(out.gates) if g.params]
+    if candidates:
+        i = candidates[int(rng.integers(len(candidates)))]
+        gate = out.gates[i]
+        params = list(gate.params)
+        params[0] += magnitude
+        out.gates[i] = Gate(gate.name, gate.qubits, tuple(params), gate.controls)
+    else:
+        out.rz(magnitude, int(rng.integers(out.num_qubits)))
+    return out
+
+
+def swap_operands(circuit: Circuit, rng: np.random.Generator) -> Circuit:
+    """Reverse the operands of a random two-operand gate (cx control/target
+    exchange changes semantics; symmetric gates are skipped)."""
+    out = _copy(circuit)
+    candidates = [
+        i
+        for i, g in enumerate(out.gates)
+        if len(g.controls) == 1 and g.name == "x"
+    ]
+    if candidates:
+        i = candidates[int(rng.integers(len(candidates)))]
+        gate = out.gates[i]
+        out.gates[i] = Gate("x", (gate.controls[0],), (), (gate.qubits[0],))
+    else:
+        return drop_gate(out, rng)
+    return out
+
+
+PRESERVING: dict[str, MutationFn] = {
+    "insert_identity_pair": insert_identity_pair,
+    "rewrite_gate": rewrite_gate,
+    "commute_disjoint_pair": commute_disjoint_pair,
+}
+
+BREAKING: dict[str, MutationFn] = {
+    "drop_gate": drop_gate,
+    "perturb_angle": perturb_angle,
+    "swap_operands": swap_operands,
+}

@@ -1,0 +1,24 @@
+"""Circuit transpilation: composable passes and a verifying pass manager."""
+
+from .manager import PassManager, PassRecord, circuits_equivalent, optimize
+from .passes import (
+    PASSES,
+    cancel_inverse_pairs,
+    commute_diagonals_right,
+    decompose_to_basis,
+    merge_rotations,
+    remove_identities,
+)
+
+__all__ = [
+    "cancel_inverse_pairs",
+    "circuits_equivalent",
+    "commute_diagonals_right",
+    "decompose_to_basis",
+    "merge_rotations",
+    "optimize",
+    "PASSES",
+    "PassManager",
+    "PassRecord",
+    "remove_identities",
+]

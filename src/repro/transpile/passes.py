@@ -1,0 +1,227 @@
+"""Circuit transformation passes.
+
+A small, composable transpiler used by the verification/testing examples
+and as a substrate for generating "equivalent but different" circuits — the
+inputs the paper's motivating BQCS applications (differential testing,
+equivalence checking) feed to a batch simulator.
+
+Every pass is a pure function ``Circuit -> Circuit`` registered in
+``PASSES``; :class:`~repro.transpile.manager.PassManager` chains them and
+can verify semantic preservation after every step.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..circuit.circuit import Circuit
+from ..circuit.gates import Gate
+from ..errors import CircuitError
+
+_ROTATIONS = {"rx", "ry", "rz", "p", "rzz", "rxx", "ryy"}
+_SELF_INVERSE = {"h", "x", "y", "z", "swap", "id"}
+_INVERSE_PAIRS = {("s", "sdg"), ("t", "tdg"), ("sx", "sxdg")}
+_TWO_PI = 2 * math.pi
+
+
+def _same_operands(a: Gate, b: Gate) -> bool:
+    return a.qubits == b.qubits and a.controls == b.controls
+
+
+def _cancels(a: Gate, b: Gate) -> bool:
+    if not _same_operands(a, b):
+        return False
+    if a.name == b.name and a.name in _SELF_INVERSE:
+        return True
+    pair = (a.name, b.name)
+    return pair in _INVERSE_PAIRS or tuple(reversed(pair)) in _INVERSE_PAIRS
+
+
+def cancel_inverse_pairs(circuit: Circuit) -> Circuit:
+    """Remove adjacent gate pairs that multiply to the identity.
+
+    Iterates to a fixpoint so cascading cancellations (``x x x x``) vanish.
+    """
+    gates = list(circuit.gates)
+    changed = True
+    while changed:
+        changed = False
+        out: list[Gate] = []
+        for gate in gates:
+            if out and _cancels(out[-1], gate):
+                out.pop()
+                changed = True
+            else:
+                out.append(gate)
+        gates = out
+    return Circuit(circuit.num_qubits, gates, name=circuit.name)
+
+
+def merge_rotations(circuit: Circuit) -> Circuit:
+    """Fold adjacent same-axis rotations on identical operands.
+
+    Angles summing to a multiple of 2*pi drop the gate entirely (all the
+    supported rotations are 4*pi-periodic but 2*pi-periodic up to global
+    phase only for ``p``; therefore only exact zero sums are dropped for
+    the others).
+    """
+    out: list[Gate] = []
+    for gate in circuit.gates:
+        if (
+            out
+            and gate.name in _ROTATIONS
+            and out[-1].name == gate.name
+            and _same_operands(out[-1], gate)
+        ):
+            total = out[-1].params[0] + gate.params[0]
+            out.pop()
+            if gate.name == "p":
+                total = math.remainder(total, _TWO_PI)
+            if abs(total) > 1e-12:
+                out.append(Gate(gate.name, gate.qubits, (total,), gate.controls))
+            continue
+        out.append(gate)
+    return Circuit(circuit.num_qubits, out, name=circuit.name)
+
+
+def commute_diagonals_right(circuit: Circuit) -> Circuit:
+    """Bubble diagonal gates rightward past gates on disjoint qubits.
+
+    Normalizes gate order so the cancellation/merge passes see more
+    adjacent pairs; a purely structural, semantics-preserving reordering.
+    """
+    gates = list(circuit.gates)
+    for i in range(len(gates) - 2, -1, -1):
+        j = i
+        while (
+            j + 1 < len(gates)
+            and gates[j].is_diagonal()
+            and not gates[j + 1].is_diagonal()
+            and not (set(gates[j].all_qubits) & set(gates[j + 1].all_qubits))
+        ):
+            gates[j], gates[j + 1] = gates[j + 1], gates[j]
+            j += 1
+    return Circuit(circuit.num_qubits, gates, name=circuit.name)
+
+
+#: decompositions into the {h, rz, cx} basis (plus phase gates)
+_BASIS = {"h", "rz", "x"}
+
+
+def decompose_to_basis(circuit: Circuit) -> Circuit:
+    """Rewrite into {h, rz, cx, ccx} (Z-rotations + Hadamard + controlled X).
+
+    Global phases are dropped, so the result is equivalent only up to phase
+    — exactly the equivalence class simulative checking works with.
+    """
+    out = Circuit(circuit.num_qubits, name=f"{circuit.name}_basis")
+    for gate in circuit.gates:
+        _emit_basis(out, gate)
+    return out
+
+
+def _emit_ry(out: Circuit, theta: float, q: int) -> None:
+    """ry(theta) up to global phase: rz(-pi/2) h rz(theta) h rz(pi/2)."""
+    out.rz(-math.pi / 2, q)
+    out.h(q)
+    out.rz(theta, q)
+    out.h(q)
+    out.rz(math.pi / 2, q)
+
+
+def _emit_basis(out: Circuit, gate: Gate) -> None:
+    name = gate.name
+    ctr = gate.controls
+    q = gate.qubits[0] if gate.qubits else None
+
+    # already in the basis (controlled-x of any arity included)
+    if name == "x" or (name == "h" and not ctr) or (name == "rz" and not ctr):
+        out.append(gate)
+        return
+    # controlled-z via h . c..x . h on the target
+    if name == "z" and ctr:
+        out.h(q)
+        out.append(Gate("x", (q,), (), ctr))
+        out.h(q)
+        return
+    # controlled rotations/phases are kept (already DD/simulator friendly)
+    if ctr:
+        out.append(gate)
+        return
+
+    phase_angles = {
+        "z": math.pi, "s": math.pi / 2, "sdg": -math.pi / 2,
+        "t": math.pi / 4, "tdg": -math.pi / 4, "p": None, "u1": None,
+    }
+    if name in phase_angles:
+        angle = phase_angles[name]
+        out.rz(gate.params[0] if angle is None else angle, q)
+        return
+    if name == "id":
+        return
+    if name == "y":
+        out.rz(math.pi, q)
+        out.x(q)
+        return
+    if name == "rx":
+        out.h(q)
+        out.rz(gate.params[0], q)
+        out.h(q)
+        return
+    if name == "ry":
+        _emit_ry(out, gate.params[0], q)
+        return
+    if name == "sx":
+        out.h(q)
+        out.rz(math.pi / 2, q)
+        out.h(q)
+        return
+    if name == "sxdg":
+        out.h(q)
+        out.rz(-math.pi / 2, q)
+        out.h(q)
+        return
+    if name == "swap":
+        a, b = gate.qubits
+        out.cx(a, b)
+        out.cx(b, a)
+        out.cx(a, b)
+        return
+    if name == "rzz":
+        a, b = gate.qubits
+        out.cx(a, b)
+        out.rz(gate.params[0], b)
+        out.cx(a, b)
+        return
+    if name in ("u3", "u", "u2"):
+        if name == "u2":
+            theta, (phi, lam) = math.pi / 2, gate.params
+        else:
+            theta, phi, lam = gate.params
+        out.rz(lam, q)
+        _emit_ry(out, theta, q)
+        out.rz(phi, q)
+        return
+    raise CircuitError(f"no basis decomposition for {gate}")
+
+
+def remove_identities(circuit: Circuit) -> Circuit:
+    """Drop explicit identity gates and zero-angle rotations."""
+    out = [
+        gate
+        for gate in circuit.gates
+        if not (
+            gate.name == "id"
+            or (gate.name in _ROTATIONS and abs(gate.params[0]) < 1e-12)
+        )
+    ]
+    return Circuit(circuit.num_qubits, out, name=circuit.name)
+
+
+PASSES = {
+    "cancel_inverse_pairs": cancel_inverse_pairs,
+    "merge_rotations": merge_rotations,
+    "commute_diagonals_right": commute_diagonals_right,
+    "decompose_to_basis": decompose_to_basis,
+    "remove_identities": remove_identities,
+}

@@ -1,0 +1,10 @@
+"""Verification applications built on BQCS: equivalence checking."""
+
+from .equivalence import EquivalenceResult, check, check_exact, check_simulative
+
+__all__ = [
+    "check",
+    "check_exact",
+    "check_simulative",
+    "EquivalenceResult",
+]

@@ -1,0 +1,26 @@
+"""Variational-algorithm driver: Hamiltonians, ansaetze, VQE loop."""
+
+from .ansatz import Ansatz
+from .hamiltonians import PauliSum, heisenberg_xxz, maxcut, transverse_field_ising
+from .vqe import (
+    VQEResult,
+    energy_batch,
+    energy_of,
+    landscape,
+    run_rotosolve,
+    run_vqe,
+)
+
+__all__ = [
+    "Ansatz",
+    "energy_batch",
+    "energy_of",
+    "heisenberg_xxz",
+    "landscape",
+    "maxcut",
+    "PauliSum",
+    "run_rotosolve",
+    "run_vqe",
+    "transverse_field_ising",
+    "VQEResult",
+]

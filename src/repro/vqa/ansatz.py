@@ -1,0 +1,63 @@
+"""Parameterized ansatz circuits for variational algorithms.
+
+An :class:`Ansatz` is a template that binds a flat parameter vector into a
+concrete :class:`~repro.circuit.circuit.Circuit`; the VQE driver evaluates
+*many parameter candidates per iteration* by batching them — the
+variational-workload pattern of the paper's related work ([29]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..circuit.circuit import Circuit
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Ansatz:
+    """Hardware-efficient RY/RZ + CX-chain ansatz."""
+
+    num_qubits: int
+    reps: int = 2
+    use_rz: bool = True
+
+    @property
+    def num_parameters(self) -> int:
+        per_layer = self.num_qubits * (2 if self.use_rz else 1)
+        return per_layer * (self.reps + 1)
+
+    def bind(self, parameters: Sequence[float]) -> Circuit:
+        """Instantiate the circuit for one parameter vector."""
+        parameters = np.asarray(parameters, dtype=float).reshape(-1)
+        if parameters.shape[0] != self.num_parameters:
+            raise SimulationError(
+                f"ansatz takes {self.num_parameters} parameters, got "
+                f"{parameters.shape[0]}"
+            )
+        circuit = Circuit(self.num_qubits, name=f"ansatz_n{self.num_qubits}")
+        cursor = 0
+
+        def rotation_layer() -> None:
+            nonlocal cursor
+            for q in range(self.num_qubits):
+                circuit.ry(float(parameters[cursor]), q)
+                cursor += 1
+            if self.use_rz:
+                for q in range(self.num_qubits):
+                    circuit.rz(float(parameters[cursor]), q)
+                    cursor += 1
+
+        for _ in range(self.reps):
+            rotation_layer()
+            for q in range(self.num_qubits - 1):
+                circuit.cx(q, q + 1)
+        rotation_layer()
+        return circuit
+
+    def random_parameters(self, rng: np.random.Generator | int | None = None) -> np.ndarray:
+        rng = np.random.default_rng(rng)
+        return rng.uniform(-np.pi, np.pi, self.num_parameters)

@@ -1,0 +1,73 @@
+"""API quality gates: documentation and export hygiene for every package."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro.circuit",
+    "repro.dd",
+    "repro.ell",
+    "repro.fusion",
+    "repro.gpu",
+    "repro.sim",
+    "repro.bench",
+    "repro.transpile",
+    "repro.verify",
+    "repro.noise",
+    "repro.vqa",
+    "repro.testing",
+]
+
+
+def iter_modules():
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        yield package
+        for info in pkgutil.walk_packages(package.__path__, package_name + "."):
+            yield importlib.import_module(info.name)
+
+
+def test_every_module_has_a_docstring():
+    undocumented = [m.__name__ for m in iter_modules() if not (m.__doc__ or "").strip()]
+    assert not undocumented, undocumented
+
+
+def test_every_public_symbol_in_all_exists():
+    broken = []
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        for name in getattr(package, "__all__", []):
+            if not hasattr(package, name):
+                broken.append(f"{package_name}.{name}")
+    assert not broken, broken
+
+
+def test_public_functions_and_classes_are_documented():
+    undocumented = []
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        for name in getattr(package, "__all__", []):
+            obj = getattr(package, name)
+            if inspect.isfunction(obj) or inspect.isclass(obj):
+                if not (inspect.getdoc(obj) or "").strip():
+                    undocumented.append(f"{package_name}.{name}")
+    assert not undocumented, undocumented
+
+
+def test_all_lists_are_sorted_for_readability():
+    unsorted = []
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        exported = list(getattr(package, "__all__", []))
+        if exported != sorted(exported, key=str.lower):
+            unsorted.append(package_name)
+    assert not unsorted, unsorted
+
+
+def test_package_version():
+    assert repro.__version__

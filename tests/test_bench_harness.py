@@ -1,0 +1,83 @@
+"""Tests for the bench harness plumbing: tables, workloads, runner."""
+
+import math
+
+import pytest
+
+from repro.bench import (
+    PAPER_SUITE,
+    PAPER_TABLE2_MS,
+    PAPER_TABLE3_COST,
+    PAPER_TABLE4_MS,
+    SMALL_SUITE,
+    Workload,
+    geomean,
+    make_cuquantum_variants,
+    make_simulators,
+    render_table,
+    run_suite,
+)
+from repro.bench.tables import fmt_ms, fmt_speedup
+from repro.sim import BatchSpec
+
+
+def test_geomean_matches_paper_definition():
+    assert geomean([1.0, 100.0]) == pytest.approx(10.0)
+    assert geomean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+    assert math.isnan(geomean([]))
+    # non-finite and non-positive entries are ignored
+    assert geomean([4.0, float("inf"), -1.0]) == pytest.approx(4.0)
+
+
+def test_format_helpers():
+    assert fmt_ms(1.5) == "1500"
+    assert fmt_ms(float("inf")) == "-"
+    assert fmt_speedup(3.14159) == "3.14x"
+    assert fmt_speedup(float("nan")) == "-"
+
+
+def test_render_table_aligns_columns():
+    text = render_table(["a", "bbb"], [[1, 2], [333, 4]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert len(set(len(line) for line in lines)) == 1
+
+
+def test_paper_suite_matches_published_tables():
+    keys = {w.key for w in PAPER_SUITE}
+    assert keys == set(PAPER_TABLE2_MS)
+    assert keys == set(PAPER_TABLE3_COST)
+    assert keys == set(PAPER_TABLE4_MS)
+    assert len(PAPER_SUITE) == 16
+
+
+def test_workload_builds_named_circuit():
+    workload = Workload("vqe", 12)
+    circuit = workload.build()
+    assert circuit.num_qubits == 12
+    assert len(circuit) == 58  # Table 2
+    assert "vqe" in workload.label
+
+
+def test_run_suite_produces_record_grid():
+    spec = BatchSpec(num_batches=1, batch_size=4)
+    seen = []
+    records = run_suite(
+        SMALL_SUITE[:2],
+        spec,
+        make_simulators(),
+        execute=False,
+        progress=seen.append,
+    )
+    assert len(records) == 2
+    for per_sim in records.values():
+        assert set(per_sim) == {"cuquantum", "qiskit-aer", "flatdd", "bqsim"}
+        for record in per_sim.values():
+            assert record.modeled_ms > 0
+    assert len(seen) == 8  # 2 workloads x 4 simulators
+
+
+def test_cuquantum_variants_named():
+    variants = make_cuquantum_variants()
+    assert set(variants) == {"cuquantum+Q", "cuquantum+B"}
+    assert variants["cuquantum+B"].name == "cuquantum+B"

@@ -1,0 +1,61 @@
+"""Tests for the report writer and the multi-GPU scaling experiment."""
+
+import json
+
+import pytest
+
+from repro.bench.experiments import scaling_multigpu
+from repro.bench.report import rows_to_json, rows_to_markdown, write_report
+
+
+def test_scaling_multigpu_rows():
+    rows = scaling_multigpu.run("small")
+    by_devices = {r["devices"]: r for r in rows}
+    assert by_devices[1]["speedup"] == pytest.approx(1.0)
+    assert by_devices[4]["speedup"] > by_devices[2]["speedup"] > 1.0
+    assert by_devices[4]["speedup"] <= 4.0
+    for r in rows:
+        assert 0 < r["efficiency"] <= 1.0 + 1e-9
+
+
+def test_rows_to_json_handles_non_finite_and_numpy():
+    import numpy as np
+
+    rows = [{"a": float("inf"), "b": np.int64(3), "c": (1, 2), "d": None}]
+    doc = json.loads(rows_to_json(rows, "small"))
+    assert doc["scale"] == "small"
+    assert doc["rows"][0]["a"] == "inf"
+    assert doc["rows"][0]["b"] == 3
+    assert doc["rows"][0]["c"] == [1, 2]
+
+
+def test_rows_to_markdown_renders_table():
+    text = rows_to_markdown("demo", [{"x": 1, "y": 2.5}, {"x": 3, "y": 4.0}], "small")
+    assert "## demo" in text
+    assert "| x | y |" in text
+    assert "| 3 | 4 |" in text
+
+
+def test_rows_to_markdown_empty():
+    assert "_no rows_" in rows_to_markdown("demo", [], "small")
+
+
+def test_write_report_produces_files(tmp_path):
+    results = {
+        "exp_a": [{"value": 1}],
+        "exp_b": [{"value": 2}],
+    }
+    report = write_report(results, tmp_path, "small")
+    assert report.exists()
+    assert (tmp_path / "exp_a.json").exists()
+    assert (tmp_path / "exp_b.json").exists()
+    text = report.read_text()
+    assert "## exp_a" in text and "## exp_b" in text
+
+
+def test_write_report_handles_dict_rows(tmp_path):
+    results = {"fig5ish": {"time_vs_qubits": [{"n": 4, "ms": 1.0}], "other": "x"}}
+    report = write_report(results, tmp_path, "small")
+    assert "fig5ish" in report.read_text()
+    doc = json.loads((tmp_path / "fig5ish.json").read_text())
+    assert doc["rows"]["time_vs_qubits"][0]["n"] == 4

@@ -1,0 +1,96 @@
+"""Unit tests for the circuit IR."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, gate_unitary
+from repro.circuit.gates import Gate
+from repro.errors import CircuitError
+
+
+def test_builder_chaining(small_circuit):
+    assert small_circuit.num_gates == 10
+    assert len(small_circuit) == 10
+    assert small_circuit[0].name == "h"
+
+
+def test_add_rejects_out_of_range_qubit():
+    c = Circuit(2)
+    with pytest.raises(CircuitError, match="touches qubit"):
+        c.cx(0, 5)
+
+
+def test_constructor_validates_existing_gates():
+    with pytest.raises(CircuitError):
+        Circuit(1, [Gate.make("cx", [0, 1])])
+
+
+def test_zero_qubits_rejected():
+    with pytest.raises(CircuitError):
+        Circuit(0)
+
+
+def test_depth_counts_layers():
+    c = Circuit(4)
+    c.h(0).h(1).h(2).h(3)  # one layer
+    assert c.depth() == 1
+    c.cx(0, 1).cx(2, 3)  # second layer
+    assert c.depth() == 2
+    c.cx(1, 2)  # third layer
+    assert c.depth() == 3
+
+
+def test_counts_folds_controls():
+    c = Circuit(3)
+    c.h(0).cx(0, 1).cx(1, 2).ccx(0, 1, 2)
+    assert c.counts() == {"h": 1, "cx": 2, "ccx": 1}
+
+
+def test_inverse_undoes_circuit(small_circuit):
+    ident = small_circuit.to_matrix() @ small_circuit.inverse().to_matrix()
+    # inverse is applied first here; check the other order too
+    assert np.allclose(
+        small_circuit.inverse().to_matrix() @ small_circuit.to_matrix(),
+        np.eye(16),
+        atol=1e-10,
+    )
+    assert np.allclose(ident, np.eye(16), atol=1e-10)
+
+
+def test_to_matrix_is_unitary(small_circuit):
+    u = small_circuit.to_matrix()
+    assert np.allclose(u @ u.conj().T, np.eye(16), atol=1e-10)
+
+
+def test_to_matrix_refuses_large_circuits():
+    with pytest.raises(CircuitError, match="limited"):
+        Circuit(13).to_matrix()
+
+
+def test_gate_unitary_matches_kron_for_single_qubit():
+    g = Gate.make("h", [1])
+    u = gate_unitary(g, 2)
+    h = g.matrix()
+    expected = np.kron(h, np.eye(2))  # qubit 1 is the high bit
+    assert np.allclose(u, expected)
+
+
+def test_gate_unitary_cx_truth_table():
+    u = gate_unitary(Gate.make("cx", [0, 1]), 2)  # control q0, target q1
+    for basis in range(4):
+        vec = np.zeros(4)
+        vec[basis] = 1
+        out = u @ vec
+        target = basis ^ 2 if basis & 1 else basis
+        assert out[target] == 1
+
+
+def test_extend_and_iter(small_circuit):
+    c = Circuit(4)
+    c.extend(small_circuit.gates)
+    assert [g.name for g in c] == [g.name for g in small_circuit]
+
+
+def test_str_snippets(small_circuit):
+    text = str(small_circuit)
+    assert "small" in text and "n=4" in text

@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.circuit import to_qasm
+from repro.circuit.generators import ghz
+from repro.transpile import decompose_to_basis
+
+
+def test_simulate_model_only(capsys):
+    rc = main(["simulate", "--family", "vqe", "-n", "6", "--batches", "2",
+               "--batch-size", "8"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "vqe_n6" in out and "modeled" in out
+    assert "amplitudes" not in out  # model-only by default
+
+
+def test_simulate_execute(capsys):
+    rc = main(["simulate", "--family", "routing", "-n", "6", "--batches", "2",
+               "--batch-size", "8", "--execute", "--simulator", "cuquantum"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "cuquantum" in out
+    assert "amplitudes: computed" in out
+
+
+def test_fuse_command(capsys):
+    rc = main(["fuse", "--family", "graphstate", "-n", "8"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "#MAC per amplitude" in out and "fused[0]" in out
+
+
+def test_check_command_equivalent(tmp_path, capsys):
+    a = tmp_path / "a.qasm"
+    b = tmp_path / "b.qasm"
+    a.write_text(to_qasm(ghz(4)))
+    b.write_text(to_qasm(decompose_to_basis(ghz(4))))
+    rc = main(["check", "--qasm", str(a), "--against", str(b)])
+    assert rc == 0
+    assert "EQUIVALENT" in capsys.readouterr().out
+
+
+def test_check_command_rejects(tmp_path, capsys):
+    a = tmp_path / "a.qasm"
+    b = tmp_path / "b.qasm"
+    circuit = ghz(4)
+    a.write_text(to_qasm(circuit))
+    tampered = decompose_to_basis(circuit)
+    tampered.x(0)
+    b.write_text(to_qasm(tampered))
+    rc = main(["check", "--qasm", str(a), "--against", str(b)])
+    assert rc == 1
+    assert "NOT equivalent" in capsys.readouterr().out
+
+
+def test_qasm_input_for_simulate(tmp_path, capsys):
+    path = tmp_path / "c.qasm"
+    path.write_text(to_qasm(ghz(5)))
+    rc = main(["simulate", "--qasm", str(path), "--batches", "1",
+               "--batch-size", "4"])
+    assert rc == 0
+    assert "5 qubits" in capsys.readouterr().out
+
+
+def test_missing_circuit_spec():
+    with pytest.raises(SystemExit):
+        main(["fuse"])

@@ -1,0 +1,121 @@
+"""Tests for the extended DD algebra."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.gates import Gate
+from repro.circuit.generators import random_circuit
+from repro.dd import (
+    DDManager,
+    adjoint,
+    circuit_matrix_dd,
+    expectation,
+    gate_matrix_dd,
+    hilbert_schmidt,
+    matrix_dd_from_dense,
+    matrix_kron,
+    matrix_to_dense,
+    process_fidelity,
+    trace,
+    vector_dd_from_dense,
+    vector_inner,
+)
+from repro.errors import DDError
+
+
+@pytest.fixture
+def dense_pair(rng):
+    a = rng.standard_normal((8, 8)) + 1j * rng.standard_normal((8, 8))
+    b = rng.standard_normal((8, 8)) + 1j * rng.standard_normal((8, 8))
+    return a, b
+
+
+def test_adjoint_matches_dense(dense_pair):
+    a, _ = dense_pair
+    mgr = DDManager(3)
+    ea = matrix_dd_from_dense(mgr, a)
+    assert np.allclose(matrix_to_dense(adjoint(mgr, ea), 3), a.conj().T, atol=1e-9)
+
+
+def test_adjoint_is_involution(dense_pair):
+    a, _ = dense_pair
+    mgr = DDManager(3)
+    ea = matrix_dd_from_dense(mgr, a)
+    twice = adjoint(mgr, adjoint(mgr, ea))
+    assert np.allclose(matrix_to_dense(twice, 3), a, atol=1e-9)
+
+
+def test_adjoint_of_unitary_is_inverse(mgr4):
+    gate = Gate.make("u3", [1], [0.4, 0.9, -0.3])
+    e = gate_matrix_dd(mgr4, gate)
+    prod = mgr4.mm_multiply(adjoint(mgr4, e), e)
+    assert np.allclose(matrix_to_dense(prod, 4), np.eye(16), atol=1e-9)
+
+
+def test_trace_matches_dense(dense_pair):
+    a, _ = dense_pair
+    mgr = DDManager(3)
+    assert trace(matrix_dd_from_dense(mgr, a), 3) == pytest.approx(np.trace(a))
+
+
+def test_trace_of_identity():
+    mgr = DDManager(5)
+    assert trace(mgr.identity(), 5) == pytest.approx(32)
+
+
+def test_hilbert_schmidt_matches_dense(dense_pair):
+    a, b = dense_pair
+    mgr = DDManager(3)
+    ea, eb = matrix_dd_from_dense(mgr, a), matrix_dd_from_dense(mgr, b)
+    want = np.trace(a.conj().T @ b)
+    assert hilbert_schmidt(mgr, ea, eb) == pytest.approx(want)
+
+
+def test_process_fidelity_detects_equivalence():
+    circuit = random_circuit(4, 15, seed=5)
+    mgr = DDManager(4)
+    e = circuit_matrix_dd(mgr, circuit.gates)
+    phased = e.scaled(np.exp(0.7j))
+    assert process_fidelity(mgr, e, phased) == pytest.approx(1.0)
+    other = circuit_matrix_dd(mgr, random_circuit(4, 15, seed=6).gates)
+    assert process_fidelity(mgr, e, other) < 0.99
+
+
+def test_matrix_kron_matches_dense(rng):
+    upper = rng.standard_normal((4, 4)) + 1j * rng.standard_normal((4, 4))
+    lower = rng.standard_normal((2, 2)) + 1j * rng.standard_normal((2, 2))
+    mgr_u, mgr_l, mgr_out = DDManager(2), DDManager(1), DDManager(3)
+    eu = matrix_dd_from_dense(mgr_u, upper)
+    el = matrix_dd_from_dense(mgr_l, lower)
+    got = matrix_to_dense(matrix_kron(mgr_out, eu, el, 1), 3)
+    assert np.allclose(got, np.kron(upper, lower), atol=1e-9)
+
+
+def test_matrix_kron_validates_span(rng):
+    lower = np.diag([1.0, 0.0]).astype(complex)  # collapses below level 0? no
+    mgr_l, mgr_out = DDManager(1), DDManager(3)
+    el = matrix_dd_from_dense(mgr_l, lower)
+    eu = matrix_dd_from_dense(DDManager(2), np.eye(4, dtype=complex))
+    # wrong lower_qubits triggers the span check
+    with pytest.raises(DDError, match="span"):
+        matrix_kron(mgr_out, eu, el, 2)
+
+
+def test_vector_inner_matches_dense(rng):
+    u = rng.standard_normal(16) + 1j * rng.standard_normal(16)
+    w = rng.standard_normal(16) + 1j * rng.standard_normal(16)
+    mgr = DDManager(4)
+    eu, ew = vector_dd_from_dense(mgr, u), vector_dd_from_dense(mgr, w)
+    assert vector_inner(eu, ew) == pytest.approx(np.vdot(u, w))
+    assert vector_inner(eu, eu).real == pytest.approx(np.vdot(u, u).real)
+
+
+def test_expectation_matches_dense(rng):
+    mgr = DDManager(3)
+    m = rng.standard_normal((8, 8)) + 1j * rng.standard_normal((8, 8))
+    m = m + m.conj().T  # hermitian observable
+    v = rng.standard_normal(8) + 1j * rng.standard_normal(8)
+    v /= np.linalg.norm(v)
+    em = matrix_dd_from_dense(mgr, m)
+    ev = vector_dd_from_dense(mgr, v)
+    assert expectation(mgr, em, ev) == pytest.approx(np.vdot(v, m @ v))

@@ -1,0 +1,77 @@
+"""Tests for the flat GPU-oriented DD layout (Figure 6)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.gates import Gate
+from repro.circuit.generators import random_circuit
+from repro.dd import (
+    DDManager,
+    ZERO_EDGE,
+    circuit_matrix_dd,
+    count_edges,
+    count_nodes,
+    flat_entry,
+    flatten_matrix_dd,
+    gate_matrix_dd,
+    matrix_to_dense,
+)
+from repro.errors import DDError
+
+
+def test_flatten_preserves_entries(mgr4, random_circuits):
+    for circuit in random_circuits:
+        edge = circuit_matrix_dd(mgr4, circuit.gates)
+        flat = flatten_matrix_dd(edge, 4)
+        dense = matrix_to_dense(edge, 4)
+        for row in range(16):
+            for col in range(16):
+                assert flat_entry(flat, row, col) == pytest.approx(
+                    dense[row, col], abs=1e-10
+                )
+
+
+def test_flatten_counts_match_graph(mgr4):
+    edge = gate_matrix_dd(mgr4, Gate.make("h", [1]))
+    flat = flatten_matrix_dd(edge, 4)
+    assert flat.num_nodes == count_nodes(edge)
+    assert flat.num_edges == count_edges(edge)
+
+
+def test_root_edge_is_zero_index(mgr4):
+    edge = gate_matrix_dd(mgr4, Gate.make("x", [0]))
+    flat = flatten_matrix_dd(edge, 4)
+    assert flat.root() == 0
+    assert flat.edge_weight[0] == edge.weight
+
+
+def test_zero_child_slots_are_minus_one(mgr4):
+    edge = gate_matrix_dd(mgr4, Gate.make("rz", [0], [0.3]))  # diagonal
+    flat = flatten_matrix_dd(edge, 4)
+    # diagonal matrices have no off-diagonal children anywhere
+    assert (flat.node_edges[:, 1] == -1).all()
+    assert (flat.node_edges[:, 2] == -1).all()
+
+
+def test_terminal_pointer_is_minus_one(mgr4):
+    edge = gate_matrix_dd(mgr4, Gate.make("x", [0]))
+    flat = flatten_matrix_dd(edge, 4)
+    assert (flat.edge_node == -1).any()
+
+
+def test_flatten_rejects_zero_matrix():
+    with pytest.raises(DDError, match="zero matrix"):
+        flatten_matrix_dd(ZERO_EDGE, 4)
+
+
+def test_flatten_rejects_level_mismatch(mgr4):
+    edge = gate_matrix_dd(mgr4, Gate.make("h", [0]))
+    with pytest.raises(DDError, match="level"):
+        flatten_matrix_dd(edge, 5)
+
+
+def test_nbytes_positive(mgr4):
+    flat = flatten_matrix_dd(mgr4.identity(), 4)
+    assert flat.nbytes > 0
+    assert flat.num_nodes == 4  # identity chain
+    assert flat.num_edges == 1 + 2 * 4  # root + two children per level

@@ -1,0 +1,166 @@
+"""Tests for DD node construction, normalization, and arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.dd import (
+    DDManager,
+    ZERO_EDGE,
+    matrix_dd_from_dense,
+    matrix_to_dense,
+    vector_dd_from_dense,
+    vector_to_dense,
+)
+from repro.dd.node import Edge
+from repro.errors import DDError
+
+
+def rand_unitary(n, rng):
+    m = rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+    q, _ = np.linalg.qr(m)
+    return q
+
+
+def test_make_mnode_normalizes_by_max_magnitude(mgr4):
+    t = mgr4.terminal(1.0)
+    edge = mgr4.make_mnode(0, (t.scaled(0.5), ZERO_EDGE, ZERO_EDGE, t.scaled(0.5)))
+    assert edge.weight == pytest.approx(0.5)
+    assert edge.node.children[0].weight == pytest.approx(1.0)
+    # normalization picks the max-magnitude child so |weights| <= 1
+    edge = mgr4.make_mnode(0, (t.scaled(0.5), ZERO_EDGE, ZERO_EDGE, t.scaled(-2.0)))
+    assert edge.weight == pytest.approx(-2.0)
+    assert max(abs(c.weight) for c in edge.node.children) <= 1.0
+
+
+def test_tiny_amplitudes_survive_roundtrip(mgr4):
+    """Regression (found by hypothesis): a near-tolerance amplitude next to
+    an O(1) amplitude must not corrupt the sibling during normalization."""
+    import numpy as np
+    from repro.dd import vector_dd_from_dense, vector_to_dense
+
+    mgr = DDManager(3)
+    v = np.array([1 + 2j, 0, 0, 0, 0, 0, 2.74331636e-10j, 1.0])
+    out = vector_to_dense(vector_dd_from_dense(mgr, v), 3)
+    assert np.abs(out - v).max() < 1e-9
+
+
+def test_make_mnode_all_zero_collapses(mgr4):
+    edge = mgr4.make_mnode(0, (ZERO_EDGE,) * 4)
+    assert edge is ZERO_EDGE or edge.weight == 0
+
+
+def test_unique_table_shares_nodes(mgr4):
+    t = mgr4.terminal(1.0)
+    a = mgr4.make_mnode(0, (t, ZERO_EDGE, ZERO_EDGE, t))
+    b = mgr4.make_mnode(0, (t.scaled(2.0), ZERO_EDGE, ZERO_EDGE, t.scaled(2.0)))
+    assert a.node is b.node  # same normalized structure
+    assert b.weight == pytest.approx(2.0)
+
+
+def test_weight_tolerance_snaps_noise(mgr4):
+    t = mgr4.terminal(1.0)
+    noisy = Edge(t.node, 1.0 + 1e-13)
+    a = mgr4.make_mnode(0, (t, ZERO_EDGE, ZERO_EDGE, noisy))
+    assert a.node.children[3].weight == 1.0
+
+
+def test_make_node_level_bounds(mgr4):
+    t = mgr4.terminal(1.0)
+    with pytest.raises(DDError, match="level"):
+        mgr4.make_mnode(4, (t, t, t, t))
+    with pytest.raises(DDError, match="level"):
+        mgr4.make_mnode(-1, (t, t, t, t))
+
+
+def test_child_level_invariant(mgr4):
+    t = mgr4.terminal(1.0)
+    lvl0 = mgr4.make_mnode(0, (t, ZERO_EDGE, ZERO_EDGE, t))
+    with pytest.raises(DDError, match="child at level"):
+        mgr4.make_mnode(2, (lvl0, ZERO_EDGE, ZERO_EDGE, lvl0))
+
+
+def test_identity_roundtrip(mgr4):
+    ident = mgr4.identity()
+    assert np.allclose(matrix_to_dense(ident, 4), np.eye(16))
+
+
+def test_m_add_matches_dense(rng):
+    mgr = DDManager(3)
+    a = rand_unitary(8, rng)
+    b = rand_unitary(8, rng)
+    ea, eb = matrix_dd_from_dense(mgr, a), matrix_dd_from_dense(mgr, b)
+    assert np.allclose(matrix_to_dense(mgr.m_add(ea, eb), 3), a + b, atol=1e-9)
+
+
+def test_mm_multiply_matches_dense(rng):
+    mgr = DDManager(3)
+    a = rand_unitary(8, rng)
+    b = rand_unitary(8, rng)
+    ea, eb = matrix_dd_from_dense(mgr, a), matrix_dd_from_dense(mgr, b)
+    assert np.allclose(matrix_to_dense(mgr.mm_multiply(ea, eb), 3), a @ b, atol=1e-9)
+
+
+def test_mv_multiply_matches_dense(rng):
+    mgr = DDManager(3)
+    a = rand_unitary(8, rng)
+    v = rng.standard_normal(8) + 1j * rng.standard_normal(8)
+    ea, ev = matrix_dd_from_dense(mgr, a), vector_dd_from_dense(mgr, v)
+    assert np.allclose(vector_to_dense(mgr.mv_multiply(ea, ev), 3), a @ v, atol=1e-9)
+
+
+def test_v_add_matches_dense(rng):
+    mgr = DDManager(3)
+    u = rng.standard_normal(8) + 1j * rng.standard_normal(8)
+    w = rng.standard_normal(8) + 1j * rng.standard_normal(8)
+    eu, ew = vector_dd_from_dense(mgr, u), vector_dd_from_dense(mgr, w)
+    assert np.allclose(vector_to_dense(mgr.v_add(eu, ew), 3), u + w, atol=1e-9)
+
+
+def test_add_cancellation_collapses_to_zero(rng):
+    mgr = DDManager(2)
+    a = rand_unitary(4, rng)
+    ea = matrix_dd_from_dense(mgr, a)
+    minus = matrix_dd_from_dense(mgr, -a)
+    total = mgr.m_add(ea, minus)
+    assert total.weight == 0
+
+
+def test_multiply_zero_edge_short_circuits(mgr4):
+    ident = mgr4.identity()
+    assert mgr4.mm_multiply(ZERO_EDGE, ident).weight == 0
+    assert mgr4.mv_multiply(ident, ZERO_EDGE).weight == 0
+
+
+def test_misaligned_add_raises(mgr4):
+    t = mgr4.terminal(1.0)
+    lvl0 = mgr4.make_mnode(0, (t, ZERO_EDGE, ZERO_EDGE, t))
+    lvl1 = mgr4.make_mnode(1, (lvl0, ZERO_EDGE, ZERO_EDGE, lvl0))
+    with pytest.raises(DDError, match="misaligned"):
+        mgr4.m_add(lvl0, lvl1)
+
+
+def test_concatenate_stacks_vectors(rng):
+    mgr = DDManager(3)
+    u = rng.standard_normal(4) + 0j
+    w = rng.standard_normal(4) + 0j
+    mgr3 = DDManager(3)
+
+    def vec2(values):
+        t0, t1 = mgr3.terminal(values[0]), mgr3.terminal(values[1])
+        lo = mgr3.make_vnode(0, (t0, t1))
+        t2, t3 = mgr3.terminal(values[2]), mgr3.terminal(values[3])
+        hi = mgr3.make_vnode(0, (t2, t3))
+        return mgr3.make_vnode(1, (lo, hi))
+
+    top, bottom = vec2(u), vec2(w)
+    stacked = mgr3.v_concatenate(top, bottom, 2)
+    assert np.allclose(vector_to_dense(stacked, 3), np.concatenate([u, w]), atol=1e-9)
+
+
+def test_caches_and_counters(mgr4):
+    before = mgr4.num_nodes
+    mgr4.identity()
+    mgr4.identity()
+    assert mgr4.num_nodes == before + 4  # identity chain cached, built once
+    mgr4.clear_caches()  # must not break anything
+    mgr4.identity()

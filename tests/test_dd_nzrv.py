@@ -1,0 +1,125 @@
+"""Tests for the NZRV algorithm (Figure 3) and the BQCS cost model."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.gates import Gate
+from repro.circuit.generators import random_circuit
+from repro.dd import (
+    DDManager,
+    circuit_matrix_dd,
+    gate_matrix_dd,
+    is_diagonal_dd,
+    is_permutation_like,
+    matrix_dd_from_dense,
+    matrix_to_dense,
+    max_nzr,
+    nzr_statistics,
+    nzr_vector,
+    vector_max,
+    vector_moments,
+    vector_to_dense,
+)
+
+
+def dense_row_counts(edge, n):
+    return (np.abs(matrix_to_dense(edge, n)) > 1e-12).sum(axis=1)
+
+
+@pytest.mark.parametrize(
+    "gate,expected_cost",
+    [
+        (Gate.make("h", [0]), 2),
+        (Gate.make("x", [1]), 1),
+        (Gate.make("rz", [2], [0.7]), 1),
+        (Gate.make("cx", [0, 1]), 1),
+        (Gate.make("cz", [2, 3]), 1),
+        (Gate.make("swap", [0, 3]), 1),
+        (Gate.make("ccx", [0, 1, 2]), 1),
+        (Gate.make("ry", [1], [0.3]), 2),
+        (Gate.make("rzz", [0, 2], [0.5]), 1),
+        (Gate.make("u3", [0], [0.1, 0.2, 0.3]), 2),
+        (Gate.make("rxx", [1, 3], [0.8]), 2),
+    ],
+)
+def test_gate_costs(gate, expected_cost, mgr4):
+    assert max_nzr(mgr4, gate_matrix_dd(mgr4, gate)) == expected_cost
+
+
+def test_nzrv_matches_dense_counts_on_random_circuits(mgr4):
+    for seed in range(4):
+        circuit = random_circuit(4, 12, seed=seed)
+        edge = circuit_matrix_dd(mgr4, circuit.gates)
+        nzrv = nzr_vector(mgr4, edge)
+        got = vector_to_dense(nzrv, 4).real
+        assert np.allclose(got, dense_row_counts(edge, 4)), seed
+
+
+def test_nzrv_paper_example():
+    """Figure 3's matrix: an 8x8 whose NZRV alternates (2,1,2,1,...)."""
+    m = np.array(
+        [
+            [1, 0, 0, 0, 0, 0, 1, 0],
+            [0, 0, 0, 0, 0, 0, 0, 1],
+            [1, 0, 0, 0, 0, 0, 1, 0],
+            [0, 1, 0, 0, 0, 0, 0, 0],
+            [0, 0, 1, 0, 1, 0, 0, 0],
+            [0, 0, 0, 1, 0, 0, 0, 0],
+            [0, 0, 1, 0, 1, 0, 0, 0],
+            [0, 0, 0, 0, 0, 1, 0, 0],
+        ],
+        dtype=complex,
+    )
+    mgr = DDManager(3)
+    edge = matrix_dd_from_dense(mgr, m)
+    nzrv = vector_to_dense(nzr_vector(mgr, edge), 3).real
+    assert np.array_equal(nzrv, [2, 1, 2, 1, 2, 1, 2, 1])
+    assert max_nzr(mgr, edge) == 2
+
+
+def test_vector_max_and_moments(mgr4, rng):
+    from repro.dd import vector_dd_from_dense
+
+    values = np.abs(rng.standard_normal(16)) + 0.1
+    edge = vector_dd_from_dense(mgr4, values)
+    assert vector_max(edge) == pytest.approx(values.max(), rel=1e-9)
+    s, s2 = vector_moments(edge, 4)
+    assert s == pytest.approx(values.sum(), rel=1e-9)
+    assert s2 == pytest.approx((values**2).sum(), rel=1e-9)
+
+
+def test_nzr_statistics_uniform_gate(mgr4):
+    stats = nzr_statistics(mgr4, gate_matrix_dd(mgr4, Gate.make("h", [1])))
+    assert stats["mean"] == pytest.approx(2.0)
+    assert stats["cv"] == pytest.approx(0.0, abs=1e-12)
+    assert stats["max"] == pytest.approx(2.0)
+
+
+def test_nzr_statistics_nonuniform():
+    m = np.array([[1, 1], [0, 1]], dtype=complex)
+    mgr = DDManager(1)
+    stats = nzr_statistics(mgr, matrix_dd_from_dense(mgr, m))
+    assert stats["mean"] == pytest.approx(1.5)
+    assert stats["cv"] > 0
+
+
+def test_diagonal_classification(mgr4):
+    assert is_diagonal_dd(gate_matrix_dd(mgr4, Gate.make("rz", [0], [0.4])))
+    assert is_diagonal_dd(gate_matrix_dd(mgr4, Gate.make("cz", [0, 1])))
+    assert not is_diagonal_dd(gate_matrix_dd(mgr4, Gate.make("x", [0])))
+    assert not is_diagonal_dd(gate_matrix_dd(mgr4, Gate.make("h", [0])))
+
+
+def test_permutation_classification(mgr4):
+    assert is_permutation_like(mgr4, gate_matrix_dd(mgr4, Gate.make("x", [0])))
+    assert is_permutation_like(mgr4, gate_matrix_dd(mgr4, Gate.make("cx", [1, 2])))
+    assert is_permutation_like(mgr4, gate_matrix_dd(mgr4, Gate.make("rz", [0], [0.1])))
+    assert not is_permutation_like(mgr4, gate_matrix_dd(mgr4, Gate.make("h", [0])))
+
+
+def test_fused_diagonal_cost_stays_one(mgr4):
+    """Step 1 of the fusion rationale: diagonal x permutation stays cost 1."""
+    cz = gate_matrix_dd(mgr4, Gate.make("cz", [0, 1]))
+    cx = gate_matrix_dd(mgr4, Gate.make("cx", [1, 2]))
+    fused = mgr4.mm_multiply(cz, cx)
+    assert max_nzr(mgr4, fused) == 1

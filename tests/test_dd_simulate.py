@@ -1,0 +1,62 @@
+"""Tests for single-input DD simulation."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit
+from repro.circuit.generators import ghz, graphstate, random_circuit
+from repro.dd import DDManager, simulate_circuit_dd, simulate_state_dd, state_dd_size
+from repro.errors import SimulationError
+from repro.sim.statevector import simulate_state
+
+
+def test_matches_dense_reference_on_random_circuits():
+    for seed in range(4):
+        circuit = random_circuit(5, 20, seed=seed)
+        got = simulate_state_dd(circuit)
+        want = simulate_state(circuit)
+        assert np.allclose(got, want, atol=1e-9), seed
+
+
+def test_custom_initial_states():
+    circuit = Circuit(3)
+    circuit.x(0)
+    # basis index
+    out = simulate_state_dd(circuit, initial=6)
+    assert out[7] == pytest.approx(1.0)
+    # dense vector
+    rng = np.random.default_rng(1)
+    v = rng.standard_normal(8) + 1j * rng.standard_normal(8)
+    v /= np.linalg.norm(v)
+    out = simulate_state_dd(circuit, initial=v)
+    want = simulate_state(circuit, v)
+    assert np.allclose(out, want, atol=1e-10)
+
+
+def test_structured_states_stay_compact():
+    """The whole point of DD simulation: GHZ/graph states have tiny DDs."""
+    assert state_dd_size(ghz(14)) <= 2 * 14
+    assert state_dd_size(graphstate(12)) <= 4 * 12
+
+
+def test_generic_states_are_incompressible():
+    """A Haar-like random vector needs the full 2^n - 1 node chain."""
+    from repro.dd import DDManager, count_nodes, vector_dd_from_dense
+
+    rng = np.random.default_rng(0)
+    v = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+    mgr = DDManager(6)
+    assert count_nodes(vector_dd_from_dense(mgr, v)) == 63
+
+
+def test_manager_width_mismatch():
+    circuit = Circuit(3)
+    circuit.h(0)
+    with pytest.raises(SimulationError, match="width"):
+        simulate_circuit_dd(circuit, mgr=DDManager(4))
+
+
+def test_norm_preserved():
+    circuit = random_circuit(4, 25, seed=3)
+    out = simulate_state_dd(circuit)
+    assert np.linalg.norm(out) == pytest.approx(1.0, abs=1e-9)

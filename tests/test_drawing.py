@@ -1,0 +1,69 @@
+"""Tests for the ASCII circuit drawer."""
+
+import pytest
+
+from repro.circuit import Circuit, draw
+from repro.circuit.drawing import _layers
+from repro.circuit.generators import ghz, qft
+from repro.errors import CircuitError
+
+
+def test_ghz_drawing_structure():
+    art = draw(ghz(3))
+    lines = art.splitlines()
+    wires = [line for line in lines if line.startswith("q")]
+    assert len(wires) == 3
+    assert wires[0].startswith("q0: ")
+    assert "H" in wires[0]
+    assert wires[0].count("*") == 1  # control on q0
+    assert wires[1].count("X") == 1 and wires[1].count("*") == 1
+    assert wires[2].count("X") == 1
+    # connector between control and target rows
+    assert any("|" in line for line in lines)
+
+
+def test_layers_respect_order():
+    c = Circuit(3)
+    c.h(0).cx(0, 1).cx(1, 2)
+    layers = _layers(c)
+    assert [len(layer) for layer in layers] == [1, 1, 1]
+    assert layers[1][0].controls == (0,)
+    assert layers[2][0].controls == (1,)
+
+
+def test_disjoint_gates_share_a_layer():
+    c = Circuit(4)
+    c.h(0).h(3).cx(1, 2)
+    layers = _layers(c)
+    assert len(layers) == 1
+    assert len(layers[0]) == 3
+
+
+def test_parameter_labels():
+    c = Circuit(1)
+    c.rz(0.5, 0)
+    assert "RZ(0.5)" in draw(c)
+
+
+def test_wide_circuit_wraps():
+    c = Circuit(2)
+    for _ in range(40):
+        c.h(0).cx(0, 1)
+    art = draw(c, max_width=60)
+    assert "........" in art  # block separator
+    for line in art.splitlines():
+        assert len(line) <= 60
+
+
+def test_wrap_width_validation():
+    c = Circuit(2)
+    for _ in range(40):
+        c.h(0)
+    with pytest.raises(CircuitError, match="max_width"):
+        draw(c, max_width=3)
+
+
+def test_every_wire_same_length():
+    art = draw(qft(4))
+    wires = [line for line in art.splitlines() if line.startswith("q")]
+    assert len({len(w) for w in wires}) == 1

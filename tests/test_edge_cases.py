@@ -1,0 +1,129 @@
+"""Cross-module edge cases and regression guards."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, gate_unitary, parse_qasm, to_qasm
+from repro.circuit.gates import Gate
+from repro.dd import (
+    DDManager,
+    ONE_EDGE,
+    ZERO_EDGE,
+    count_edges,
+    count_nodes,
+    gate_matrix_dd,
+    iter_matrix_entries,
+    matrix_to_dense,
+)
+from repro.errors import CircuitError, QasmError
+
+
+# -- gates / circuit -----------------------------------------------------------
+
+def test_single_qubit_manager_works():
+    mgr = DDManager(1)
+    edge = gate_matrix_dd(mgr, Gate.make("h", [0]))
+    assert np.allclose(matrix_to_dense(edge, 1), Gate.make("h", [0]).matrix())
+
+
+def test_gate_unitary_noncontiguous_two_qubit():
+    gate = Gate.make("swap", [0, 3])
+    u = gate_unitary(gate, 4)
+    assert np.allclose(u @ u.conj().T, np.eye(16))
+    # |0001> <-> |1000>
+    vec = np.zeros(16)
+    vec[1] = 1
+    assert (u @ vec)[8] == 1
+
+
+def test_fsim_gate_in_circuit():
+    c = Circuit(3)
+    c.add("fsim", (0, 2), (0.47 * math.pi, math.pi / 6))
+    u = c.to_matrix()
+    assert np.allclose(u @ u.conj().T, np.eye(8), atol=1e-12)
+
+
+def test_iswap_has_no_symbolic_dagger():
+    with pytest.raises(CircuitError):
+        Gate.make("iswap", [0, 1]).dagger()
+
+
+def test_deep_controlled_gate_dd(mgr4):
+    gate = Gate.make("mcx", [0, 1, 2, 3])  # 3 controls
+    edge = gate_matrix_dd(mgr4, gate)
+    dense = matrix_to_dense(edge, 4)
+    assert np.allclose(dense, gate_unitary(gate, 4))
+    # only two off-diagonal entries
+    off = dense - np.diag(np.diag(dense))
+    assert (np.abs(off) > 1e-12).sum() == 2
+
+
+# -- qasm -----------------------------------------------------------------------
+
+def test_qasm_param_functions():
+    c = parse_qasm(
+        'OPENQASM 2.0;\nqreg q[1];\nrx(2*cos(0)) q[0];\nry(sqrt(4)) q[0];\n'
+    )
+    assert c[0].params[0] == pytest.approx(2.0)
+    assert c[1].params[0] == pytest.approx(2.0)
+
+
+def test_qasm_rejects_mismatched_broadcast():
+    src = "OPENQASM 2.0;\nqreg a[2];\nqreg b[3];\ncx a,b;\n"
+    with pytest.raises(QasmError, match="broadcast"):
+        parse_qasm(src)
+
+
+def test_qasm_roundtrip_with_fsim_fails_gracefully():
+    c = Circuit(2)
+    c.add("fsim", (0, 1), (0.3, 0.2))
+    text = to_qasm(c)  # fsim serializes under its own name
+    assert "fsim" in text
+    parsed = parse_qasm(text)
+    assert parsed[0].name == "fsim"
+
+
+# -- DD edges ---------------------------------------------------------------------
+
+def test_count_helpers_on_constants():
+    assert count_nodes(ZERO_EDGE) == 0
+    assert count_edges(ZERO_EDGE) == 0
+    assert count_nodes(ONE_EDGE) == 0
+    assert count_edges(ONE_EDGE) == 1  # the root edge itself
+
+
+def test_iter_matrix_entries_matches_dense(mgr4):
+    edge = gate_matrix_dd(mgr4, Gate.make("cp", [0, 2], [0.7]))
+    dense = matrix_to_dense(edge, 4)
+    entries = {(r, c): v for r, c, v in iter_matrix_entries(edge, 4)}
+    nz = {
+        (r, c): dense[r, c]
+        for r in range(16)
+        for c in range(16)
+        if abs(dense[r, c]) > 1e-14
+    }
+    assert entries.keys() == nz.keys()
+    for key, value in nz.items():
+        assert entries[key] == pytest.approx(value)
+
+
+def test_edge_scaled_zero_collapses():
+    assert ONE_EDGE.scaled(0.0) is ZERO_EDGE
+    assert ZERO_EDGE.is_zero and ZERO_EDGE.is_terminal
+    assert ONE_EDGE.level == -1
+
+
+# -- fusion plan provenance --------------------------------------------------------
+
+def test_fused_gate_indices_are_monotone():
+    from repro.circuit.generators import make_circuit
+    from repro.fusion import bqcs_fusion
+
+    circuit = make_circuit("tsp", 8)
+    plan = bqcs_fusion(DDManager(8), circuit)
+    for fused in plan.gates:
+        assert list(fused.gate_indices) == sorted(fused.gate_indices)
+    flattened = [i for fg in plan.gates for i in fg.gate_indices]
+    assert flattened == sorted(flattened)  # contiguity preserved end to end

@@ -1,0 +1,171 @@
+"""Tests for the ELL format, the three converters, and the spMM kernel."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.gates import Gate
+from repro.circuit.generators import random_circuit
+from repro.dd import (
+    DDManager,
+    circuit_matrix_dd,
+    flatten_matrix_dd,
+    gate_matrix_dd,
+    matrix_to_dense,
+    max_nzr,
+)
+from repro.ell import (
+    ELLMatrix,
+    ell_from_dd,
+    ell_from_dd_cpu,
+    ell_from_dense,
+    ell_from_flat_gpu,
+    ell_spmm,
+    spmm_bytes,
+    spmm_macs,
+)
+from repro.errors import ConversionError, SimulationError
+
+
+@pytest.fixture
+def circuit_dd(mgr4):
+    circuit = random_circuit(4, 18, seed=11)
+    return circuit_matrix_dd(mgr4, circuit.gates)
+
+
+def test_ell_from_dense_roundtrip(rng):
+    m = rng.standard_normal((8, 8)) * (rng.random((8, 8)) > 0.6)
+    m = m.astype(np.complex128)
+    if not m.any():
+        m[0, 0] = 1.0
+    ell = ell_from_dense(m)
+    assert np.allclose(ell.to_dense(), m)
+    assert ell.width == max((m != 0).sum(axis=1).max(), 1)
+
+
+def test_ell_validation():
+    with pytest.raises(ConversionError, match="square"):
+        ell_from_dense(np.zeros((3, 3)))
+    with pytest.raises(ConversionError, match="rows"):
+        ELLMatrix(2, np.zeros((3, 1), dtype=complex), np.zeros((3, 1), dtype=np.int64))
+    with pytest.raises(ConversionError, match="column index"):
+        ELLMatrix(
+            1,
+            np.ones((2, 1), dtype=complex),
+            np.array([[0], [5]], dtype=np.int64),
+        )
+
+
+def test_cpu_conversion_matches_dense(circuit_dd, mgr4):
+    ell = ell_from_dd_cpu(circuit_dd, 4)
+    assert np.allclose(ell.to_dense(), matrix_to_dense(circuit_dd, 4), atol=1e-10)
+    assert ell.width == max_nzr(mgr4, circuit_dd)
+
+
+def test_gpu_kernel_matches_cpu_bit_for_bit(circuit_dd, mgr4):
+    width = max_nzr(mgr4, circuit_dd)
+    cpu = ell_from_dd_cpu(circuit_dd, 4)
+    flat = flatten_matrix_dd(circuit_dd, 4)
+    gpu = ell_from_flat_gpu(flat, width, execute="faithful")
+    assert np.array_equal(gpu.cols, cpu.cols)
+    assert np.allclose(gpu.values, cpu.values, atol=1e-12)
+
+
+def test_gpu_fast_path_matches_faithful(circuit_dd, mgr4):
+    width = max_nzr(mgr4, circuit_dd)
+    flat = flatten_matrix_dd(circuit_dd, 4)
+    faithful = ell_from_flat_gpu(flat, width, execute="faithful")
+    fast = ell_from_flat_gpu(flat, width, execute="fast")
+    assert np.array_equal(fast.cols, faithful.cols)
+    assert np.allclose(fast.values, faithful.values, atol=1e-12)
+
+
+@pytest.mark.parametrize(
+    "gate",
+    [
+        Gate.make("h", [2]),
+        Gate.make("cx", [1, 3]),
+        Gate.make("ccx", [0, 1, 2]),
+        Gate.make("rz", [1], [0.6]),
+        Gate.make("rzz", [0, 3], [1.2]),
+        Gate.make("swap", [1, 2]),
+        Gate.make("u3", [0], [0.4, 0.5, 0.6]),
+    ],
+    ids=str,
+)
+def test_per_gate_conversion_all_routes(gate, mgr4):
+    edge = gate_matrix_dd(mgr4, gate)
+    dense = matrix_to_dense(edge, 4)
+    width = max_nzr(mgr4, edge)
+    cpu = ell_from_dd_cpu(edge, 4)
+    gpu = ell_from_flat_gpu(flatten_matrix_dd(edge, 4), width, execute="faithful")
+    assert np.allclose(cpu.to_dense(), dense, atol=1e-12)
+    assert np.allclose(gpu.to_dense(), dense, atol=1e-12)
+
+
+def test_hybrid_routing(circuit_dd):
+    low = ell_from_dd(circuit_dd, 4, tau=10**6)
+    assert low.route == "gpu"
+    high = ell_from_dd(circuit_dd, 4, tau=1)
+    assert high.route == "cpu"
+    assert np.allclose(low.ell.to_dense(), high.ell.to_dense(), atol=1e-10)
+    forced = ell_from_dd(circuit_dd, 4, force="cpu")
+    assert forced.route == "cpu"
+
+
+def test_hybrid_rejects_bad_route(circuit_dd):
+    with pytest.raises(ConversionError, match="route"):
+        ell_from_dd(circuit_dd, 4, force="tpu")
+
+
+def test_padding_to_declared_width(mgr4):
+    edge = gate_matrix_dd(mgr4, Gate.make("x", [0]))  # width 1
+    result = ell_from_dd(edge, 4, max_nzr=3)
+    assert result.ell.width == 3
+    assert np.allclose(result.ell.to_dense(), matrix_to_dense(edge, 4))
+
+
+def test_padding_cannot_shrink(mgr4):
+    edge = gate_matrix_dd(mgr4, Gate.make("h", [0]))  # width 2
+    with pytest.raises(ConversionError, match="exceeds"):
+        ell_from_dd(edge, 4, max_nzr=1)
+
+
+def test_row_nnz_excludes_padding(mgr4):
+    edge = gate_matrix_dd(mgr4, Gate.make("cx", [0, 1]))
+    result = ell_from_dd(edge, 4, max_nzr=4)
+    assert (result.ell.row_nnz() == 1).all()
+
+
+def test_spmm_matches_dense(circuit_dd, rng):
+    ell = ell_from_dd_cpu(circuit_dd, 4)
+    states = rng.standard_normal((16, 5)) + 1j * rng.standard_normal((16, 5))
+    out = ell_spmm(ell, states)
+    assert np.allclose(out, matrix_to_dense(circuit_dd, 4) @ states, atol=1e-10)
+
+
+def test_spmm_with_preallocated_output(circuit_dd, rng):
+    ell = ell_from_dd_cpu(circuit_dd, 4)
+    states = rng.standard_normal((16, 3)) + 0j
+    out = np.empty_like(states)
+    returned = ell_spmm(ell, states, out=out)
+    assert returned is out
+    assert np.allclose(out, matrix_to_dense(circuit_dd, 4) @ states, atol=1e-10)
+
+
+def test_spmm_rejects_in_place(circuit_dd, rng):
+    ell = ell_from_dd_cpu(circuit_dd, 4)
+    states = rng.standard_normal((16, 2)) + 0j
+    with pytest.raises(SimulationError, match="in place"):
+        ell_spmm(ell, states, out=states)
+
+
+def test_spmm_rejects_wrong_dim(circuit_dd):
+    ell = ell_from_dd_cpu(circuit_dd, 4)
+    with pytest.raises(SimulationError, match="state dim"):
+        ell_spmm(ell, np.zeros((8, 2), dtype=complex))
+
+
+def test_cost_helpers(circuit_dd):
+    ell = ell_from_dd_cpu(circuit_dd, 4)
+    assert spmm_macs(ell, 10) == ell.num_rows * ell.width * 10
+    assert spmm_bytes(ell, 10) > ell.nbytes

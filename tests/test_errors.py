@@ -1,0 +1,45 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    CircuitError,
+    ConversionError,
+    DDError,
+    DeviceError,
+    FusionError,
+    QasmError,
+    ReproError,
+    SimulationError,
+)
+
+ALL_ERRORS = [
+    CircuitError,
+    ConversionError,
+    DDError,
+    DeviceError,
+    FusionError,
+    QasmError,
+    SimulationError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_all_errors_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+    assert issubclass(exc, Exception)
+
+
+def test_qasm_error_carries_line_number():
+    err = QasmError("bad token", line=17)
+    assert err.line == 17
+    assert "line 17" in str(err)
+    plain = QasmError("no line info")
+    assert plain.line is None
+    assert "no line info" in str(plain)
+
+
+def test_catching_base_catches_everything():
+    for exc in ALL_ERRORS:
+        with pytest.raises(ReproError):
+            raise exc("boom")

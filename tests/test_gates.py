@@ -1,0 +1,167 @@
+"""Unit tests for the gate library."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit.gates import (
+    CONTROLLED_ALIASES,
+    Gate,
+    base_arity,
+    base_matrix,
+    known_gate_names,
+)
+from repro.errors import CircuitError
+
+FIXED_NAMES = ["id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx", "sxdg", "swap", "iswap"]
+PARAM_1 = ["rx", "ry", "rz", "p", "u1", "rzz", "rxx", "ryy"]
+
+
+def is_unitary(m: np.ndarray) -> bool:
+    return np.allclose(m @ m.conj().T, np.eye(m.shape[0]), atol=1e-12)
+
+
+@pytest.mark.parametrize("name", FIXED_NAMES)
+def test_fixed_gates_are_unitary(name):
+    assert is_unitary(base_matrix(name))
+
+
+@pytest.mark.parametrize("name", PARAM_1)
+@pytest.mark.parametrize("theta", [0.0, 0.37, math.pi, -2.5])
+def test_parametric_gates_are_unitary(name, theta):
+    assert is_unitary(base_matrix(name, (theta,)))
+
+
+def test_u_gates_unitary():
+    assert is_unitary(base_matrix("u2", (0.3, 1.2)))
+    assert is_unitary(base_matrix("u3", (0.3, 1.2, -0.4)))
+
+
+def test_base_matrix_rejects_unknown_name():
+    with pytest.raises(CircuitError, match="unknown gate"):
+        base_matrix("frobnicate")
+
+
+def test_base_matrix_rejects_wrong_param_count():
+    with pytest.raises(CircuitError, match="parameter"):
+        base_matrix("rx", ())
+    with pytest.raises(CircuitError, match="parameter"):
+        base_matrix("h", (1.0,))
+
+
+def test_known_rotation_identities():
+    assert np.allclose(base_matrix("rx", (0.0,)), np.eye(2))
+    # rz(t) = diag(e^{-it/2}, e^{it/2})
+    rz = base_matrix("rz", (math.pi,))
+    assert np.allclose(rz, np.diag([-1j, 1j]))
+    # u3 reproduces ry and (up to phase) rz
+    assert np.allclose(base_matrix("u3", (0.7, 0.0, 0.0)), base_matrix("ry", (0.7,)))
+
+
+def test_rzz_is_diagonal_and_correct():
+    theta = 0.9
+    m = base_matrix("rzz", (theta,))
+    phases = np.exp(-1j * theta / 2 * np.array([1, -1, -1, 1]))
+    assert np.allclose(m, np.diag(phases))
+
+
+def test_rxx_ryy_match_exponential(rng):
+    x = np.array([[0, 1], [1, 0]], dtype=complex)
+    y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+    theta = 1.234
+    for name, pauli in [("rxx", x), ("ryy", y)]:
+        pp = np.kron(pauli, pauli)
+        w, v = np.linalg.eigh(pp)
+        expected = v @ np.diag(np.exp(-1j * theta / 2 * w)) @ v.conj().T
+        assert np.allclose(base_matrix(name, (theta,)), expected, atol=1e-12), name
+
+
+def test_gate_make_resolves_cx_alias():
+    g = Gate.make("cx", [0, 1])
+    assert g.name == "x" and g.qubits == (1,) and g.controls == (0,)
+
+
+def test_gate_make_resolves_ccx_and_cp():
+    g = Gate.make("ccx", [2, 0, 1])
+    assert g.name == "x" and g.qubits == (1,) and set(g.controls) == {0, 2}
+    g = Gate.make("cp", [1, 3], [0.5])
+    assert g.name == "p" and g.qubits == (3,) and g.controls == (1,)
+
+
+def test_gate_make_mcx_infers_controls():
+    g = Gate.make("mcx", [0, 1, 2, 3])
+    assert g.name == "x" and g.qubits == (3,) and g.controls == (0, 1, 2)
+
+
+def test_gate_rejects_duplicate_qubits():
+    with pytest.raises(CircuitError, match="duplicate"):
+        Gate.make("cx", [1, 1])
+    with pytest.raises(CircuitError, match="duplicate"):
+        Gate("x", (0,), (), (0,))
+
+
+def test_gate_rejects_negative_qubits():
+    with pytest.raises(CircuitError, match="negative"):
+        Gate("x", (-1,))
+
+
+def test_gate_rejects_wrong_arity():
+    with pytest.raises(CircuitError, match="acts on"):
+        Gate("swap", (0,))
+
+
+def test_full_matrix_expands_controls():
+    g = Gate.make("cx", [0, 1])
+    full = g.full_matrix()
+    # local order: target bit 0, control bit 1
+    expected = np.eye(4, dtype=complex)
+    expected[2:, 2:] = np.array([[0, 1], [1, 0]])
+    assert np.allclose(full, expected)
+
+
+def test_full_matrix_double_control():
+    g = Gate.make("ccz", [0, 1, 2])
+    full = g.full_matrix()
+    expected = np.diag([1, 1, 1, 1, 1, 1, 1, -1]).astype(complex)
+    assert np.allclose(full, expected)
+
+
+@pytest.mark.parametrize(
+    "name,params",
+    [
+        ("h", ()), ("x", ()), ("s", ()), ("t", ()), ("sx", ()),
+        ("rx", (0.7,)), ("ry", (0.7,)), ("rz", (0.7,)), ("p", (0.7,)),
+        ("u2", (0.3, 0.9)), ("u3", (0.3, 0.9, -1.1)), ("rzz", (0.5,)),
+        ("swap", ()),
+    ],
+)
+def test_dagger_inverts(name, params):
+    qubits = [0, 1] if base_arity(name) == 2 else [0]
+    g = Gate.make(name, qubits, params)
+    prod = g.dagger().matrix() @ g.matrix()
+    assert np.allclose(prod, np.eye(prod.shape[0]), atol=1e-12)
+
+
+def test_dagger_keeps_controls():
+    g = Gate.make("crz", [0, 1], [0.4])
+    assert g.dagger().controls == (0,)
+    assert g.dagger().params == (-0.4,)
+
+
+def test_is_diagonal():
+    assert Gate.make("rz", [0], [0.2]).is_diagonal()
+    assert Gate.make("cz", [0, 1]).is_diagonal()
+    assert not Gate.make("h", [0]).is_diagonal()
+
+
+def test_known_gate_names_includes_aliases():
+    names = known_gate_names()
+    assert {"h", "cx", "ccx", "rzz", "cp"} <= names
+    for alias in CONTROLLED_ALIASES:
+        assert alias in names
+
+
+def test_gate_str_is_informative():
+    text = str(Gate.make("crz", [2, 0], [0.25]))
+    assert "rz" in text and "c2" in text and "q0" in text

@@ -1,0 +1,102 @@
+"""Tests for the benchmark circuit generators — gate counts must match the
+paper's Table 2 exactly at the paper's qubit sizes."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.generators import (
+    FAMILIES,
+    ghz,
+    graphstate,
+    make_circuit,
+    qft,
+    random_circuit,
+    supremacy,
+)
+from repro.sim.statevector import simulate_state
+
+#: (family, n) -> #gates from Table 2
+PAPER_GATE_COUNTS = {
+    ("qnn", 17): 934,
+    ("qnn", 19): 1158,
+    ("qnn", 21): 1406,
+    ("vqe", 12): 58,
+    ("vqe", 14): 68,
+    ("vqe", 16): 78,
+    ("portfolio", 16): 424,
+    ("portfolio", 17): 476,
+    ("portfolio", 18): 531,
+    ("graphstate", 16): 32,
+    ("graphstate", 18): 36,
+    ("graphstate", 20): 40,
+    ("tsp", 9): 94,
+    ("tsp", 16): 171,
+    ("routing", 6): 39,
+    ("routing", 12): 81,
+}
+
+
+@pytest.mark.parametrize("key,expected", sorted(PAPER_GATE_COUNTS.items()))
+def test_gate_counts_match_paper(key, expected):
+    family, n = key
+    assert len(make_circuit(family, n)) == expected
+
+
+def test_generators_are_deterministic():
+    a = make_circuit("vqe", 8, seed=3)
+    b = make_circuit("vqe", 8, seed=3)
+    assert [(g.name, g.qubits, g.params) for g in a] == [
+        (g.name, g.qubits, g.params) for g in b
+    ]
+    c = make_circuit("vqe", 8, seed=4)
+    assert [g.params for g in a] != [g.params for g in c]
+
+
+def test_unknown_family_raises():
+    with pytest.raises(KeyError, match="unknown circuit family"):
+        make_circuit("nope", 4)
+
+
+def test_registry_builds_everything():
+    for family in FAMILIES:
+        circuit = FAMILIES[family](6)
+        assert circuit.num_qubits == 6
+        assert len(circuit) > 0
+
+
+def test_ghz_state():
+    state = simulate_state(ghz(4))
+    assert state[0] == pytest.approx(2**-0.5)
+    assert state[-1] == pytest.approx(2**-0.5)
+    assert np.allclose(state[1:-1], 0)
+
+
+def test_qft_matches_dft_matrix():
+    c = qft(4)
+    dim = 16
+    dft = np.exp(2j * np.pi * np.outer(np.arange(dim), np.arange(dim)) / dim)
+    assert np.allclose(c.to_matrix(), dft / np.sqrt(dim), atol=1e-10)
+
+
+def test_graphstate_structure():
+    c = graphstate(10)
+    counts = c.counts()
+    assert counts == {"h": 10, "cz": 10}
+
+
+def test_supremacy_alternates_single_qubit_gates():
+    c = supremacy(6, depth=6, seed=1)
+    # no qubit receives the same single-qubit gate twice in a row
+    last = {}
+    for g in c.gates:
+        if len(g.all_qubits) == 1 and g.name != "h":
+            q = g.qubits[0]
+            key = (g.name, g.params)
+            assert last.get(q) != key
+            last[q] = key
+
+
+def test_random_circuit_length_and_width():
+    c = random_circuit(5, 40, seed=0)
+    assert len(c) == 40
+    assert max(q for g in c for q in g.all_qubits) < 5

@@ -1,0 +1,76 @@
+"""Tests for timeline critical-path and slack analysis."""
+
+import pytest
+
+from repro.circuit.generators import vqe
+from repro.gpu import critical_path, slack
+from repro.gpu.engine import Task, schedule
+from repro.sim import BQSimSimulator, BatchSpec
+
+
+def chain(durations, engines=None, deps=None):
+    engines = engines or ["compute"] * len(durations)
+    tasks = []
+    for i, (d, e) in enumerate(zip(durations, engines)):
+        task_deps = deps[i] if deps else ((i - 1,) if i else ())
+        tasks.append(Task(tid=i, name=f"t{i}", engine=e, duration=d, deps=tuple(task_deps)))
+    return schedule(tasks)
+
+
+def test_serial_chain_is_fully_critical():
+    tl = chain([1.0, 2.0, 3.0])
+    cp = critical_path(tl)
+    assert cp.names == ("t0", "t1", "t2")
+    assert cp.length == pytest.approx(6.0)
+    assert cp.engine_share() == {"compute": pytest.approx(1.0)}
+
+
+def test_parallel_branch_only_long_arm_critical():
+    # t0 -> {t1 (short), t2 (long)} -> t3
+    tasks = [
+        Task(tid=0, name="t0", engine="h2d", duration=1.0),
+        Task(tid=1, name="t1", engine="compute", duration=0.5, deps=(0,)),
+        Task(tid=2, name="t2", engine="d2h", duration=2.0, deps=(0,)),
+        Task(tid=3, name="t3", engine="compute", duration=1.0, deps=(1, 2)),
+    ]
+    tl = schedule(tasks)
+    cp = critical_path(tl)
+    assert cp.names == ("t0", "t2", "t3")
+    assert cp.length == pytest.approx(4.0)
+    # the short arm has slack equal to the long/short difference
+    s = slack(tl)
+    assert s[1] == pytest.approx(1.5)
+    assert s[2] == pytest.approx(0.0)
+
+
+def test_engine_fifo_counts_as_precedence():
+    # two independent kernels on one engine: FIFO makes the pair critical
+    tl = chain([2.0, 3.0], deps=[(), ()])
+    cp = critical_path(tl)
+    assert cp.names == ("t0", "t1")
+    assert cp.length == pytest.approx(5.0)
+
+
+def test_empty_timeline():
+    from repro.gpu.engine import Timeline
+
+    cp = critical_path(Timeline([]))
+    assert cp.tasks == () and cp.length == 0.0
+
+
+def test_bqsim_critical_path_is_compute_dominated():
+    result = BQSimSimulator().run(vqe(10), BatchSpec(8, 64), execute=False)
+    cp = critical_path(result.timeline)
+    share = cp.engine_share()
+    # a well-pipelined run is bound by kernels, not copies
+    assert share.get("compute", 0.0) > 0.5
+    assert cp.length <= result.timeline.makespan + 1e-12
+    # every task on the chain is back-to-back
+    for a, b in zip(cp.tasks, cp.tasks[1:]):
+        assert b.start == pytest.approx(a.end)
+
+
+def test_slack_never_negative():
+    result = BQSimSimulator().run(vqe(8), BatchSpec(4, 16), execute=False)
+    for value in slack(result.timeline).values():
+        assert value >= 0.0

@@ -1,0 +1,146 @@
+"""Tests for the virtual GPU device and task graph."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceError
+from repro.gpu import GpuSpec, TaskGraph, VirtualGPU
+
+
+def test_alloc_and_free_accounting():
+    gpu = VirtualGPU()
+    buf = gpu.alloc("a", 1024)
+    assert gpu.allocated_bytes == 1024
+    gpu.free(buf)
+    assert gpu.allocated_bytes == 0
+
+
+def test_alloc_duplicate_name_rejected():
+    gpu = VirtualGPU()
+    gpu.alloc("a", 16)
+    with pytest.raises(DeviceError, match="already"):
+        gpu.alloc("a", 16)
+
+
+def test_out_of_memory_rejected():
+    gpu = VirtualGPU(GpuSpec(memory_bytes=100))
+    with pytest.raises(DeviceError, match="out of memory"):
+        gpu.alloc("big", 200)
+
+
+def test_free_unknown_buffer_rejected():
+    gpu = VirtualGPU()
+    buf = gpu.alloc("a", 16)
+    gpu.free(buf)
+    with pytest.raises(DeviceError, match="not allocated"):
+        gpu.free(buf)
+
+
+def test_h2d_stores_private_copy():
+    gpu = VirtualGPU()
+    buf = gpu.alloc("a", 64)
+    host = np.arange(4, dtype=np.complex128)
+    gpu.h2d(buf, host)
+    host[:] = 0
+    assert np.array_equal(buf.array, np.arange(4))
+
+
+def test_h2d_overflow_rejected():
+    gpu = VirtualGPU()
+    buf = gpu.alloc("a", 16)
+    with pytest.raises(DeviceError, match="copy of"):
+        gpu.h2d(buf, np.zeros(64, dtype=np.complex128))
+
+
+def test_d2h_snapshots():
+    gpu = VirtualGPU()
+    buf = gpu.alloc("a", 64)
+    gpu.h2d(buf, np.ones(4, dtype=np.complex128))
+    _, snap = gpu.d2h(buf)
+    buf.array[:] = 0
+    assert np.array_equal(snap, np.ones(4))
+
+
+def test_read_before_write_rejected():
+    gpu = VirtualGPU()
+    buf = gpu.alloc("a", 64)
+    with pytest.raises(DeviceError, match="before any write"):
+        gpu.d2h(buf)
+
+
+def test_kernel_runs_eagerly_and_prices_roofline():
+    spec = GpuSpec()
+    gpu = VirtualGPU(spec)
+    ran = []
+    handle = gpu.kernel("k", lambda: ran.append(1), macs=1e9, bytes_moved=0)
+    assert ran == [1]
+    timeline = gpu.run()
+    kernel_task = timeline.tasks[handle.tid]
+    assert kernel_task.duration == pytest.approx(
+        1e9 / spec.mac_rate + spec.graph_node_overhead
+    )
+
+
+def test_kernel_duration_override():
+    gpu = VirtualGPU()
+    handle = gpu.kernel("k", lambda: None, duration=0.5)
+    timeline = gpu.run()
+    assert timeline.tasks[handle.tid].duration == pytest.approx(
+        0.5 + gpu.spec.graph_node_overhead
+    )
+
+
+def test_graph_mode_cheaper_than_stream_mode():
+    def build(mode):
+        gpu = VirtualGPU(mode=mode)
+        prev = []
+        for i in range(50):
+            handle = gpu.raw_task(f"k{i}", "compute", 1e-6, prev)
+            prev = [handle]
+        return gpu.run().makespan
+
+    assert build("graph") < build("stream")
+
+
+def test_stream_mode_serializes_engines():
+    gpu = VirtualGPU(mode="stream")
+    gpu.raw_task("copy", "h2d", 1e-3)
+    gpu.raw_task("kernel", "compute", 1e-3)
+    timeline = gpu.run()
+    assert timeline.overlap_fraction() == 0.0
+
+
+def test_graph_mode_allows_overlap():
+    gpu = VirtualGPU(mode="graph")
+    gpu.raw_task("copy", "h2d", 1e-3)
+    gpu.raw_task("kernel", "compute", 1e-3)
+    timeline = gpu.run()
+    assert timeline.overlap_fraction() > 0.9
+
+
+def test_task_graph_rejects_bad_mode():
+    with pytest.raises(DeviceError, match="mode"):
+        TaskGraph(GpuSpec(), mode="warp")
+
+
+def test_task_graph_rejects_future_dependency():
+    graph = TaskGraph(GpuSpec())
+    handle = graph.add("a", "compute", 1.0)
+    handle.tid = 99
+    with pytest.raises(DeviceError, match="dependency"):
+        graph.add("b", "compute", 1.0, deps=[handle])
+
+
+def test_spec_kernel_time_roofline():
+    spec = GpuSpec()
+    compute_bound = spec.kernel_time(macs=1e12, bytes_moved=1)
+    memory_bound = spec.kernel_time(macs=1, bytes_moved=1e12)
+    assert compute_bound == pytest.approx(1e12 / spec.mac_rate)
+    assert memory_bound == pytest.approx(1e12 / spec.mem_bandwidth)
+
+
+def test_conversion_time_grows_with_edges():
+    spec = GpuSpec()
+    few = spec.conversion_time(1024, 2, 10)
+    many = spec.conversion_time(1024, 2, 10000)
+    assert many > few

@@ -1,0 +1,116 @@
+"""Tests for the discrete-event engines and the scheduler."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.gpu.engine import Task, Timeline, schedule
+
+
+def make_tasks(specs):
+    """specs: list of (name, engine, duration, dep-indices)."""
+    tasks = []
+    for i, (name, engine, duration, deps) in enumerate(specs):
+        tasks.append(Task(tid=i, name=name, engine=engine, duration=duration,
+                          deps=tuple(deps)))
+    return tasks
+
+
+def test_fifo_on_one_engine():
+    tasks = make_tasks([
+        ("a", "compute", 1.0, []),
+        ("b", "compute", 2.0, []),
+    ])
+    tl = schedule(tasks)
+    assert tasks[0].start == 0.0 and tasks[0].end == 1.0
+    assert tasks[1].start == 1.0 and tasks[1].end == 3.0
+    tl.validate()
+
+
+def test_independent_engines_overlap():
+    tasks = make_tasks([
+        ("copy", "h2d", 2.0, []),
+        ("kernel", "compute", 2.0, []),
+    ])
+    tl = schedule(tasks)
+    assert tl.makespan == 2.0
+    assert tl.overlap_fraction() == pytest.approx(1.0)
+
+
+def test_dependencies_delay_start():
+    tasks = make_tasks([
+        ("copy", "h2d", 2.0, []),
+        ("kernel", "compute", 1.0, [0]),
+    ])
+    tl = schedule(tasks)
+    assert tasks[1].start == 2.0
+    assert tl.makespan == 3.0
+
+
+def test_serialize_removes_overlap():
+    tasks = make_tasks([
+        ("copy", "h2d", 2.0, []),
+        ("kernel", "compute", 2.0, []),
+    ])
+    tl = schedule(tasks, serialize=True)
+    assert tl.makespan == 4.0
+    assert tl.overlap_fraction() == 0.0
+
+
+def test_unsubmitted_dependency_rejected():
+    tasks = [Task(tid=0, name="a", engine="compute", duration=1.0, deps=(7,))]
+    with pytest.raises(DeviceError, match="unsubmitted"):
+        schedule(tasks)
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(DeviceError, match="engine"):
+        Task(tid=0, name="a", engine="warp", duration=1.0)
+
+
+def test_negative_duration_rejected():
+    with pytest.raises(DeviceError, match="negative"):
+        Task(tid=0, name="a", engine="compute", duration=-1.0)
+
+
+def test_busy_time_and_utilization():
+    tasks = make_tasks([
+        ("a", "compute", 1.0, []),
+        ("b", "h2d", 3.0, []),
+        ("c", "compute", 1.0, [1]),
+    ])
+    tl = schedule(tasks)
+    assert tl.busy_time("compute") == 2.0
+    assert tl.busy_time("h2d") == 3.0
+    assert tl.makespan == 4.0
+    assert tl.utilization("compute") == pytest.approx(0.5)
+
+
+def test_validate_catches_dependency_violation():
+    tasks = make_tasks([("a", "compute", 2.0, []), ("b", "compute", 1.0, [0])])
+    tl = schedule(tasks)
+    tl.tasks[1].start = 0.5  # corrupt
+    with pytest.raises(DeviceError, match="dependency"):
+        tl.validate()
+
+
+def test_validate_catches_engine_overlap():
+    tasks = make_tasks([("a", "compute", 2.0, []), ("b", "compute", 2.0, [])])
+    tl = schedule(tasks)
+    tl.tasks[1].start = 1.0
+    with pytest.raises(DeviceError, match="overlap"):
+        tl.validate()
+
+
+def test_pipeline_overlaps_copies_with_compute():
+    """Double-buffered pattern: H2D of batch i+1 overlaps kernel of batch i."""
+    specs = []
+    for i in range(4):
+        copy_dep = []
+        specs.append((f"h2d{i}", "h2d", 1.0, copy_dep))
+    # kernels depend on their copy
+    for i in range(4):
+        specs.append((f"k{i}", "compute", 1.0, [i]))
+    tl = schedule(make_tasks(specs))
+    # copies stream back-to-back; kernels trail one step behind
+    assert tl.makespan == pytest.approx(5.0)
+    assert tl.overlap_fraction() > 0.5

@@ -1,0 +1,102 @@
+"""Tests for the device memory pool."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DeviceError
+from repro.gpu import MemoryPool
+
+
+def test_basic_alloc_release_cycle():
+    pool = MemoryPool(4096, alignment=256)
+    a = pool.allocate(100, tag="a")
+    assert a.nbytes == 256  # rounded to alignment
+    assert pool.allocated_bytes == 256
+    b = pool.allocate(512, tag="b")
+    assert b.offset == 256
+    pool.release(a)
+    pool.release(b)
+    assert pool.free_bytes == 4096
+    assert pool.fragmentation() == 0.0
+
+
+def test_alignment_of_offsets():
+    pool = MemoryPool(4096, alignment=512)
+    blocks = [pool.allocate(1) for _ in range(4)]
+    for block in blocks:
+        assert block.offset % 512 == 0
+
+
+def test_exhaustion_vs_fragmentation_messages():
+    pool = MemoryPool(1024, alignment=256)
+    blocks = [pool.allocate(256) for _ in range(4)]
+    with pytest.raises(DeviceError, match="exhausted"):
+        pool.allocate(256)
+    # free two non-adjacent blocks: 512 free but largest block 256
+    pool.release(blocks[0])
+    pool.release(blocks[2])
+    with pytest.raises(DeviceError, match="fragmented"):
+        pool.allocate(512)
+    assert pool.fragmentation() == pytest.approx(0.5)
+
+
+def test_coalescing_merges_neighbours():
+    pool = MemoryPool(1024, alignment=256)
+    blocks = [pool.allocate(256) for _ in range(4)]
+    for block in blocks:
+        pool.release(block)
+    assert pool.largest_free_block == 1024
+
+
+def test_release_validation():
+    pool = MemoryPool(1024)
+    block = pool.allocate(100)
+    pool.release(block)
+    with pytest.raises(DeviceError, match="does not own"):
+        pool.release(block)
+
+
+def test_constructor_validation():
+    with pytest.raises(DeviceError, match="capacity"):
+        MemoryPool(0)
+    with pytest.raises(DeviceError, match="power of two"):
+        MemoryPool(1024, alignment=3)
+
+
+def test_reset():
+    pool = MemoryPool(1024)
+    pool.allocate(100)
+    pool.reset()
+    assert pool.free_bytes == 1024 and not pool.live_blocks()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.one_of(
+            st.tuples(st.just("alloc"), st.integers(min_value=1, max_value=600)),
+            st.tuples(st.just("free"), st.integers(min_value=0, max_value=10)),
+        ),
+        max_size=40,
+    )
+)
+def test_pool_invariants_under_random_workload(ops):
+    pool = MemoryPool(8192, alignment=64)
+    live = []
+    for op, value in ops:
+        if op == "alloc":
+            try:
+                live.append(pool.allocate(value))
+            except DeviceError:
+                pass
+        elif live:
+            pool.release(live.pop(value % len(live)))
+        # invariants: accounting adds up; live blocks never overlap
+        assert pool.allocated_bytes + pool.free_bytes == 8192
+        blocks = pool.live_blocks()
+        for a, b in zip(blocks, blocks[1:]):
+            assert a.offset + a.nbytes <= b.offset
+    for block in list(live):
+        pool.release(block)
+    assert pool.free_bytes == 8192
+    assert pool.largest_free_block == 8192

@@ -1,0 +1,64 @@
+"""Tests for timeline export and rendering."""
+
+import json
+
+import pytest
+
+from repro.circuit.generators import vqe
+from repro.gpu import render_gantt, summarize, to_chrome_trace
+from repro.gpu.engine import Task, Timeline, schedule
+from repro.errors import DeviceError
+from repro.sim import BQSimSimulator, BatchSpec
+
+
+@pytest.fixture
+def timeline():
+    result = BQSimSimulator().run(vqe(8), BatchSpec(4, 16), execute=False)
+    return result.timeline
+
+
+def test_chrome_trace_is_valid_json(timeline):
+    doc = json.loads(to_chrome_trace(timeline))
+    events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert len(events) == len(timeline.tasks)
+    for event in events:
+        assert event["dur"] >= 0
+        assert event["cat"] in ("compute", "h2d", "d2h", "host")
+    # lane metadata present
+    assert any(e["ph"] == "M" for e in doc["traceEvents"])
+
+
+def test_chrome_trace_rejects_unscheduled():
+    tl = Timeline([Task(tid=0, name="x", engine="compute", duration=1.0)])
+    with pytest.raises(DeviceError, match="not scheduled"):
+        to_chrome_trace(tl)
+
+
+def test_gantt_renders_all_busy_engines(timeline):
+    art = render_gantt(timeline)
+    assert "compute" in art and "h2d" in art and "d2h" in art
+    assert "#" in art and "overlap" in art
+
+
+def test_gantt_empty():
+    assert "empty" in render_gantt(Timeline([]))
+
+
+def test_summarize_fields(timeline):
+    stats = summarize(timeline)
+    assert stats["num_tasks"] == len(timeline.tasks)
+    assert 0 <= stats["overlap_fraction"] <= 1
+    assert stats["busy_s"]["compute"] > 0
+    assert stats["makespan_s"] >= max(stats["busy_s"].values())
+
+
+def test_trace_timestamps_match_schedule():
+    tasks = [
+        Task(tid=0, name="a", engine="h2d", duration=1e-3),
+        Task(tid=1, name="b", engine="compute", duration=2e-3, deps=(0,)),
+    ]
+    tl = schedule(tasks)
+    doc = json.loads(to_chrome_trace(tl))
+    by_name = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+    assert by_name["b"]["ts"] == pytest.approx(1000.0)  # microseconds
+    assert by_name["b"]["dur"] == pytest.approx(2000.0)

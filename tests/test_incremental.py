@@ -1,0 +1,81 @@
+"""Tests for incremental (qTask-style) resimulation."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, generate_batches
+from repro.circuit.gates import Gate
+from repro.circuit.generators import random_circuit, vqe
+from repro.errors import SimulationError
+from repro.sim import IncrementalSession
+from repro.sim.statevector import simulate_batch
+
+
+@pytest.fixture
+def session():
+    circuit = vqe(6, seed=2)
+    batches = list(generate_batches(6, 2, 8, seed=1))
+    return IncrementalSession(circuit, batches), batches
+
+
+def test_initial_outputs_match_reference(session):
+    sess, batches = session
+    for out, batch in zip(sess.outputs, batches):
+        assert np.allclose(out, simulate_batch(sess.circuit, batch), atol=1e-8)
+
+
+def test_late_edit_reuses_prefix(session):
+    sess, batches = session
+    idx = len(sess.circuit.gates) - 2
+    old = sess.circuit.gates[idx]
+    update = sess.update_gate(
+        idx, Gate(old.name, old.qubits, (old.params[0] + 0.5,), old.controls)
+    )
+    assert update.reused_fraction > 0.5
+    assert update.resimulated_fused_gates < update.total_fused_gates
+    for out, batch in zip(sess.outputs, batches):
+        assert np.allclose(out, simulate_batch(sess.circuit, batch), atol=1e-8)
+
+
+def test_early_edit_resimulates_everything(session):
+    sess, batches = session
+    update = sess.update_gate(0, Gate("ry", sess.circuit.gates[0].qubits, (1.0,)))
+    assert update.reused_fraction == 0.0
+    for out, batch in zip(sess.outputs, batches):
+        assert np.allclose(out, simulate_batch(sess.circuit, batch), atol=1e-8)
+
+
+def test_chained_edits_stay_consistent(session):
+    sess, batches = session
+    rng = np.random.default_rng(0)
+    for _ in range(3):
+        idx = int(rng.integers(len(sess.circuit.gates)))
+        gate = sess.circuit.gates[idx]
+        if gate.params:
+            new = Gate(gate.name, gate.qubits,
+                       (gate.params[0] + float(rng.uniform(0.1, 1.0)),),
+                       gate.controls)
+        else:
+            new = gate
+        sess.update_gate(idx, new)
+        for out, batch in zip(sess.outputs, batches):
+            assert np.allclose(out, simulate_batch(sess.circuit, batch), atol=1e-8)
+
+
+def test_gate_type_change(session):
+    sess, batches = session
+    # replace a CX with a CZ mid-circuit
+    idx = next(i for i, g in enumerate(sess.circuit.gates) if g.controls)
+    gate = sess.circuit.gates[idx]
+    sess.update_gate(idx, Gate("z", gate.qubits, (), gate.controls))
+    for out, batch in zip(sess.outputs, batches):
+        assert np.allclose(out, simulate_batch(sess.circuit, batch), atol=1e-8)
+
+
+def test_validation():
+    circuit = random_circuit(4, 10, seed=0)
+    with pytest.raises(SimulationError, match="at least one batch"):
+        IncrementalSession(circuit, [])
+    sess = IncrementalSession(circuit, list(generate_batches(4, 1, 4, 0)))
+    with pytest.raises(SimulationError, match="out of range"):
+        sess.update_gate(99, Gate("h", (0,)))

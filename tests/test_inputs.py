@@ -1,0 +1,104 @@
+"""Unit tests for batch input generation."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    InputBatch,
+    basis_batch,
+    generate_batches,
+    random_batch,
+    zero_state_batch,
+)
+from repro.errors import SimulationError
+
+
+def test_random_batch_shape_and_norms():
+    batch = random_batch(5, 7, rng=0)
+    assert batch.num_qubits == 5
+    assert batch.batch_size == 7
+    assert batch.states.shape == (32, 7)
+    assert np.allclose(batch.norms(), 1.0)
+
+
+def test_random_batch_deterministic_by_seed():
+    a = random_batch(4, 3, rng=42)
+    b = random_batch(4, 3, rng=42)
+    assert np.array_equal(a.states, b.states)
+
+
+def test_basis_batch_places_ones():
+    batch = basis_batch(3, [0, 5, 7])
+    assert batch.states[0, 0] == 1 and batch.states[5, 1] == 1
+    assert batch.states.sum() == 3
+
+
+def test_basis_batch_rejects_out_of_range():
+    with pytest.raises(SimulationError, match="out of range"):
+        basis_batch(2, [4])
+
+
+def test_zero_state_batch():
+    batch = zero_state_batch(3, 4)
+    assert np.allclose(batch.states[0], 1.0)
+    assert batch.states[1:].sum() == 0
+
+
+def test_input_batch_validates_shape():
+    with pytest.raises(SimulationError, match="2-D"):
+        InputBatch(np.zeros(8, dtype=np.complex128))
+    with pytest.raises(SimulationError, match="power of two"):
+        InputBatch(np.zeros((6, 2), dtype=np.complex128))
+
+
+def test_generate_batches_stream_is_deterministic():
+    first = [b.states for b in generate_batches(3, 4, 2, seed=9)]
+    second = [b.states for b in generate_batches(3, 4, 2, seed=9)]
+    assert len(first) == 4
+    for a, b in zip(first, second):
+        assert np.array_equal(a, b)
+    # consecutive batches differ
+    assert not np.array_equal(first[0], first[1])
+
+
+def test_nbytes_and_column():
+    batch = random_batch(3, 2, rng=1)
+    assert batch.nbytes == 8 * 2 * 16
+    assert np.array_equal(batch.column(1), batch.states[:, 1])
+
+
+def test_perturbed_batch_zero_epsilon_is_base():
+    from repro.circuit import perturbed_batch
+
+    batch = perturbed_batch(3, 0.0, 4, base=5)
+    assert np.allclose(batch.states[5], 1.0)
+    assert batch.states.sum() == 4
+
+
+def test_perturbed_batch_normalized_and_seeded():
+    from repro.circuit import perturbed_batch
+
+    a = perturbed_batch(3, 0.1, 4, rng=7)
+    b = perturbed_batch(3, 0.1, 4, rng=7)
+    assert np.array_equal(a.states, b.states)
+    assert np.allclose(a.norms(), 1.0)
+    # perturbation actually moved the states
+    assert not np.allclose(a.states[0], 1.0)
+
+
+def test_perturbed_batch_dense_base():
+    from repro.circuit import perturbed_batch
+
+    base = np.zeros(8, dtype=np.complex128)
+    base[3] = 1.0
+    batch = perturbed_batch(3, 0.0, 2, base=base)
+    assert np.allclose(batch.states[3], 1.0)
+
+
+def test_perturbed_batch_validation():
+    from repro.circuit import perturbed_batch
+
+    with pytest.raises(SimulationError, match="out of range"):
+        perturbed_batch(2, 0.1, 1, base=4)
+    with pytest.raises(SimulationError, match="wrong length"):
+        perturbed_batch(2, 0.1, 1, base=np.ones(3, dtype=np.complex128))

@@ -1,0 +1,93 @@
+"""Tests for measurement/observable utilities."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    fidelity,
+    marginal_probability,
+    pauli_expectation,
+    probabilities,
+    sample_counts,
+)
+from repro.circuit.generators import ghz
+from repro.errors import SimulationError
+from repro.sim.statevector import simulate_state
+
+
+@pytest.fixture
+def ghz_state():
+    return simulate_state(ghz(3))
+
+
+def normalized_block(rng, n=3, batch=4):
+    dim = 1 << n
+    states = rng.standard_normal((dim, batch)) + 1j * rng.standard_normal((dim, batch))
+    return states / np.linalg.norm(states, axis=0, keepdims=True)
+
+
+def test_probabilities_sum_to_one(rng):
+    p = probabilities(normalized_block(rng))
+    assert np.allclose(p.sum(axis=0), 1.0)
+    assert (p >= 0).all()
+
+
+def test_probabilities_rejects_bad_dim():
+    with pytest.raises(SimulationError, match="power of two"):
+        probabilities(np.ones((6, 2)))
+
+
+def test_marginal_on_ghz(ghz_state):
+    # GHZ: every qubit is 1 with probability 1/2
+    for q in range(3):
+        assert marginal_probability(ghz_state, q) == pytest.approx(0.5)
+
+
+def test_marginal_rejects_bad_qubit(ghz_state):
+    with pytest.raises(SimulationError, match="out of range"):
+        marginal_probability(ghz_state, 5)
+
+
+def test_sample_counts_ghz(ghz_state):
+    counts = sample_counts(ghz_state, shots=2000, rng=0)[0]
+    assert set(counts) <= {"000", "111"}
+    assert sum(counts.values()) == 2000
+    assert abs(counts.get("000", 0) - 1000) < 150
+
+
+def test_pauli_expectation_matches_dense_operator(rng):
+    states = normalized_block(rng)
+    paulis = {"I": np.eye(2), "X": np.array([[0, 1], [1, 0]]),
+              "Y": np.array([[0, -1j], [1j, 0]]), "Z": np.diag([1, -1])}
+    for string in ("ZZZ", "XIY", "IZX", "YXZ"):
+        op = np.eye(1)
+        for ch in string:
+            op = np.kron(op, paulis[ch])
+        want = np.einsum("ib,ij,jb->b", states.conj(), op, states).real
+        assert np.allclose(pauli_expectation(states, string), want, atol=1e-10)
+
+
+def test_pauli_expectation_ghz_stabilizers(ghz_state):
+    # GHZ stabilizers: XXX = +1, ZZI = +1, IZZ = +1
+    assert pauli_expectation(ghz_state, "XXX")[0] == pytest.approx(1.0)
+    assert pauli_expectation(ghz_state, "ZZI")[0] == pytest.approx(1.0)
+    assert pauli_expectation(ghz_state, "IZZ")[0] == pytest.approx(1.0)
+    # single Z has expectation 0 on GHZ
+    assert pauli_expectation(ghz_state, "ZII")[0] == pytest.approx(0.0)
+
+
+def test_pauli_expectation_validation(ghz_state):
+    with pytest.raises(SimulationError, match="length"):
+        pauli_expectation(ghz_state, "ZZ")
+    with pytest.raises(SimulationError, match="bad Pauli"):
+        pauli_expectation(ghz_state, "ZQK")
+
+
+def test_fidelity_bounds(rng):
+    a = normalized_block(rng)
+    assert np.allclose(fidelity(a, a), 1.0)
+    b = normalized_block(rng)
+    f = fidelity(a, b)
+    assert ((f >= -1e-12) & (f <= 1 + 1e-12)).all()
+    with pytest.raises(SimulationError, match="equal-shaped"):
+        fidelity(a, a[:4])

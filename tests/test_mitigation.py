@@ -1,0 +1,54 @@
+"""Tests for zero-noise extrapolation."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import zero_state_batch
+from repro.circuit.generators import ghz
+from repro.errors import SimulationError
+from repro.noise import richardson_extrapolate, zero_noise_extrapolation
+
+
+def test_richardson_linear():
+    assert richardson_extrapolate([1, 2], [0.9, 0.8]) == pytest.approx(1.0)
+
+
+def test_richardson_quadratic():
+    scales = [1.0, 2.0, 3.0]
+    values = [5 - 2 * s + 0.5 * s * s for s in scales]
+    assert richardson_extrapolate(scales, values) == pytest.approx(5.0)
+
+
+def test_richardson_validation():
+    with pytest.raises(SimulationError, match="matching"):
+        richardson_extrapolate([1.0], [0.5])
+    with pytest.raises(SimulationError, match="distinct"):
+        richardson_extrapolate([1.0, 1.0], [0.5, 0.6])
+
+
+def test_zne_improves_ghz_weight():
+    circuit = ghz(4)
+
+    def ghz_weight(probs):
+        return float(probs[0, 0] + probs[-1, 0])
+
+    result = zero_noise_extrapolation(
+        circuit,
+        base_error=0.02,
+        batch=zero_state_batch(4, 1),
+        observable=ghz_weight,
+        num_trajectories=250,
+        seed=2,
+    )
+    assert len(result.values) == 3
+    assert result.raw < 1.0  # noise visibly degrades the GHZ weight
+    # mitigation moves the estimate toward the ideal value 1.0
+    assert abs(result.mitigated - 1.0) < abs(result.raw - 1.0)
+
+
+def test_zne_validates_base_error():
+    with pytest.raises(SimulationError, match="base_error"):
+        zero_noise_extrapolation(
+            ghz(2), base_error=0.0, batch=zero_state_batch(2, 1),
+            observable=lambda p: 0.0,
+        )

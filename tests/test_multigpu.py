@@ -1,0 +1,55 @@
+"""Tests for the multi-GPU batch-partitioning extension."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import generate_batches
+from repro.circuit.generators import make_circuit
+from repro.sim import BQSimSimulator, BatchSpec, MultiGpuBQSimSimulator
+from repro.sim.statevector import simulate_batch
+from repro.errors import SimulationError
+
+
+def test_outputs_match_reference_and_order():
+    circuit = make_circuit("vqe", 6)
+    spec = BatchSpec(num_batches=7, batch_size=8, seed=9)
+    batches = list(generate_batches(6, 7, 8, 9))
+    result = MultiGpuBQSimSimulator(num_devices=3).run(circuit, spec, batches=batches)
+    assert len(result.outputs) == 7
+    for out, batch in zip(result.outputs, batches):
+        assert np.allclose(out, simulate_batch(circuit, batch), atol=1e-8)
+
+
+def test_speedup_approaches_device_count():
+    circuit = make_circuit("vqe", 10)
+    spec = BatchSpec(num_batches=64, batch_size=256)
+    single = BQSimSimulator().run(circuit, spec, execute=False)
+    quad = MultiGpuBQSimSimulator(num_devices=4).run(circuit, spec, execute=False)
+    speedup = single.breakdown["simulation"] / quad.breakdown["simulation"]
+    assert 3.0 < speedup <= 4.0
+    # one-time stages are shared, not multiplied
+    assert quad.breakdown["fusion"] == single.breakdown["fusion"]
+
+
+def test_one_device_matches_plain_bqsim():
+    circuit = make_circuit("vqe", 8)
+    spec = BatchSpec(num_batches=6, batch_size=64)
+    single = BQSimSimulator().run(circuit, spec, execute=False)
+    one = MultiGpuBQSimSimulator(num_devices=1).run(circuit, spec, execute=False)
+    assert one.breakdown["simulation"] == pytest.approx(
+        single.breakdown["simulation"], rel=1e-9
+    )
+
+
+def test_more_devices_than_batches():
+    circuit = make_circuit("routing", 6)
+    spec = BatchSpec(num_batches=2, batch_size=8)
+    result = MultiGpuBQSimSimulator(num_devices=5).run(circuit, spec, execute=False)
+    makespans = result.stats["device_makespans"]
+    assert len(makespans) == 5
+    assert sum(1 for m in makespans if m > 0) == 2
+
+
+def test_rejects_zero_devices():
+    with pytest.raises(SimulationError, match="at least one"):
+        MultiGpuBQSimSimulator(num_devices=0)

@@ -1,0 +1,125 @@
+"""Tests for the noise substrate (channels, density matrix, trajectories)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, zero_state_batch
+from repro.circuit.generators import ghz
+from repro.errors import SimulationError
+from repro.noise import (
+    NoiseChannel,
+    NoiseModel,
+    amplitude_damping,
+    bit_flip,
+    density_probabilities,
+    depolarizing,
+    phase_flip,
+    purity,
+    sample_trajectory,
+    simulate_density,
+    simulate_noisy_batch,
+    state_fidelity_with_density,
+)
+from repro.sim.statevector import simulate_state
+
+
+def test_channels_are_trace_preserving():
+    for channel in (depolarizing(0.1), bit_flip(0.2), phase_flip(0.3),
+                    amplitude_damping(0.4)):
+        total = sum(k.conj().T @ k for k in channel.kraus)
+        assert np.allclose(total, np.eye(2), atol=1e-12)
+
+
+def test_channel_validation_rejects_non_cptp():
+    with pytest.raises(SimulationError, match="trace preserving"):
+        NoiseChannel("broken", (np.eye(2) * 0.5,))
+    with pytest.raises(SimulationError, match="probability"):
+        depolarizing(1.5)
+
+
+def test_pauli_decomposition():
+    probs = depolarizing(0.3).pauli_probabilities()
+    assert probs["I"] == pytest.approx(0.7)
+    for label in "XYZ":
+        assert probs[label] == pytest.approx(0.1)
+    assert bit_flip(0.2).pauli_probabilities()["X"] == pytest.approx(0.2)
+    assert amplitude_damping(0.2).pauli_probabilities() is None
+
+
+def test_noiseless_density_matches_pure_state():
+    circuit = ghz(4)
+    rho = simulate_density(circuit)
+    state = simulate_state(circuit)
+    assert np.allclose(rho, np.outer(state, state.conj()), atol=1e-10)
+    assert purity(rho) == pytest.approx(1.0)
+
+
+def test_depolarizing_reduces_purity_and_fidelity():
+    circuit = ghz(3)
+    ideal = simulate_state(circuit)
+    rho = simulate_density(circuit, NoiseModel(depolarizing(0.1)))
+    assert purity(rho) < 0.95
+    fid = state_fidelity_with_density(ideal, rho)
+    assert 0.3 < fid < 0.95
+    assert np.trace(rho).real == pytest.approx(1.0)
+
+
+def test_bit_flip_on_idle_basis_state():
+    circuit = Circuit(1)
+    circuit.x(0)
+    rho = simulate_density(circuit, NoiseModel(bit_flip(0.25)))
+    probs = density_probabilities(rho)
+    # X then 25% flip back
+    assert probs[1] == pytest.approx(0.75)
+    assert probs[0] == pytest.approx(0.25)
+
+
+def test_density_width_limit():
+    with pytest.raises(SimulationError, match="limited"):
+        simulate_density(ghz(9))
+
+
+def test_sample_trajectory_injects_paulis():
+    circuit = ghz(3)
+    rng = np.random.default_rng(0)
+    noise = NoiseModel(depolarizing(0.9))  # errors almost surely
+    trajectory = sample_trajectory(circuit, noise, rng)
+    assert len(trajectory) > len(circuit)
+    extra = trajectory.gates[len(circuit):]
+    # injected gates are single-qubit Paulis
+    names = {g.name for g in trajectory.gates} - {g.name for g in circuit.gates}
+    assert names <= {"x", "y", "z"}
+
+
+def test_sample_trajectory_rejects_non_pauli():
+    rng = np.random.default_rng(0)
+    with pytest.raises(SimulationError, match="not a Pauli channel"):
+        sample_trajectory(ghz(2), NoiseModel(amplitude_damping(0.1)), rng)
+
+
+def test_trajectory_average_converges_to_density():
+    circuit = ghz(3)
+    noise = NoiseModel(depolarizing(0.08))
+    exact = density_probabilities(simulate_density(circuit, noise))
+    batch = zero_state_batch(3, 1)
+    estimate = simulate_noisy_batch(circuit, noise, batch, num_trajectories=300, seed=3)
+    assert np.abs(estimate.probabilities[:, 0] - exact).max() < 0.07
+    assert estimate.avg_injected_errors > 0
+
+
+def test_zero_noise_trajectories_are_exact():
+    circuit = ghz(3)
+    noise = NoiseModel(depolarizing(0.0))
+    batch = zero_state_batch(3, 2)
+    estimate = simulate_noisy_batch(circuit, noise, batch, num_trajectories=3)
+    ideal = np.abs(simulate_state(circuit)) ** 2
+    assert np.allclose(estimate.probabilities[:, 0], ideal, atol=1e-10)
+    assert estimate.avg_injected_errors == 0
+
+
+def test_trajectory_count_validation():
+    with pytest.raises(SimulationError, match="at least one"):
+        simulate_noisy_batch(
+            ghz(2), NoiseModel(depolarizing(0.1)), zero_state_batch(2, 1),
+            num_trajectories=0,
+        )

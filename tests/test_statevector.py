@@ -1,0 +1,76 @@
+"""Tests for the dense reference simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, InputBatch, random_batch
+from repro.circuit.gates import Gate
+from repro.sim.statevector import apply_gate, simulate_batch, simulate_state
+from repro.errors import SimulationError
+
+
+def test_apply_single_qubit_gate_matches_matrix(small_circuit, batch4):
+    states = batch4.states.copy()
+    for gate in small_circuit.gates:
+        apply_gate(states, gate, 4)
+    expected = small_circuit.to_matrix() @ batch4.states
+    assert np.allclose(states, expected, atol=1e-10)
+
+
+def test_apply_gate_checks_dimensions():
+    states = np.zeros((8, 1), dtype=np.complex128)
+    with pytest.raises(SimulationError, match="state dim"):
+        apply_gate(states, Gate.make("h", [0]), 4)
+
+
+def test_controlled_gate_only_touches_control_one_subspace():
+    # |10> (q0=0, q1=1): control q0 is 0 -> CX(q0 -> q1) is identity
+    states = np.zeros((4, 1), dtype=np.complex128)
+    states[2, 0] = 1.0
+    apply_gate(states, Gate.make("cx", [0, 1]), 2)
+    assert states[2, 0] == 1.0
+    # |01> (q0=1): target q1 flips -> |11>
+    states = np.zeros((4, 1), dtype=np.complex128)
+    states[1, 0] = 1.0
+    apply_gate(states, Gate.make("cx", [0, 1]), 2)
+    assert states[3, 0] == 1.0
+
+
+def test_simulate_batch_does_not_mutate_input(small_circuit, batch4):
+    before = batch4.states.copy()
+    simulate_batch(small_circuit, batch4)
+    assert np.array_equal(batch4.states, before)
+
+
+def test_simulate_batch_copy_false_mutates(small_circuit, batch4):
+    batch = InputBatch(batch4.states.copy())
+    out = simulate_batch(small_circuit, batch, copy=False)
+    assert out is batch.states
+
+
+def test_simulate_batch_rejects_width_mismatch(small_circuit):
+    with pytest.raises(SimulationError, match="qubits"):
+        simulate_batch(small_circuit, random_batch(3, 2, rng=0))
+
+
+def test_simulate_state_default_zero():
+    c = Circuit(2)
+    c.h(0)
+    state = simulate_state(c)
+    assert state[0] == pytest.approx(2**-0.5)
+    assert state[1] == pytest.approx(2**-0.5)
+
+
+def test_norm_preservation(random_circuits):
+    for c in random_circuits:
+        batch = random_batch(4, 5, rng=1)
+        out = simulate_batch(c, batch)
+        assert np.allclose(np.linalg.norm(out, axis=0), 1.0, atol=1e-10)
+
+
+def test_swap_gate_permutes_amplitudes():
+    c = Circuit(2)
+    c.swap(0, 1)
+    state = np.array([0.0, 1.0, 0.0, 0.0], dtype=np.complex128)
+    out = simulate_state(c, state)
+    assert out[2] == 1.0

@@ -1,0 +1,161 @@
+"""Tests for the transpile passes and pass manager."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit
+from repro.circuit.gates import Gate
+from repro.circuit.generators import qft, random_circuit, vqe
+from repro.errors import CircuitError
+from repro.transpile import (
+    PASSES,
+    PassManager,
+    cancel_inverse_pairs,
+    circuits_equivalent,
+    commute_diagonals_right,
+    decompose_to_basis,
+    merge_rotations,
+    optimize,
+    remove_identities,
+)
+
+
+def test_cancel_inverse_pairs_removes_cascades():
+    c = Circuit(2)
+    c.x(0).x(0).x(0).x(0).h(1).h(1)
+    assert len(cancel_inverse_pairs(c)) == 0
+
+
+def test_cancel_inverse_pairs_handles_s_sdg():
+    c = Circuit(1)
+    c.add("s", 0).add("sdg", 0).add("t", 0).add("tdg", 0)
+    assert len(cancel_inverse_pairs(c)) == 0
+
+
+def test_cancel_keeps_different_operands():
+    c = Circuit(2)
+    c.x(0).x(1)
+    assert len(cancel_inverse_pairs(c)) == 2
+
+
+def test_merge_rotations_sums_angles():
+    c = Circuit(1)
+    c.rz(0.3, 0).rz(0.4, 0)
+    merged = merge_rotations(c)
+    assert len(merged) == 1
+    assert merged[0].params[0] == pytest.approx(0.7)
+
+
+def test_merge_rotations_drops_zero_sum():
+    c = Circuit(1)
+    c.ry(1.2, 0).ry(-1.2, 0)
+    assert len(merge_rotations(c)) == 0
+
+
+def test_merge_respects_controls():
+    c = Circuit(2)
+    c.add("rz", 1, (0.3,), controls=(0,))
+    c.rz(0.4, 1)  # different operands (no control) — must not merge
+    assert len(merge_rotations(c)) == 2
+
+
+def test_commute_diagonals_right_preserves_semantics():
+    for seed in range(3):
+        c = random_circuit(4, 25, seed=seed)
+        moved = commute_diagonals_right(c)
+        assert len(moved) == len(c)
+        assert circuits_equivalent(c, moved)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_decompose_to_basis_equivalence(seed):
+    c = random_circuit(4, 25, seed=seed)
+    basis = decompose_to_basis(c)
+    assert circuits_equivalent(c, basis)
+    for gate in basis.gates:
+        assert gate.name in {"h", "rz", "x", "p"}, gate
+
+
+def test_decompose_handles_u_gates():
+    c = Circuit(1)
+    c.add("u3", 0, (0.7, 0.3, 1.1)).add("u2", 0, (0.5, -0.2))
+    assert circuits_equivalent(c, decompose_to_basis(c))
+
+
+def test_decompose_handles_two_qubit_gates():
+    c = Circuit(3)
+    c.swap(0, 2).rzz(0.8, 1, 2).cz(0, 1).ccx(0, 1, 2)
+    assert circuits_equivalent(c, decompose_to_basis(c))
+
+
+def test_remove_identities():
+    c = Circuit(2)
+    c.add("id", 0).rz(0.0, 1).h(0)
+    assert [g.name for g in remove_identities(c)] == ["h"]
+
+
+def test_optimize_shrinks_redundant_circuits():
+    c = Circuit(3)
+    c.h(0).h(0).rz(0.2, 1).rz(0.3, 1).cx(0, 2).cx(0, 2).x(1)
+    out = optimize(c, verify=True)
+    assert len(out) == 2  # merged rz + the x
+    assert circuits_equivalent(c, out)
+
+
+def test_pass_manager_records_and_verifies():
+    pm = PassManager(passes=("cancel_inverse_pairs", "merge_rotations"), verify=True)
+    c = Circuit(2)
+    c.h(0).h(0).rz(0.1, 1).rz(0.2, 1)
+    out = pm.run(c)
+    assert len(out) == 1
+    assert [r.name for r in pm.records] == ["cancel_inverse_pairs", "merge_rotations"]
+    assert "->" in pm.summary()
+
+
+def test_pass_manager_rejects_unknown_pass():
+    with pytest.raises(CircuitError, match="unknown pass"):
+        PassManager(passes=("frobnicate",)).run(Circuit(1, [Gate.make("h", [0])]))
+
+
+def test_pass_manager_catches_broken_pass():
+    def broken(circuit):
+        out = Circuit(circuit.num_qubits, list(circuit.gates))
+        out.x(0)  # changes semantics
+        return out
+
+    pm = PassManager(passes=(broken,), verify=True)
+    c = Circuit(2)
+    c.h(0).cx(0, 1)
+    with pytest.raises(CircuitError, match="changed the circuit semantics"):
+        pm.run(c)
+
+
+def test_circuits_equivalent_detects_global_phase():
+    a = Circuit(1)
+    a.rz(0.5, 0)
+    b = Circuit(1)
+    b.p(0.5, 0)  # same up to global phase exp(-i*0.25)
+    assert circuits_equivalent(a, b)
+    c = Circuit(1)
+    c.p(0.6, 0)
+    assert not circuits_equivalent(a, c)
+
+
+def test_pipeline_on_benchmark_circuits():
+    for circuit in (vqe(8), qft(6)):
+        basis = decompose_to_basis(circuit)
+        out = optimize(basis)
+        assert circuits_equivalent(circuit, out)
+        assert len(out) <= len(basis)
+
+
+def test_registry_contains_all_passes():
+    assert set(PASSES) == {
+        "cancel_inverse_pairs",
+        "merge_rotations",
+        "commute_diagonals_right",
+        "decompose_to_basis",
+        "remove_identities",
+    }

@@ -1,0 +1,109 @@
+"""Tests for the variational-algorithm driver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.statevector import simulate_state
+from repro.vqa import (
+    Ansatz,
+    PauliSum,
+    energy_of,
+    heisenberg_xxz,
+    landscape,
+    maxcut,
+    run_rotosolve,
+    run_vqe,
+    transverse_field_ising,
+)
+
+
+@pytest.fixture(scope="module")
+def tfim():
+    return transverse_field_ising(4, j=1.0, h=0.7)
+
+
+def test_pauli_sum_validation():
+    with pytest.raises(SimulationError, match="length mismatch"):
+        PauliSum(2, ("ZZ",), (1.0, 2.0))
+    with pytest.raises(SimulationError, match="bad Pauli"):
+        PauliSum(2, ("ZQ",), (1.0,))
+    with pytest.raises(SimulationError, match="bad Pauli"):
+        PauliSum(2, ("ZZZ",), (1.0,))
+
+
+def test_tfim_structure(tfim):
+    assert len(tfim) == 3 + 4  # 3 bonds + 4 fields
+    dense = tfim.to_dense()
+    assert np.allclose(dense, dense.conj().T)
+    # classical limit h=0: ground energy -J (n-1)
+    classical = transverse_field_ising(4, j=1.0, h=0.0)
+    assert classical.ground_energy() == pytest.approx(-3.0)
+
+
+def test_expectation_matches_dense(tfim, rng):
+    state = rng.standard_normal(16) + 1j * rng.standard_normal(16)
+    state /= np.linalg.norm(state)
+    want = np.real(state.conj() @ tfim.to_dense() @ state)
+    got = tfim.expectation(state.reshape(-1, 1))[0]
+    assert got == pytest.approx(want)
+
+
+def test_heisenberg_and_maxcut_sanity():
+    xxz = heisenberg_xxz(3, jxy=1.0, jz=0.5)
+    assert len(xxz) == 6
+    ring = maxcut([(0, 1), (1, 2), (2, 3), (3, 0)], 4)
+    assert ring.ground_energy() == pytest.approx(-4.0)  # cut all 4 edges
+    with pytest.raises(SimulationError, match="bad edge"):
+        maxcut([(0, 0)], 2)
+
+
+def test_ansatz_binding():
+    ansatz = Ansatz(3, reps=1)
+    assert ansatz.num_parameters == 12
+    params = ansatz.random_parameters(0)
+    circuit = ansatz.bind(params)
+    assert circuit.num_qubits == 3
+    assert circuit.counts()["cx"] == 2
+    with pytest.raises(SimulationError, match="parameters"):
+        ansatz.bind(params[:-1])
+
+
+def test_energy_of_identity_parameters(tfim):
+    ansatz = Ansatz(4, reps=2)
+    # theta = 0 leaves |0000>, whose TFIM energy is -J * bonds = -3
+    energy = energy_of(ansatz, tfim, np.zeros(ansatz.num_parameters))
+    assert energy == pytest.approx(-3.0)
+
+
+def test_rotosolve_reaches_ground_state(tfim):
+    ansatz = Ansatz(4, reps=2)
+    result = run_rotosolve(
+        ansatz, tfim, sweeps=6, initial=np.zeros(ansatz.num_parameters)
+    )
+    exact = tfim.ground_energy()
+    assert result.energy >= exact - 1e-9  # variational bound
+    assert result.energy - exact < 0.1
+    # monotone non-increasing sweep history
+    assert all(a >= b - 1e-9 for a, b in zip(result.history, result.history[1:]))
+
+
+def test_spsa_improves_energy(tfim):
+    ansatz = Ansatz(4, reps=2)
+    result = run_vqe(ansatz, tfim, iterations=40, seed=2)
+    assert result.improvement() > 0
+    assert result.energy >= tfim.ground_energy() - 1e-9
+    assert result.evaluations == 1 + 40 * 3
+
+
+def test_width_mismatch_rejected(tfim):
+    with pytest.raises(SimulationError, match="width"):
+        run_rotosolve(Ansatz(3), tfim, sweeps=1)
+    with pytest.raises(SimulationError, match="width"):
+        run_vqe(Ansatz(3), tfim, iterations=1)
+
+
+def test_landscape_shapes(tfim):
+    energies = landscape(Ansatz(4, reps=1), tfim, num_samples=6, seed=0)
+    assert energies.shape == (6,)
+    assert (energies >= tfim.ground_energy() - 1e-9).all()

@@ -1,0 +1,96 @@
+"""Extension bench — compiled gather-plan spMM fast path + plan cache.
+
+Two acceptance checks from the compiled-execution-plans work:
+
+* the :class:`~repro.ell.spmm.GatherPlan` fast path is at least 2x faster
+  than the seed per-slot loop on a 12-qubit, width-6, batch-256 workload;
+* a warm (disk-cached) :class:`~repro.sim.bqsim.BQSimSimulator` run loads
+  the compiled plan instead of re-running fusion + conversion, spending
+  less prepare+convert wall time than the cold run that built it.
+"""
+
+import time
+
+import numpy as np
+from conftest import run_once
+
+from repro.circuit.generators import make_circuit
+from repro.ell import ELLMatrix, ell_spmm, ell_spmm_loop, gather_plan
+from repro.sim import BQSimSimulator, BatchSpec
+
+NUM_QUBITS = 12
+WIDTH = 6
+BATCH = 256
+
+
+def structured_ell(num_qubits: int, width: int) -> ELLMatrix:
+    """Butterfly-structured ELL matrix (XOR-offset columns), like fused gates."""
+    rows = 1 << num_qubits
+    offsets = np.array([0, 1, 2, 3, 8, 9][:width], dtype=np.int64)
+    cols = np.arange(rows, dtype=np.int64)[:, None] ^ offsets[None, :]
+    rng = np.random.default_rng(99)
+    values = rng.standard_normal((rows, width)) + 1j * rng.standard_normal(
+        (rows, width)
+    )
+    return ELLMatrix(num_qubits, values, cols)
+
+
+def best_of(fn, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def fastpath_speedup() -> dict:
+    ell = structured_ell(NUM_QUBITS, WIDTH)
+    rng = np.random.default_rng(7)
+    rows = 1 << NUM_QUBITS
+    states = rng.standard_normal((rows, BATCH)) + 1j * rng.standard_normal(
+        (rows, BATCH)
+    )
+    plan = gather_plan(ell)  # compiled once, outside the timed region
+    reference = ell_spmm_loop(ell, states)
+    assert np.allclose(ell_spmm(plan, states), reference, rtol=1e-10, atol=1e-10)
+    t_loop = best_of(lambda: ell_spmm_loop(ell, states))
+    t_plan = best_of(lambda: ell_spmm(plan, states))
+    return {
+        "loop_s": t_loop,
+        "plan_s": t_plan,
+        "speedup": t_loop / t_plan,
+    }
+
+
+def cold_warm_cache(cache_dir) -> dict:
+    circuit = make_circuit("vqe", 10)
+    spec = BatchSpec(num_batches=2, batch_size=32, seed=1)
+    cold = BQSimSimulator(cache_dir=cache_dir).run(circuit, spec)
+    warm = BQSimSimulator(cache_dir=cache_dir).run(circuit, spec)
+    return {
+        "cold_source": cold.stats["plan_source"],
+        "warm_source": warm.stats["plan_source"],
+        "cold_compile_s": cold.stats["wall_breakdown"]["prepare"]
+        + cold.stats["wall_breakdown"]["convert"],
+        "warm_compile_s": warm.stats["wall_breakdown"]["prepare"]
+        + warm.stats["wall_breakdown"]["convert"],
+        "outputs_equal": all(
+            np.array_equal(a, b) for a, b in zip(cold.outputs, warm.outputs)
+        ),
+    }
+
+
+def test_gather_plan_speedup(benchmark):
+    row = run_once(benchmark, fastpath_speedup)
+    # acceptance: >= 2x over the seed per-slot loop on 12q/width-6/batch-256
+    assert row["speedup"] >= 2.0, row
+
+
+def test_plan_cache_warm_start(benchmark, tmp_path):
+    row = run_once(benchmark, cold_warm_cache, tmp_path / "plans")
+    assert row["cold_source"] == "built"
+    assert row["warm_source"] == "disk"
+    assert row["outputs_equal"]
+    # the warm run loads the archive instead of fusing + converting
+    assert row["warm_compile_s"] < row["cold_compile_s"], row

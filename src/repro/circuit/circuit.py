@@ -7,6 +7,7 @@ simulating the circuit computes ``M_{L-1} ... M_1 M_0 |psi>``.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
@@ -134,6 +135,25 @@ class Circuit:
             key = "c" * len(gate.controls) + gate.name
             out[key] = out.get(key, 0) + 1
         return out
+
+    def fingerprint(self) -> str:
+        """Stable structural hash of the circuit (hex digest).
+
+        Covers the qubit count and every gate's name, targets, controls,
+        and exact parameter bits (``float.hex``) — but *not* the circuit's
+        display name or object identity.  Two structurally identical
+        circuits fingerprint equally across processes, which is what lets
+        compiled execution plans be cached on disk and shared between
+        runs (see :class:`~repro.sim.base.PlanCache`).
+        """
+        hasher = hashlib.sha256()
+        hasher.update(f"repro-circuit-v1:{self.num_qubits}\n".encode())
+        for gate in self.gates:
+            params = ",".join(float(p).hex() for p in gate.params)
+            hasher.update(
+                f"{gate.name}|{gate.qubits}|{params}|{gate.controls}\n".encode()
+            )
+        return hasher.hexdigest()
 
     def inverse(self) -> "Circuit":
         """Circuit implementing the inverse unitary."""

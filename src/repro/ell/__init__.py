@@ -16,11 +16,29 @@ from .convert import (
     ell_from_flat_gpu,
 )
 from .format import ELLMatrix, ell_from_dense
-from .persist import EllBundle, bundle_from_plan, load_bundle, save_bundle
-from .spmm import ell_spmm, spmm_bytes, spmm_macs
+from .persist import (
+    CompiledPlan,
+    EllBundle,
+    bundle_from_plan,
+    load_bundle,
+    load_compiled_plan,
+    save_bundle,
+    save_compiled_plan,
+)
+from .spmm import (
+    GatherPlan,
+    build_apply_plans,
+    ell_spmm,
+    ell_spmm_loop,
+    gather_plan,
+    spmm_bytes,
+    spmm_macs,
+)
 
 __all__ = [
+    "build_apply_plans",
     "bundle_from_plan",
+    "CompiledPlan",
     "ConversionResult",
     "coo_from_ell",
     "coo_spmm",
@@ -34,10 +52,15 @@ __all__ = [
     "ell_from_dense",
     "ell_from_flat_gpu",
     "ell_spmm",
+    "ell_spmm_loop",
     "EllBundle",
     "ELLMatrix",
+    "gather_plan",
+    "GatherPlan",
     "load_bundle",
+    "load_compiled_plan",
     "save_bundle",
+    "save_compiled_plan",
     "spmm_bytes",
     "spmm_macs",
 ]

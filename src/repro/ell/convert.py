@@ -60,11 +60,27 @@ def _compress(values: np.ndarray, cols: np.ndarray) -> tuple[np.ndarray, np.ndar
     return values[:, :width], cols[:, :width]
 
 
-def ell_from_dd_cpu(edge: Edge, num_qubits: int) -> ELLMatrix:
-    """CPU-based DD-to-ELL conversion (memoized recursion over nodes)."""
-    if edge.weight == 0:
-        raise ConversionError("cannot convert the zero matrix to ELL")
-    memo: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+def _assemble_ell(
+    root_node,
+    root_weight: complex,
+    node_key,
+    node_level,
+    node_children,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Memoized bottom-up (value, column) assembly shared by both the CPU
+    converter and the vectorized GPU stand-in.
+
+    The DD is traversed through three callbacks so the same recursion works
+    over :class:`~repro.dd.node.Edge` objects and over the flat arrays of a
+    :class:`~repro.dd.flat.FlatDD`:
+
+    * ``node_key(node)`` — hashable memo key;
+    * ``node_level(node)`` — qubit level of the node;
+    * ``node_children(node)`` — sequence of 4 ``(child_node | None, weight)``
+      pairs in ``row_bit * 2 + col_bit`` order, where ``None`` marks the
+      constant-one terminal and ``weight == 0`` a skipped zero edge.
+    """
+    memo: dict = {}
 
     def rec(node) -> tuple[np.ndarray, np.ndarray]:
         if node is None:
@@ -72,19 +88,21 @@ def ell_from_dd_cpu(edge: Edge, num_qubits: int) -> ELLMatrix:
                 np.ones((1, 1), dtype=np.complex128),
                 np.zeros((1, 1), dtype=np.int64),
             )
-        hit = memo.get(node.nid)
+        key = node_key(node)
+        hit = memo.get(key)
         if hit is not None:
             return hit
-        half = 1 << node.level
+        half = 1 << node_level(node)
+        children = node_children(node)
         halves = []
         for row_bit in (0, 1):
             parts_v, parts_c = [], []
             for col_bit in (0, 1):
-                child = node.children[row_bit * 2 + col_bit]
-                if child.weight == 0:
+                child, weight = children[row_bit * 2 + col_bit]
+                if weight == 0:
                     continue
-                cv, cc = rec(child.node)
-                parts_v.append(cv * child.weight)
+                cv, cc = rec(child)
+                parts_v.append(cv * weight)
                 parts_c.append(cc + col_bit * half)
             if not parts_v:
                 parts_v = [np.zeros((half, 0), dtype=np.complex128)]
@@ -99,11 +117,30 @@ def ell_from_dd_cpu(edge: Edge, num_qubits: int) -> ELLMatrix:
             values[i * half : (i + 1) * half, : hv.shape[1]] = hv
             cols[i * half : (i + 1) * half, : hc.shape[1]] = hc
         hit = _compress(values, cols)
-        memo[node.nid] = hit
+        memo[key] = hit
         return hit
 
-    values, cols = rec(edge.node)
-    values = values * edge.weight
+    values, cols = rec(root_node)
+    return values * root_weight, cols
+
+
+def ell_from_dd_cpu(edge: Edge, num_qubits: int) -> ELLMatrix:
+    """CPU-based DD-to-ELL conversion (memoized recursion over nodes)."""
+    if edge.weight == 0:
+        raise ConversionError("cannot convert the zero matrix to ELL")
+
+    def children(node):
+        return [
+            (child.node, child.weight) for child in node.children
+        ]
+
+    values, cols = _assemble_ell(
+        edge.node,
+        edge.weight,
+        node_key=lambda node: node.nid,
+        node_level=lambda node: node.level,
+        node_children=children,
+    )
     if values.shape[1] == 0:
         raise ConversionError("DD represented the zero matrix")
     return ELLMatrix(num_qubits, np.ascontiguousarray(values), np.ascontiguousarray(cols))
@@ -193,48 +230,27 @@ def ell_from_flat_gpu(
 def _ell_from_flat_fast(flat: FlatDD) -> ELLMatrix:
     """Vectorized per-node assembly over the flat arrays (same math as the
     kernel; used as its fast stand-in for large row counts)."""
-    memo: dict[int, tuple[np.ndarray, np.ndarray]] = {}
 
-    def rec(node: int) -> tuple[np.ndarray, np.ndarray]:
-        if node == -1:
-            return (
-                np.ones((1, 1), dtype=np.complex128),
-                np.zeros((1, 1), dtype=np.int64),
-            )
-        hit = memo.get(node)
-        if hit is not None:
-            return hit
-        level = int(flat.node_level[node])
-        half = 1 << level
-        halves = []
-        for row_bit in (0, 1):
-            parts_v, parts_c = [], []
-            for col_bit in (0, 1):
-                eidx = flat.node_edges[node, row_bit * 2 + col_bit]
-                if eidx == -1:
-                    continue
-                cv, cc = rec(int(flat.edge_node[eidx]))
-                parts_v.append(cv * flat.edge_weight[eidx])
-                parts_c.append(cc + col_bit * half)
-            if not parts_v:
-                parts_v = [np.zeros((half, 0), dtype=np.complex128)]
-                parts_c = [np.zeros((half, 0), dtype=np.int64)]
-            halves.append(
-                (np.concatenate(parts_v, axis=1), np.concatenate(parts_c, axis=1))
-            )
-        width = max(halves[0][0].shape[1], halves[1][0].shape[1])
-        values = np.zeros((2 * half, width), dtype=np.complex128)
-        cols = np.zeros((2 * half, width), dtype=np.int64)
-        for i, (hv, hc) in enumerate(halves):
-            values[i * half : (i + 1) * half, : hv.shape[1]] = hv
-            cols[i * half : (i + 1) * half, : hc.shape[1]] = hc
-        hit = _compress(values, cols)
-        memo[node] = hit
-        return hit
+    def children(node: int):
+        out = []
+        for slot in range(4):
+            eidx = int(flat.node_edges[node, slot])
+            if eidx == -1:
+                out.append((None, 0))
+                continue
+            child = int(flat.edge_node[eidx])
+            out.append((child if child != -1 else None, flat.edge_weight[eidx]))
+        return out
 
     root = flat.root()
-    values, cols = rec(int(flat.edge_node[root]))
-    values = values * flat.edge_weight[root]
+    root_node = int(flat.edge_node[root])
+    values, cols = _assemble_ell(
+        root_node if root_node != -1 else None,
+        flat.edge_weight[root],
+        node_key=lambda node: node,
+        node_level=lambda node: int(flat.node_level[node]),
+        node_children=children,
+    )
     return ELLMatrix(flat.num_qubits, values, cols)
 
 

@@ -66,6 +66,16 @@ class ELLMatrix:
         """Actual non-zero count per row (excluding padding)."""
         return (self.values != 0).sum(axis=1)
 
+    def plan(self):
+        """Compiled :class:`~repro.ell.spmm.GatherPlan` for this matrix.
+
+        Built on first use and memoized on the instance, so every later
+        application reuses the flattened gather indices (and CSR mirror).
+        """
+        from .spmm import gather_plan
+
+        return gather_plan(self)
+
 
 def ell_from_dense(matrix: np.ndarray) -> ELLMatrix:
     """Build an ELL matrix from a dense array (reference/tests)."""

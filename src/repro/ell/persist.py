@@ -2,9 +2,17 @@
 
 The paper highlights that "the circuit is optimized once into a reusable
 simulation task graph"; this module makes the expensive one-time artifacts
-— the fused-gate ELL matrices — reusable *across processes* by saving them
-to a single ``.npz`` archive.  A saved bundle can be loaded and fed
-straight to the spMM kernels without re-running fusion or conversion.
+reusable *across processes* by saving them to a single ``.npz`` archive.
+
+Two formats are supported:
+
+* **v1** — :class:`EllBundle`: just the ordered fused-gate ELL matrices.
+* **v2** — :class:`CompiledPlan`: the *full* compiled execution plan — the
+  fusion-plan metadata (per-fused-gate costs, source-gate provenance,
+  non-zero totals), the hybrid conversion decisions (``conv_infos``), and
+  optionally the converted ELL matrices.  This is what the disk tier of
+  :class:`~repro.sim.base.PlanCache` round-trips so a warm process skips
+  stages 1-2 (fusion + conversion) entirely.
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ from ..errors import ConversionError
 from .format import ELLMatrix
 
 _FORMAT_VERSION = 1
+_PLAN_FORMAT_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -37,11 +46,15 @@ class EllBundle:
         return sum(m.width for m in self.matrices)
 
     def apply(self, states: np.ndarray) -> np.ndarray:
-        """Push a state block through every matrix in order."""
-        from .spmm import ell_spmm
+        """Push a state block through every matrix in order.
 
-        for matrix in self.matrices:
-            states = ell_spmm(matrix, states)
+        Runs on compiled gather plans with consecutive width-1 matrices
+        composed into a single pass (see :func:`repro.ell.build_apply_plans`).
+        """
+        from .spmm import build_apply_plans
+
+        for plan in build_apply_plans(self.matrices):
+            states = plan.apply(states)
         return states
 
 
@@ -93,3 +106,161 @@ def bundle_from_plan(circuit_name: str, num_qubits: int, ells) -> EllBundle:
         num_qubits=num_qubits,
         matrices=tuple(ells),
     )
+
+
+# ---------------------------------------------------------------------------
+# Format v2: full compiled execution plans
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CompiledPlan:
+    """Everything stages 1-2 produce for one circuit, minus the DDs.
+
+    ``matrices`` is ``None`` when the plan was compiled model-only
+    (``execute=False``): the metadata still lets a warm run skip fusion and
+    conversion *timing* work, but numeric execution needs the matrices and
+    falls back to a rebuild.
+    """
+
+    fingerprint: str
+    circuit_name: str
+    num_qubits: int
+    algorithm: str
+    source_gate_count: int
+    fused_nodes: int
+    gate_costs: tuple[int, ...]
+    gate_indices: tuple[tuple[int, ...], ...]
+    gate_nnz: tuple[float, ...]
+    conv_infos: tuple[dict, ...]
+    matrices: tuple[ELLMatrix, ...] | None = None
+
+    def __len__(self) -> int:
+        return len(self.gate_costs)
+
+    @property
+    def has_matrices(self) -> bool:
+        return self.matrices is not None
+
+    def to_fusion_plan(self):
+        """Reconstruct a :class:`~repro.fusion.plan.FusionPlan` skeleton.
+
+        The fused-gate DDs are gone (``dd=None``); costs, provenance, and
+        nnz totals — everything stage 3 and the stats consumers read — are
+        intact.
+        """
+        from ..fusion.plan import FusedGate, FusionPlan
+
+        gates = tuple(
+            FusedGate(dd=None, cost=cost, gate_indices=indices, nnz=nnz)
+            for cost, indices, nnz in zip(
+                self.gate_costs, self.gate_indices, self.gate_nnz
+            )
+        )
+        return FusionPlan(
+            num_qubits=self.num_qubits,
+            gates=gates,
+            algorithm=self.algorithm,
+            source_gate_count=self.source_gate_count,
+        )
+
+
+def save_compiled_plan(plan: CompiledPlan, path: str | Path) -> Path:
+    """Write a compiled plan as a compressed ``.npz`` archive (atomically)."""
+    path = Path(path)
+    indices_flat = np.array(
+        [i for indices in plan.gate_indices for i in indices], dtype=np.int64
+    )
+    offsets = np.cumsum([0] + [len(i) for i in plan.gate_indices]).astype(np.int64)
+    payload: dict[str, np.ndarray] = {
+        "format_version": np.array(_PLAN_FORMAT_VERSION),
+        "fingerprint": np.array(plan.fingerprint),
+        "circuit_name": np.array(plan.circuit_name),
+        "num_qubits": np.array(plan.num_qubits),
+        "algorithm": np.array(plan.algorithm),
+        "source_gate_count": np.array(plan.source_gate_count),
+        "fused_nodes": np.array(plan.fused_nodes),
+        "num_gates": np.array(len(plan.gate_costs)),
+        "gate_costs": np.array(plan.gate_costs, dtype=np.int64),
+        "gate_nnz": np.array(plan.gate_nnz, dtype=np.float64),
+        "gate_indices_flat": indices_flat,
+        "gate_indices_offsets": offsets,
+        "conv_routes": np.array([i["route"] for i in plan.conv_infos]),
+        "conv_edges": np.array(
+            [i["edges"] for i in plan.conv_infos], dtype=np.int64
+        ),
+        "conv_widths": np.array(
+            [i["width"] for i in plan.conv_infos], dtype=np.int64
+        ),
+        "conv_times": np.array(
+            [i["time"] for i in plan.conv_infos], dtype=np.float64
+        ),
+        "has_matrices": np.array(1 if plan.has_matrices else 0),
+    }
+    if plan.matrices is not None:
+        for i, matrix in enumerate(plan.matrices):
+            payload[f"values_{i}"] = matrix.values
+            payload[f"cols_{i}"] = matrix.cols
+    final = path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    tmp = final.with_name(final.name + ".tmp.npz")
+    np.savez_compressed(tmp, **payload)
+    tmp.replace(final)
+    return final
+
+
+def load_compiled_plan(path: str | Path) -> CompiledPlan:
+    """Load a compiled plan previously written by :func:`save_compiled_plan`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        version = int(data["format_version"])
+        if version != _PLAN_FORMAT_VERSION:
+            raise ConversionError(
+                f"plan format {version} not supported "
+                f"(expected {_PLAN_FORMAT_VERSION})"
+            )
+        num_qubits = int(data["num_qubits"])
+        num_gates = int(data["num_gates"])
+        flat = data["gate_indices_flat"]
+        offsets = data["gate_indices_offsets"]
+        gate_indices = tuple(
+            tuple(int(i) for i in flat[offsets[g] : offsets[g + 1]])
+            for g in range(num_gates)
+        )
+        conv_infos = tuple(
+            {
+                "route": str(route),
+                "edges": int(edges),
+                "width": int(width),
+                "time": float(t),
+            }
+            for route, edges, width, t in zip(
+                data["conv_routes"],
+                data["conv_edges"],
+                data["conv_widths"],
+                data["conv_times"],
+            )
+        )
+        matrices: tuple[ELLMatrix, ...] | None = None
+        if int(data["has_matrices"]):
+            loaded = []
+            for i in range(num_gates):
+                try:
+                    values = data[f"values_{i}"]
+                    cols = data[f"cols_{i}"]
+                except KeyError:
+                    raise ConversionError(
+                        f"plan is missing arrays for gate {i}"
+                    ) from None
+                loaded.append(ELLMatrix(num_qubits, values, cols))
+            matrices = tuple(loaded)
+        return CompiledPlan(
+            fingerprint=str(data["fingerprint"]),
+            circuit_name=str(data["circuit_name"]),
+            num_qubits=num_qubits,
+            algorithm=str(data["algorithm"]),
+            source_gate_count=int(data["source_gate_count"]),
+            fused_nodes=int(data["fused_nodes"]),
+            gate_costs=tuple(int(c) for c in data["gate_costs"]),
+            gate_indices=gate_indices,
+            gate_nnz=tuple(float(x) for x in data["gate_nnz"]),
+            conv_infos=conv_infos,
+            matrices=matrices,
+        )

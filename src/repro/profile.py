@@ -1,0 +1,67 @@
+"""Wall-clock stage profiling for the simulation pipelines.
+
+The device model reports *modeled* seconds (what the calibrated GPU would
+take); this module measures *real* host seconds per pipeline stage, so
+speedups of the compiled-plan hot paths are observed rather than asserted.
+Simulators surface the recorded breakdown in
+``SimulationResult.stats["wall_breakdown"]`` alongside the modeled
+``breakdown``.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+
+class StageTimer:
+    """Accumulates wall seconds per named pipeline stage.
+
+    Stages may be entered repeatedly; durations accumulate.  The timer is
+    deliberately tiny — one ``perf_counter`` pair per stage entry — so it
+    can stay on permanently in every simulator run.
+    """
+
+    def __init__(self) -> None:
+        self.wall: dict[str, float] = {}
+
+    @contextmanager
+    def time(self, stage: str):
+        """Context manager charging the enclosed block to ``stage``."""
+        t0 = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.record(stage, time.perf_counter() - t0)
+
+    def record(self, stage: str, seconds: float) -> None:
+        """Add ``seconds`` of wall time to ``stage``."""
+        self.wall[stage] = self.wall.get(stage, 0.0) + seconds
+
+    def total(self) -> float:
+        return sum(self.wall.values())
+
+    def snapshot(self) -> dict[str, float]:
+        """Copy of the per-stage totals (safe to stash in result stats)."""
+        return dict(self.wall)
+
+    def summary(self) -> str:
+        parts = ", ".join(
+            f"{stage}={seconds * 1e3:.2f}ms" for stage, seconds in self.wall.items()
+        )
+        return f"<StageTimer {parts}>"
+
+
+@contextmanager
+def stopwatch():
+    """Standalone timer: ``with stopwatch() as t: ...; t.seconds``."""
+
+    class _Watch:
+        seconds = 0.0
+
+    watch = _Watch()
+    t0 = time.perf_counter()
+    try:
+        yield watch
+    finally:
+        watch.seconds = time.perf_counter() - t0

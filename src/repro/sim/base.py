@@ -12,8 +12,10 @@ would be prohibitive.
 from __future__ import annotations
 
 import abc
-import time
+import hashlib
+import os
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
@@ -22,6 +24,11 @@ from ..circuit import Circuit, InputBatch, generate_batches
 from ..errors import SimulationError
 from ..gpu.engine import Timeline
 from ..gpu.power import PowerReport
+from ..profile import StageTimer
+
+#: environment variable naming the default disk tier of every PlanCache;
+#: unset means memory-only caching
+PLAN_CACHE_ENV = "REPRO_PLAN_CACHE"
 
 
 @dataclass
@@ -112,43 +119,76 @@ class BatchSimulator(abc.ABC):
 
 
 class PlanCache:
-    """Per-simulator cache of fusion artifacts keyed by circuit identity.
+    """Per-simulator cache of fusion artifacts keyed by circuit *structure*.
 
     Experiments sweep batch counts and ablation flags over one circuit;
-    fusion is a deterministic function of the circuit, so each simulator
-    caches its (manager, plan, ...) tuple per circuit object.
+    fusion is a deterministic function of the circuit and the fusion
+    settings, so entries are keyed by :meth:`Circuit.fingerprint` plus a
+    simulator-supplied ``extra`` tuple of settings.  Structural keying means
+    two equal circuits share one plan regardless of object identity, an
+    in-place edit of a circuit is correctly detected as a different key,
+    and a recycled ``id()`` can never resurrect a stale plan — the three
+    hazards of the previous ``id(circuit)`` scheme.
+
+    ``cache_dir`` (or the ``REPRO_PLAN_CACHE`` environment variable) adds a
+    disk tier: simulators that support it serialize compiled plans to
+    ``<cache_dir>/<key>.npz`` so a *new process* skips stages 1-2 too.  The
+    cache itself stays serialization-agnostic; it only hands out paths.
     """
 
-    def __init__(self) -> None:
-        self._entries: dict[int, tuple[object, object]] = {}
+    def __init__(self, cache_dir: str | Path | None = None) -> None:
+        self._entries: dict[str, object] = {}
+        if cache_dir is None:
+            cache_dir = os.environ.get(PLAN_CACHE_ENV) or None
+        self.cache_dir = Path(cache_dir) if cache_dir else None
 
-    def get(self, circuit, build):
-        key = id(circuit)
-        hit = self._entries.get(key)
-        if hit is None or hit[0] is not circuit:
-            hit = (circuit, build())
-            self._entries[key] = hit
-        return hit[1]
+    @staticmethod
+    def key(circuit: Circuit, extra: tuple = ()) -> str:
+        """Structural cache key: circuit fingerprint + hashed settings."""
+        digest = circuit.fingerprint()
+        if extra:
+            salt = hashlib.sha256(repr(extra).encode()).hexdigest()[:16]
+            return f"{digest[:48]}-{salt}"
+        return digest[:48]
+
+    def get(self, circuit: Circuit, build, extra: tuple = ()):
+        """Memory-tier lookup; ``build()`` fills a miss."""
+        key = self.key(circuit, extra)
+        if key not in self._entries:
+            self._entries[key] = build()
+        return self._entries[key]
+
+    def peek(self, key: str):
+        return self._entries.get(key)
+
+    def put(self, key: str, value) -> None:
+        self._entries[key] = value
+
+    # -- disk tier ----------------------------------------------------------
+
+    def disk_path(self, key: str) -> Path | None:
+        """Path of the disk entry for ``key`` (``None`` without a disk tier).
+
+        Creates the cache directory on first use.
+        """
+        if self.cache_dir is None:
+            return None
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        return self.cache_dir / f"{key}.npz"
+
+    def disk_entries(self) -> list[Path]:
+        """Every plan archive currently in the disk tier."""
+        if self.cache_dir is None or not self.cache_dir.is_dir():
+            return []
+        return sorted(self.cache_dir.glob("*.npz"))
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop the memory tier; ``disk=True`` also deletes the archives."""
+        self._entries.clear()
+        if disk:
+            for path in self.disk_entries():
+                path.unlink()
 
 
-class _StageTimer:
-    """Context helper measuring host wall time of pipeline stages."""
-
-    def __init__(self) -> None:
-        self.wall: dict[str, float] = {}
-
-    def time(self, stage: str):
-        timer = self
-
-        class _Ctx:
-            def __enter__(self_inner):
-                self_inner.t0 = time.perf_counter()
-                return self_inner
-
-            def __exit__(self_inner, *exc):
-                timer.wall[stage] = timer.wall.get(stage, 0.0) + (
-                    time.perf_counter() - self_inner.t0
-                )
-                return False
-
-        return _Ctx()
+#: kept under the old private name for backward compatibility
+_StageTimer = StageTimer

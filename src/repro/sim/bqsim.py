@@ -14,6 +14,7 @@ kernel/copy synchronously.
 from __future__ import annotations
 
 import time
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
@@ -23,6 +24,7 @@ from ..dd.export import count_edges, count_nodes
 from ..dd.manager import DDManager
 from ..ell.convert import DEFAULT_TAU, ell_from_dd
 from ..ell.format import ELLMatrix
+from ..ell.persist import CompiledPlan, load_compiled_plan, save_compiled_plan
 from ..ell.spmm import ell_spmm
 from ..errors import SimulationError
 from ..fusion.bqcs import bqcs_fusion, no_fusion_plan
@@ -36,6 +38,7 @@ from ..gpu.spec import (
     ell_kernel_bytes,
     state_block_bytes,
 )
+from ..profile import StageTimer
 from .base import BatchSimulator, BatchSpec, PlanCache, SimulationResult
 
 NUM_BUFFERS = 4
@@ -64,6 +67,7 @@ class BQSimSimulator(BatchSimulator):
         task_graph: bool = True,
         max_fused_cost: int | None = None,
         snapshots: bool = False,
+        cache_dir: str | Path | None = None,
     ):
         self.gpu = gpu or GpuSpec()
         self.cpu = cpu or CpuSpec()
@@ -75,7 +79,10 @@ class BQSimSimulator(BatchSimulator):
         #: capture the full state after every fused gate (paper Section 2.1:
         #: full-state simulation exposes the amplitudes at each gate)
         self.snapshots = snapshots
-        self._plans = PlanCache()
+        #: optional disk tier: compiled plans round-trip through
+        #: ``cache_dir`` (or $REPRO_PLAN_CACHE) so warm *processes* skip
+        #: fusion and conversion entirely
+        self._plans = PlanCache(cache_dir)
 
     # -- pipeline stages ------------------------------------------------------
 
@@ -84,37 +91,69 @@ class BQSimSimulator(BatchSimulator):
             return bqcs_fusion(mgr, circuit, max_cost=self.max_fused_cost)
         return no_fusion_plan(mgr, circuit)
 
-    def _prepare(self, circuit: Circuit) -> dict:
-        """Stages 1 and 2 (fusion + conversion analysis), cached per circuit
-        since both are deterministic one-time work."""
+    def _cache_extra(self) -> tuple:
+        """Settings that change what stages 1-2 produce (part of the key)."""
+        return ("bqsim-v1", self.fusion, self.max_fused_cost, self.tau, self.use_ell)
 
-        def build() -> dict:
-            mgr = DDManager(circuit.num_qubits)
-            plan = self.plan_circuit(mgr, circuit)
-            fused_nodes = sum(count_nodes(g.dd) for g in plan.gates)
-            rows = 1 << plan.num_qubits
-            infos: list[dict] = []
-            for fused in plan.gates:
-                edges = count_edges(fused.dd)
-                route = "cpu" if edges > self.tau else "gpu"
-                if route == "gpu":
-                    t = self.gpu.conversion_time(rows, fused.cost, edges)
-                else:
-                    t = self.cpu.conversion_time(rows, fused.cost, edges)
-                if not self.use_ell:
-                    t = 0.0  # ablation: simulate straight from the flat DD
-                infos.append(
-                    {"route": route, "edges": edges, "width": fused.cost, "time": t}
-                )
-            return {
-                "mgr": mgr,
-                "plan": plan,
-                "fused_nodes": fused_nodes,
-                "conv_infos": infos,
-                "ells": None,
-            }
+    def _build(self, circuit: Circuit) -> dict:
+        """Stages 1 and 2 from scratch: fusion + conversion analysis."""
+        mgr = DDManager(circuit.num_qubits)
+        plan = self.plan_circuit(mgr, circuit)
+        fused_nodes = sum(count_nodes(g.dd) for g in plan.gates)
+        rows = 1 << plan.num_qubits
+        infos: list[dict] = []
+        for fused in plan.gates:
+            edges = count_edges(fused.dd)
+            route = "cpu" if edges > self.tau else "gpu"
+            if route == "gpu":
+                t = self.gpu.conversion_time(rows, fused.cost, edges)
+            else:
+                t = self.cpu.conversion_time(rows, fused.cost, edges)
+            if not self.use_ell:
+                t = 0.0  # ablation: simulate straight from the flat DD
+            infos.append(
+                {"route": route, "edges": edges, "width": fused.cost, "time": t}
+            )
+        return {
+            "mgr": mgr,
+            "plan": plan,
+            "fused_nodes": fused_nodes,
+            "conv_infos": infos,
+            "ells": None,
+        }
 
-        return self._plans.get(circuit, build)
+    def _prepare(self, circuit: Circuit, execute: bool = False) -> tuple[dict, str]:
+        """Stages 1 and 2, cached per circuit structure.
+
+        Tier order: memory, then disk (compiled-plan archives), then a
+        fresh build.  Returns ``(prepared, source)`` with source one of
+        ``"memory"``, ``"disk"``, ``"built"``.  A disk entry saved without
+        matrices (model-only run) cannot feed numeric execution, so with
+        ``execute=True`` it is treated as a miss and rebuilt.
+        """
+        key = self._plans.key(circuit, self._cache_extra())
+        prepared = self._plans.peek(key)
+        source = "memory" if prepared is not None else ""
+        if prepared is None:
+            prepared = self._load_compiled(key)
+            if prepared is not None:
+                source = "disk"
+        if (
+            prepared is not None
+            and execute
+            and prepared["ells"] is None
+            and any(g.dd is None for g in prepared["plan"].gates)
+        ):
+            prepared, source = None, ""
+        if prepared is None:
+            prepared = self._build(circuit)
+            source = "built"
+        prepared["key"] = key
+        prepared["circuit_name"] = circuit.name
+        self._plans.put(key, prepared)
+        if source == "built":
+            self._save_compiled(prepared)
+        return prepared, source
 
     def _materialize_ells(self, prepared: dict) -> list[ELLMatrix]:
         if prepared["ells"] is None:
@@ -125,7 +164,51 @@ class BQSimSimulator(BatchSimulator):
                 ).ell
                 for fused in plan.gates
             ]
+            # upgrade the disk entry: metadata-only archives become fully
+            # executable once the matrices exist
+            self._save_compiled(prepared)
         return prepared["ells"]
+
+    # -- disk tier ------------------------------------------------------------
+
+    def _load_compiled(self, key: str) -> dict | None:
+        path = self._plans.disk_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            compiled = load_compiled_plan(path)
+        except Exception:
+            return None  # unreadable/corrupt archives are silently rebuilt
+        return {
+            "mgr": None,
+            "plan": compiled.to_fusion_plan(),
+            "fused_nodes": compiled.fused_nodes,
+            "conv_infos": [dict(info) for info in compiled.conv_infos],
+            "ells": list(compiled.matrices) if compiled.has_matrices else None,
+        }
+
+    def _save_compiled(self, prepared: dict) -> None:
+        path = self._plans.disk_path(prepared.get("key", ""))
+        if path is None:
+            return
+        plan: FusionPlan = prepared["plan"]
+        compiled = CompiledPlan(
+            fingerprint=prepared["key"],
+            circuit_name=prepared.get("circuit_name", ""),
+            num_qubits=plan.num_qubits,
+            algorithm=plan.algorithm,
+            source_gate_count=plan.source_gate_count,
+            fused_nodes=prepared["fused_nodes"],
+            gate_costs=tuple(g.cost for g in plan.gates),
+            gate_indices=tuple(g.gate_indices for g in plan.gates),
+            gate_nnz=tuple(g.nnz for g in plan.gates),
+            conv_infos=tuple(prepared["conv_infos"]),
+            matrices=tuple(prepared["ells"]) if prepared["ells"] else None,
+        )
+        try:
+            save_compiled_plan(compiled, path)
+        except OSError:
+            pass  # a read-only cache dir must not break simulation
 
     # -- main entry point -------------------------------------------------------
 
@@ -138,23 +221,30 @@ class BQSimSimulator(BatchSimulator):
     ) -> SimulationResult:
         wall_start = time.perf_counter()
         n = circuit.num_qubits
+        timer = StageTimer()
 
-        # stages 1 and 2: fusion + conversion (one-time, cached per circuit)
-        prepared = self._prepare(circuit)
+        # stages 1 and 2: fusion + conversion (one-time, cached per circuit
+        # structure in memory and — with a cache_dir — on disk)
+        with timer.time("prepare"):
+            prepared, plan_source = self._prepare(circuit, execute)
         plan: FusionPlan = prepared["plan"]
         conv_infos = prepared["conv_infos"]
         t_fusion = self.cpu.fusion_time(len(circuit.gates), prepared["fused_nodes"])
         t_conversion = sum(info["time"] for info in conv_infos)
-        ells = self._materialize_ells(prepared) if execute else None
+        with timer.time("convert"):
+            ells = self._materialize_ells(prepared) if execute else None
 
         # stage 3: task-graph execution
-        batches = self._resolve_batches(circuit, spec, batches, execute)
-        device = VirtualGPU(self.gpu, mode="graph" if self.task_graph else "stream")
-        work = {"macs": 0.0, "bytes": 0.0}
-        outputs, snapshots = self._simulate(
-            device, plan, conv_infos, ells, batches, spec, work
-        )
-        timeline = device.run()
+        with timer.time("execute"):
+            batches = self._resolve_batches(circuit, spec, batches, execute)
+            device = VirtualGPU(
+                self.gpu, mode="graph" if self.task_graph else "stream"
+            )
+            work = {"macs": 0.0, "bytes": 0.0}
+            outputs, snapshots = self._simulate(
+                device, plan, conv_infos, ells, batches, spec, work
+            )
+            timeline = device.run()
         t_sim = timeline.makespan
 
         total = t_fusion + t_conversion + t_sim
@@ -190,6 +280,9 @@ class BQSimSimulator(BatchSimulator):
                 "macs": plan.macs(spec.num_inputs),
                 "conversion_routes": [i["route"] for i in conv_infos],
                 "plan": plan,
+                "plan_source": plan_source,
+                "plan_key": prepared["key"],
+                "wall_breakdown": timer.snapshot(),
                 "overlap_fraction": timeline.overlap_fraction(),
                 "snapshots": snapshots,
             },

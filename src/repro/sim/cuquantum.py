@@ -37,6 +37,7 @@ from ..gpu.spec import (
     dense_kernel_bytes,
     state_block_bytes,
 )
+from ..profile import StageTimer
 from .base import BatchSimulator, BatchSpec, PlanCache, SimulationResult
 
 PlanProvider = Callable[[DDManager, Circuit], FusionPlan]
@@ -76,13 +77,22 @@ class CuQuantumSimulator(BatchSimulator):
     ) -> SimulationResult:
         wall_start = time.perf_counter()
         n = circuit.num_qubits
+        timer = StageTimer()
 
         def build():
             mgr = DDManager(n)
             built_plan = self.plan_provider(mgr, circuit)
             return {"mgr": mgr, "plan": built_plan, "ells": None}
 
-        prepared = self._plans.get(circuit, build)
+        # distinct providers (cuQuantum+B / cuQuantum+Q) produce distinct
+        # plans for the same circuit, so the provider is part of the key
+        provider_tag = getattr(
+            self.plan_provider, "__name__", repr(self.plan_provider)
+        )
+        with timer.time("prepare"):
+            prepared = self._plans.get(
+                circuit, build, extra=("cuquantum-v1", provider_tag)
+            )
         plan = prepared["plan"]
 
         # dense-matrix memory footprint of every (fused) gate on the device
@@ -109,9 +119,15 @@ class CuQuantumSimulator(BatchSimulator):
         batches = self._resolve_batches(circuit, spec, batches, execute)
         ells = None
         if execute:
-            if prepared["ells"] is None:
-                prepared["ells"] = [ell_from_dd_cpu(fg.dd, n) for fg in plan.gates]
-            ells = prepared["ells"]
+            with timer.time("convert"):
+                if prepared["ells"] is None:
+                    prepared["ells"] = [
+                        ell_from_dd_cpu(fg.dd, n) for fg in plan.gates
+                    ]
+                ells = prepared["ells"]
+                # warm the gather plans outside the timed kernel bodies
+                for ell in ells:
+                    ell.plan()
 
         device = VirtualGPU(self.gpu, mode="stream")
         rows = 1 << n
@@ -155,7 +171,8 @@ class CuQuantumSimulator(BatchSimulator):
                     f"d2h:b{ib}", "d2h", self.gpu.copy_time(block), deps=[prev]
                 )
 
-        timeline = device.run()
+        with timer.time("execute"):
+            timeline = device.run()
         total = timeline.makespan
         power = PowerReport(
             gpu_watts=gpu_power_from_work(total_macs, total_bytes, total, self.gpu),
@@ -178,5 +195,6 @@ class CuQuantumSimulator(BatchSimulator):
                     (1 << k) * rows * spec.num_inputs for k in supports
                 ),
                 "dense_matrix_bytes": matrix_bytes,
+                "wall_breakdown": timer.snapshot(),
             },
         )

@@ -18,10 +18,11 @@ import numpy as np
 from ..circuit import Circuit, InputBatch
 from ..dd.manager import DDManager
 from ..ell.convert import ell_from_dd_cpu
-from ..ell.spmm import ell_spmm
+from ..ell.spmm import build_apply_plans
 from ..fusion.greedy import flatdd_fusion
 from ..gpu.power import PowerReport, cpu_power_from_utilization
 from ..gpu.spec import CpuSpec, GpuSpec
+from ..profile import StageTimer
 from .base import BatchSimulator, BatchSpec, PlanCache, SimulationResult
 
 
@@ -44,13 +45,15 @@ class FlatDDSimulator(BatchSimulator):
     ) -> SimulationResult:
         wall_start = time.perf_counter()
         n = circuit.num_qubits
+        timer = StageTimer()
 
         def build():
             mgr = DDManager(n)
             built = flatdd_fusion(mgr, circuit)
             return {"mgr": mgr, "plan": built, "ells": None}
 
-        prepared = self._plans.get(circuit, build)
+        with timer.time("prepare"):
+            prepared = self._plans.get(circuit, build, extra=("flatdd-v1",))
         plan = prepared["plan"]
 
         work_per_input = sum(fg.nnz for fg in plan.gates)
@@ -63,15 +66,20 @@ class FlatDDSimulator(BatchSimulator):
         batches = self._resolve_batches(circuit, spec, batches, execute)
         outputs: list[np.ndarray] | None = None
         if execute:
-            if prepared["ells"] is None:
-                prepared["ells"] = [ell_from_dd_cpu(fg.dd, n) for fg in plan.gates]
-            ells = prepared["ells"]
-            outputs = []
-            for batch in batches:
-                states = batch.states
-                for ell in ells:
-                    states = ell_spmm(ell, states)
-                outputs.append(states)
+            with timer.time("convert"):
+                if prepared["ells"] is None:
+                    prepared["ells"] = [
+                        ell_from_dd_cpu(fg.dd, n) for fg in plan.gates
+                    ]
+                # compiled gather plans, consecutive width-1 kernels composed
+                apply_plans = build_apply_plans(prepared["ells"])
+            with timer.time("execute"):
+                outputs = []
+                for batch in batches:
+                    states = batch.states
+                    for apply_plan in apply_plans:
+                        states = apply_plan.apply(states)
+                    outputs.append(states)
 
         power = PowerReport(
             gpu_watts=0.0,

@@ -24,6 +24,7 @@ from ..errors import SimulationError
 from ..gpu.device import VirtualGPU
 from ..gpu.power import PowerReport, cpu_power_from_utilization, gpu_power_from_work
 from ..gpu.spec import CpuSpec, GpuSpec, ell_kernel_bytes, state_block_bytes
+from ..profile import StageTimer
 from .base import BatchSpec, SimulationResult
 from .bqsim import BQSimSimulator
 
@@ -48,13 +49,16 @@ class MultiGpuBQSimSimulator(BQSimSimulator):
     ) -> SimulationResult:
         wall_start = time.perf_counter()
         n = circuit.num_qubits
+        timer = StageTimer()
 
-        prepared = self._prepare(circuit)
+        with timer.time("prepare"):
+            prepared, plan_source = self._prepare(circuit, execute)
         plan = prepared["plan"]
         conv_infos = prepared["conv_infos"]
         t_fusion = self.cpu.fusion_time(len(circuit.gates), prepared["fused_nodes"])
         t_conversion = sum(info["time"] for info in conv_infos)
-        ells = self._materialize_ells(prepared) if execute else None
+        with timer.time("convert"):
+            ells = self._materialize_ells(prepared) if execute else None
 
         batches = self._resolve_batches(circuit, spec, batches, execute)
         # deal batches round-robin: device d gets batches d, d+k, d+2k, ...
@@ -67,6 +71,7 @@ class MultiGpuBQSimSimulator(BQSimSimulator):
         outputs: list[np.ndarray | None] | None = (
             [None] * spec.num_batches if execute else None
         )
+        execute_t0 = time.perf_counter()
         for device_index, shard in enumerate(shards):
             if not shard:
                 makespans.append(0.0)
@@ -88,6 +93,7 @@ class MultiGpuBQSimSimulator(BQSimSimulator):
                 for local, global_index in enumerate(shard):
                     outputs[global_index] = shard_out[local]
 
+        timer.record("execute", time.perf_counter() - execute_t0)
         t_sim = max(makespans)
         total = t_fusion + t_conversion + t_sim
         power = PowerReport(
@@ -123,5 +129,8 @@ class MultiGpuBQSimSimulator(BQSimSimulator):
                 "num_devices": self.num_devices,
                 "device_makespans": makespans,
                 "plan": plan,
+                "plan_source": plan_source,
+                "plan_key": prepared["key"],
+                "wall_breakdown": timer.snapshot(),
             },
         )

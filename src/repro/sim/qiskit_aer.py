@@ -17,10 +17,11 @@ import numpy as np
 from ..circuit import Circuit, InputBatch
 from ..dd.manager import DDManager
 from ..ell.convert import ell_from_dd_cpu
-from ..ell.spmm import ell_spmm
+from ..ell.spmm import build_apply_plans
 from ..fusion.array_fusion import aer_fusion
 from ..gpu.power import PowerReport, cpu_power_from_utilization, gpu_power_from_work
 from ..gpu.spec import COMPLEX_BYTES, CpuSpec, GpuSpec
+from ..profile import StageTimer
 from .base import BatchSimulator, BatchSpec, PlanCache, SimulationResult
 
 
@@ -50,13 +51,17 @@ class QiskitAerSimulator(BatchSimulator):
         wall_start = time.perf_counter()
         n = circuit.num_qubits
         rows = 1 << n
+        timer = StageTimer()
 
         def build():
             mgr = DDManager(n)
             built = aer_fusion(mgr, circuit, max_fused_qubits=self.max_fused_qubits)
             return {"mgr": mgr, "plan": built, "ells": None}
 
-        prepared = self._plans.get(circuit, build)
+        with timer.time("prepare"):
+            prepared = self._plans.get(
+                circuit, build, extra=("aer-v1", self.max_fused_qubits)
+            )
         plan = prepared["plan"]
 
         # host cost per input run (already folded over 8 worker processes)
@@ -89,15 +94,19 @@ class QiskitAerSimulator(BatchSimulator):
         batches = self._resolve_batches(circuit, spec, batches, execute)
         outputs: list[np.ndarray] | None = None
         if execute:
-            if prepared["ells"] is None:
-                prepared["ells"] = [ell_from_dd_cpu(fg.dd, n) for fg in plan.gates]
-            ells = prepared["ells"]
-            outputs = []
-            for batch in batches:
-                states = batch.states
-                for ell in ells:
-                    states = ell_spmm(ell, states)
-                outputs.append(states)
+            with timer.time("convert"):
+                if prepared["ells"] is None:
+                    prepared["ells"] = [
+                        ell_from_dd_cpu(fg.dd, n) for fg in plan.gates
+                    ]
+                apply_plans = build_apply_plans(prepared["ells"])
+            with timer.time("execute"):
+                outputs = []
+                for batch in batches:
+                    states = batch.states
+                    for apply_plan in apply_plans:
+                        states = apply_plan.apply(states)
+                    outputs.append(states)
 
         power = PowerReport(
             gpu_watts=gpu_power_from_work(
@@ -122,5 +131,6 @@ class QiskitAerSimulator(BatchSimulator):
                 "plan": plan,
                 "macs": plan.macs(num_inputs),
                 "host_per_input": host_per_input,
+                "wall_breakdown": timer.snapshot(),
             },
         )

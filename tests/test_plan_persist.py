@@ -1,0 +1,204 @@
+"""Tests for compiled-plan persistence and the PlanCache disk tier.
+
+Covers the v2 :class:`~repro.ell.persist.CompiledPlan` round-trip and the
+end-to-end behavior the ISSUE demands: a warm (disk-cached) ``BQSimSimulator``
+run skips fusion and conversion entirely and reproduces the cold run's
+numerics and modeled breakdown bit for bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.sim.bqsim as bqsim_mod
+from repro.circuit import Circuit, generate_batches
+from repro.circuit.generators import make_circuit
+from repro.ell import (
+    ELLMatrix,
+    CompiledPlan,
+    load_compiled_plan,
+    save_compiled_plan,
+)
+from repro.errors import ConversionError
+from repro.sim import BQSimSimulator, BatchSpec
+
+
+@pytest.fixture
+def circuit() -> Circuit:
+    return make_circuit("vqe", 4)
+
+
+@pytest.fixture
+def spec() -> BatchSpec:
+    return BatchSpec(num_batches=2, batch_size=4, seed=3)
+
+
+def sample_plan(with_matrices: bool, rng) -> CompiledPlan:
+    matrices = None
+    if with_matrices:
+        matrices = tuple(
+            ELLMatrix(
+                2,
+                rng.standard_normal((4, w)) + 1j * rng.standard_normal((4, w)),
+                rng.integers(0, 4, size=(4, w), dtype=np.int64),
+            )
+            for w in (1, 2)
+        )
+    return CompiledPlan(
+        fingerprint="abc123",
+        circuit_name="sample",
+        num_qubits=2,
+        algorithm="bqcs",
+        source_gate_count=5,
+        fused_nodes=17,
+        gate_costs=(1, 2),
+        gate_indices=((0, 1, 2), (3, 4)),
+        gate_nnz=(4.0, 10.0),
+        conv_infos=(
+            {"route": "cpu", "edges": 3, "width": 1, "time": 1.5e-6},
+            {"route": "gpu", "edges": 9, "width": 2, "time": 2.5e-6},
+        ),
+        matrices=matrices,
+    )
+
+
+@pytest.mark.parametrize("with_matrices", [False, True])
+def test_compiled_plan_roundtrip(tmp_path, rng, with_matrices):
+    plan = sample_plan(with_matrices, rng)
+    path = save_compiled_plan(plan, tmp_path / "plan.npz")
+    loaded = load_compiled_plan(path)
+    assert loaded.fingerprint == plan.fingerprint
+    assert loaded.circuit_name == plan.circuit_name
+    assert loaded.num_qubits == plan.num_qubits
+    assert loaded.algorithm == plan.algorithm
+    assert loaded.source_gate_count == plan.source_gate_count
+    assert loaded.fused_nodes == plan.fused_nodes
+    assert loaded.gate_costs == plan.gate_costs
+    assert loaded.gate_indices == plan.gate_indices
+    assert loaded.gate_nnz == plan.gate_nnz
+    assert loaded.conv_infos == plan.conv_infos
+    assert loaded.has_matrices == with_matrices
+    if with_matrices:
+        for got, want in zip(loaded.matrices, plan.matrices):
+            assert np.array_equal(got.values, want.values)
+            assert np.array_equal(got.cols, want.cols)
+    fusion_plan = loaded.to_fusion_plan()
+    assert len(fusion_plan) == 2
+    assert fusion_plan.total_cost == 3
+    assert all(g.dd is None for g in fusion_plan.gates)
+    assert [g.gate_indices for g in fusion_plan.gates] == [(0, 1, 2), (3, 4)]
+
+
+def test_compiled_plan_version_check(tmp_path):
+    path = tmp_path / "old.npz"
+    np.savez_compressed(path, format_version=np.array(99))
+    with pytest.raises(ConversionError, match="format 99"):
+        load_compiled_plan(path)
+
+
+def test_warm_run_matches_cold_run(tmp_path, circuit, spec):
+    cache = tmp_path / "plans"
+    cold_sim = BQSimSimulator(cache_dir=cache)
+    cold = cold_sim.run(circuit, spec)
+    assert cold.stats["plan_source"] == "built"
+    assert len(cold_sim._plans.disk_entries()) == 1
+
+    # a *fresh* simulator (fresh process stand-in) must hit the disk tier
+    warm_sim = BQSimSimulator(cache_dir=cache)
+    warm = warm_sim.run(circuit, spec)
+    assert warm.stats["plan_source"] == "disk"
+    assert warm.stats["plan_key"] == cold.stats["plan_key"]
+    for a, b in zip(cold.outputs, warm.outputs):
+        assert np.array_equal(a, b)
+    assert warm.breakdown == cold.breakdown
+    assert warm.modeled_time == cold.modeled_time
+
+
+def test_warm_run_skips_fusion_entirely(tmp_path, circuit, spec, monkeypatch):
+    cache = tmp_path / "plans"
+    BQSimSimulator(cache_dir=cache).run(circuit, spec)
+
+    def boom(*args, **kwargs):
+        raise AssertionError("stage 1 (fusion) ran on a warm start")
+
+    monkeypatch.setattr(bqsim_mod, "bqcs_fusion", boom)
+    warm = BQSimSimulator(cache_dir=cache).run(circuit, spec)
+    assert warm.stats["plan_source"] == "disk"
+    assert warm.outputs is not None
+
+
+def test_plan_source_memory_on_repeat_run(tmp_path, circuit, spec):
+    sim = BQSimSimulator(cache_dir=tmp_path / "plans")
+    assert sim.run(circuit, spec).stats["plan_source"] == "built"
+    assert sim.run(circuit, spec).stats["plan_source"] == "memory"
+
+
+def test_model_only_archive_rebuilt_for_execution(tmp_path, circuit, spec):
+    cache = tmp_path / "plans"
+    model_only = BQSimSimulator(cache_dir=cache)
+    result = model_only.run(circuit, spec, execute=False)
+    assert result.stats["plan_source"] == "built"
+    assert result.outputs is None
+
+    # the archive has no matrices, so numeric execution must rebuild ...
+    numeric = BQSimSimulator(cache_dir=cache).run(circuit, spec)
+    assert numeric.stats["plan_source"] == "built"
+    assert numeric.outputs is not None
+
+    # ... which upgrades the archive: the next fresh simulator hits disk
+    upgraded = BQSimSimulator(cache_dir=cache).run(circuit, spec)
+    assert upgraded.stats["plan_source"] == "disk"
+    for a, b in zip(numeric.outputs, upgraded.outputs):
+        assert np.array_equal(a, b)
+
+
+def test_model_only_warm_start_uses_metadata_archive(tmp_path, circuit, spec):
+    cache = tmp_path / "plans"
+    BQSimSimulator(cache_dir=cache).run(circuit, spec, execute=False)
+    warm = BQSimSimulator(cache_dir=cache).run(circuit, spec, execute=False)
+    assert warm.stats["plan_source"] == "disk"
+    assert warm.modeled_time > 0
+
+
+def test_corrupt_archive_is_silently_rebuilt(tmp_path, circuit, spec):
+    cache = tmp_path / "plans"
+    sim = BQSimSimulator(cache_dir=cache)
+    sim.run(circuit, spec)
+    [archive] = sim._plans.disk_entries()
+    archive.write_bytes(b"not an npz archive")
+    fresh = BQSimSimulator(cache_dir=cache).run(circuit, spec)
+    assert fresh.stats["plan_source"] == "built"
+    assert fresh.outputs is not None
+
+
+def test_cache_settings_partition_disk_entries(tmp_path, circuit, spec):
+    cache = tmp_path / "plans"
+    BQSimSimulator(cache_dir=cache).run(circuit, spec)
+    # different fusion settings must not alias the cached plan
+    nofuse = BQSimSimulator(cache_dir=cache, fusion=False)
+    result = nofuse.run(circuit, spec)
+    assert result.stats["plan_source"] == "built"
+    assert len(nofuse._plans.disk_entries()) == 2
+
+
+def test_cache_dir_from_environment(tmp_path, circuit, spec, monkeypatch):
+    monkeypatch.setenv("REPRO_PLAN_CACHE", str(tmp_path / "envcache"))
+    sim = BQSimSimulator()
+    sim.run(circuit, spec)
+    assert len(sim._plans.disk_entries()) == 1
+    warm = BQSimSimulator().run(circuit, spec)
+    assert warm.stats["plan_source"] == "disk"
+
+
+def test_disk_cache_matches_in_memory_numerics(tmp_path, circuit, spec):
+    batches = list(
+        generate_batches(circuit.num_qubits, spec.num_batches, spec.batch_size, 7)
+    )
+    plain = BQSimSimulator().run(circuit, spec, batches=batches)
+    cache = tmp_path / "plans"
+    BQSimSimulator(cache_dir=cache).run(circuit, spec, batches=batches)
+    warm = BQSimSimulator(cache_dir=cache).run(circuit, spec, batches=batches)
+    assert warm.stats["plan_source"] == "disk"
+    for a, b in zip(plain.outputs, warm.outputs):
+        assert np.array_equal(a, b)

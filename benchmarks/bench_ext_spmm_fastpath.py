@@ -71,9 +71,11 @@ def cold_warm_cache(cache_dir) -> dict:
     return {
         "cold_source": cold.stats["plan_source"],
         "warm_source": warm.stats["plan_source"],
-        "cold_compile_s": cold.stats["wall_breakdown"]["prepare"]
+        "cold_cache": cold.stats["plan_cache"],
+        "warm_cache": warm.stats["plan_cache"],
+        "cold_compile_s": cold.stats["wall_breakdown"]["fusion"]
         + cold.stats["wall_breakdown"]["convert"],
-        "warm_compile_s": warm.stats["wall_breakdown"]["prepare"]
+        "warm_compile_s": warm.stats["wall_breakdown"]["fusion"]
         + warm.stats["wall_breakdown"]["convert"],
         "outputs_equal": all(
             np.array_equal(a, b) for a, b in zip(cold.outputs, warm.outputs)
@@ -91,6 +93,9 @@ def test_plan_cache_warm_start(benchmark, tmp_path):
     row = run_once(benchmark, cold_warm_cache, tmp_path / "plans")
     assert row["cold_source"] == "built"
     assert row["warm_source"] == "disk"
+    # per-cache accounting distinguishes the cold (miss) from warm (disk hit)
+    assert row["cold_cache"]["misses"] == 1 and row["cold_cache"]["disk_hits"] == 0
+    assert row["warm_cache"]["disk_hits"] == 1 and row["warm_cache"]["misses"] == 0
     assert row["outputs_equal"]
     # the warm run loads the archive instead of fusing + converting
     assert row["warm_compile_s"] < row["cold_compile_s"], row

@@ -2,12 +2,16 @@
 
 from conftest import run_once
 from repro.bench.experiments import fig12
+from repro.obs import CANONICAL_STAGES
 
 
 def test_fig12_breakdown(benchmark, scale):
     rows = run_once(benchmark, fig12.run, scale)
     by_circuit = {}
     for r in rows:
+        # modeled and wall-clock attributions use the same canonical stages
+        assert tuple(r["modeled_breakdown"]) == CANONICAL_STAGES
+        assert tuple(r["wall_breakdown"]) == CANONICAL_STAGES
         by_circuit.setdefault((r["family"], r["num_qubits"]), []).append(r)
     for series in by_circuit.values():
         series.sort(key=lambda r: r["num_batches"])

@@ -5,6 +5,8 @@ Subcommands::
     python -m repro simulate  --family vqe -n 10 [--qasm FILE]
                               [--simulator bqsim|cuquantum|qiskit-aer|flatdd]
                               [--batches N] [--batch-size B] [--execute]
+                              [--trace-out trace.json] [--metrics-out m.jsonl]
+    python -m repro trace     --family qft -n 10 --out trace.json
     python -m repro fuse      --family qnn -n 10      # show the fusion plan
     python -m repro check     --qasm A.qasm --against B.qasm
     python -m repro bench ... # alias of python -m repro.bench
@@ -41,13 +43,50 @@ def _add_circuit_args(parser) -> None:
     parser.add_argument("--qasm", default=None, help="load an OpenQASM 2 file")
 
 
-def cmd_simulate(args) -> int:
+def _run_simulation(args):
+    """Run one simulation; trace it when the args ask for an export."""
+    from .obs import get_metrics, tracing
+    from .obs.export import (
+        metrics_record,
+        write_chrome_trace,
+        write_metrics_jsonl,
+    )
+
     circuit = _circuit_from_args(args)
     simulators = make_simulators()
     simulator = simulators[args.simulator]
     spec = BatchSpec(num_batches=args.batches, batch_size=args.batch_size,
                      seed=args.seed)
-    result = simulator.run(circuit, spec, execute=args.execute)
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if trace_out:
+        with tracing() as tracer:
+            mark = tracer.mark()
+            result = simulator.run(circuit, spec, execute=args.execute)
+            spans = tracer.spans_since(mark)
+        write_chrome_trace(
+            trace_out, spans, timeline=result.timeline,
+            metadata={"circuit": circuit.name, "simulator": result.simulator},
+        )
+    else:
+        result = simulator.run(circuit, spec, execute=args.execute)
+        spans = []
+    if metrics_out:
+        write_metrics_jsonl(metrics_out, [
+            metrics_record(
+                f"{result.simulator}:{circuit.name}",
+                result.stats.get("metrics", get_metrics().snapshot()),
+                circuit=circuit.name,
+                simulator=result.simulator,
+                modeled_time_s=result.modeled_time,
+                wall_time_s=result.wall_time,
+            )
+        ])
+    return circuit, spec, result, spans
+
+
+def cmd_simulate(args) -> int:
+    circuit, spec, result, _ = _run_simulation(args)
     print(f"circuit   : {circuit.name} ({circuit.num_qubits} qubits, "
           f"{len(circuit)} gates)")
     print(f"workload  : {spec.num_batches} batches x {spec.batch_size} inputs")
@@ -61,6 +100,33 @@ def cmd_simulate(args) -> int:
         norm = float(abs(result.outputs[0][:, 0] ** 2).sum())
         print(f"amplitudes: computed ({len(result.outputs)} output batches, "
               f"first column norm {norm:.6f})")
+    if getattr(args, "trace_out", None):
+        print(f"trace     : wrote {args.trace_out} "
+              f"(open in https://ui.perfetto.dev)")
+    if getattr(args, "metrics_out", None):
+        print(f"metrics   : wrote {args.metrics_out}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Run a circuit with tracing on and write a Chrome/Perfetto trace."""
+    args.trace_out = args.out
+    circuit, spec, result, spans = _run_simulation(args)
+    stages = [s for s in spans if s.attrs.get("category") == "stage"]
+    print(f"circuit   : {circuit.name} ({circuit.num_qubits} qubits, "
+          f"{len(circuit)} gates)")
+    print(f"simulator : {result.simulator} "
+          f"({spec.num_batches} batches x {spec.batch_size} inputs)")
+    print(f"spans     : {len(spans)} recorded "
+          f"({len(stages)} pipeline stages)")
+    for span in stages:
+        print(f"  {span.name:<10s} {span.duration * 1e3:9.3f} ms")
+    if result.timeline is not None:
+        print(f"timeline  : {len(result.timeline.tasks)} modeled GPU tasks, "
+              f"makespan {result.timeline.makespan * 1e3:.3f} ms")
+    print(f"trace     : wrote {args.out} (open in https://ui.perfetto.dev)")
+    if getattr(args, "metrics_out", None):
+        print(f"metrics   : wrote {args.metrics_out}")
     return 0
 
 
@@ -104,15 +170,32 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def _add_sim_args(parser) -> None:
+        parser.add_argument("--simulator", default="bqsim",
+                            choices=["bqsim", "cuquantum", "qiskit-aer",
+                                     "flatdd"])
+        parser.add_argument("--batches", type=int, default=10)
+        parser.add_argument("--batch-size", type=int, default=32)
+        parser.add_argument("--execute", action="store_true",
+                            help="compute real amplitudes (default: model-only)")
+        parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                            help="write a JSONL metrics snapshot to PATH")
+
     p = sub.add_parser("simulate", help="run a batch simulation")
     _add_circuit_args(p)
-    p.add_argument("--simulator", default="bqsim",
-                   choices=["bqsim", "cuquantum", "qiskit-aer", "flatdd"])
-    p.add_argument("--batches", type=int, default=10)
-    p.add_argument("--batch-size", type=int, default=32)
-    p.add_argument("--execute", action="store_true",
-                   help="compute real amplitudes (default: model-only)")
+    _add_sim_args(p)
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="record spans and write a Chrome/Perfetto trace")
     p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser(
+        "trace", help="run a simulation with tracing on and export the trace"
+    )
+    _add_circuit_args(p)
+    _add_sim_args(p)
+    p.add_argument("--out", default="trace.json", metavar="PATH",
+                   help="trace file to write (default: trace.json)")
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("fuse", help="show the BQCS-aware fusion plan")
     _add_circuit_args(p)

@@ -8,7 +8,10 @@ With no experiment names, runs everything at the requested scale; with
 """
 
 import argparse
+from pathlib import Path
 
+from ..obs import get_metrics
+from ..obs.export import metrics_record, write_metrics_jsonl
 from .experiments import ALL_EXPERIMENTS
 from .report import write_report
 
@@ -24,12 +27,22 @@ def main() -> None:
     )
     args = parser.parse_args()
     names = args.experiments or sorted(ALL_EXPERIMENTS)
+    metrics = get_metrics()
     results = {}
+    metric_rows = []
     for name in names:
+        mark = metrics.mark()
         results[name] = ALL_EXPERIMENTS[name].main(args.scale)
+        metric_rows.append(
+            metrics_record(name, metrics.delta(mark), scale=args.scale)
+        )
     if args.output:
         report = write_report(results, args.output, args.scale)
+        metrics_path = write_metrics_jsonl(
+            Path(args.output) / "metrics.jsonl", metric_rows
+        )
         print(f"\nwrote {report}")
+        print(f"wrote {metrics_path}")
 
 
 if __name__ == "__main__":

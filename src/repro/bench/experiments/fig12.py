@@ -8,6 +8,7 @@ from 16.2% + 41.3% overhead at N=10 to under 7% at N=200).
 from __future__ import annotations
 
 from ...circuit.generators import make_circuit
+from ...obs import canonical_breakdown
 from ...sim import BQSimSimulator, BatchSpec
 from ..tables import print_table
 
@@ -30,6 +31,9 @@ def run(scale: str = "small") -> list[dict]:
             spec = BatchSpec(num_batches=num_batches, batch_size=batch_size)
             result = bqsim.run(circuit, spec, execute=execute)
             total = result.modeled_time
+            # both breakdowns folded onto the canonical stage names so the
+            # modeled attribution can be compared against wall-clock timings
+            modeled = canonical_breakdown(result.breakdown)
             rows.append(
                 {
                     "family": family,
@@ -39,6 +43,8 @@ def run(scale: str = "small") -> list[dict]:
                     "conversion_pct": 100 * result.breakdown["conversion"] / total,
                     "simulation_pct": 100 * result.breakdown["simulation"] / total,
                     "total_s": total,
+                    "modeled_breakdown": modeled,
+                    "wall_breakdown": result.stats["wall_breakdown"],
                 }
             )
     return rows

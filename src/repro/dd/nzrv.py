@@ -16,6 +16,7 @@ from __future__ import annotations
 import math
 
 from ..errors import DDError
+from ..obs import get_metrics
 from .manager import DDManager
 from .node import Edge, MNode, VNode, ZERO_EDGE
 
@@ -100,7 +101,9 @@ def vector_moments(
 
 def max_nzr(mgr: DDManager, matrix: Edge) -> int:
     """BQCS cost of a DD gate matrix: its maximum non-zeros per row."""
-    return int(round(vector_max(nzr_vector(mgr, matrix), mgr)))
+    value = int(round(vector_max(nzr_vector(mgr, matrix), mgr)))
+    get_metrics().observe("nzrv.max_nzr", value)
+    return value
 
 
 def nzr_statistics(mgr: DDManager, matrix: Edge) -> dict[str, float]:

@@ -29,6 +29,7 @@ from ..dd.export import count_edges
 from ..dd.flat import FlatDD, flatten_matrix_dd
 from ..dd.node import Edge
 from ..errors import ConversionError
+from ..obs import get_metrics, get_tracer
 from .format import ELLMatrix
 
 #: default edge-count threshold tau for the hybrid policy.  The paper uses
@@ -293,16 +294,35 @@ def ell_from_dd(
     most ``tau`` edges, CPU otherwise.  ``force`` pins the route."""
     edges = count_edges(edge)
     route = force or ("cpu" if edges > tau else "gpu")
-    if route == "cpu":
-        ell = ell_from_dd_cpu(edge, num_qubits)
-        if max_nzr is not None:
-            ell = _pad_to(ell, max_nzr)
-    elif route == "gpu":
-        flat = flatten_matrix_dd(edge, num_qubits)
-        if max_nzr is None:
-            ell = _ell_from_flat_fast(flat)
+    with get_tracer().span(
+        "convert.dd_to_ell", dd_edges=edges, route=route, tau=tau,
+        forced=force is not None,
+    ) as span:
+        if route == "cpu":
+            ell = ell_from_dd_cpu(edge, num_qubits)
+            if max_nzr is not None:
+                ell = _pad_to(ell, max_nzr)
+        elif route == "gpu":
+            flat = flatten_matrix_dd(edge, num_qubits)
+            if max_nzr is None:
+                ell = _ell_from_flat_fast(flat)
+            else:
+                ell = ell_from_flat_gpu(flat, max_nzr)
         else:
-            ell = ell_from_flat_gpu(flat, max_nzr)
-    else:
-        raise ConversionError(f"unknown conversion route {route!r}")
+            raise ConversionError(f"unknown conversion route {route!r}")
+        span.set(ell_width=ell.width)
+    _record_conversion(ell, edges, route)
     return ConversionResult(ell=ell, route=route, num_edges=edges, tau=tau)
+
+
+def _record_conversion(ell: ELLMatrix, edges: int, route: str) -> None:
+    """Feed the hybrid converter's decision and output shape into the
+    metrics registry (the paper's Fig. 9 / Table 1 signals)."""
+    metrics = get_metrics()
+    metrics.inc(f"convert.route.{route}")
+    metrics.observe("convert.dd_edges", edges)
+    metrics.observe("ell.width", ell.width)
+    nnz = int(np.count_nonzero(ell.values))
+    metrics.observe("ell.nnz", nnz)
+    slots = ell.num_rows * max(ell.width, 1)
+    metrics.observe("ell.padding_ratio", 1.0 - nnz / slots)

@@ -34,6 +34,7 @@ import os
 import numpy as np
 
 from ..errors import SimulationError
+from ..obs import get_metrics
 from .format import ELLMatrix
 
 try:  # SciPy is optional: the numpy backend is the self-contained fallback
@@ -63,6 +64,11 @@ def _resolve_backend(backend: str | None) -> str:
     if backend == "csr" and _scipy_sparse is None:
         raise SimulationError("spMM backend 'csr' requires scipy")
     return backend
+
+
+def default_backend() -> str:
+    """The concrete backend ``auto`` resolves to in this process."""
+    return _resolve_backend(None)
 
 
 class GatherPlan:
@@ -148,9 +154,11 @@ class GatherPlan:
             if out.shape != states.shape:
                 raise SimulationError("output buffer shape mismatch")
         if self.is_width_one:
+            get_metrics().inc("spmm.backend.width1")
             result = self.values * states[self.flat_cols, :]
         else:
             mode = _resolve_backend(backend)
+            get_metrics().inc(f"spmm.backend.{mode}")
             if mode == "csr":
                 result = self._csr_matrix() @ states
             elif mode == "numpy":
@@ -222,6 +230,7 @@ def build_apply_plans(
             and plans[-1].is_width_one
             and plan.is_width_one
         ):
+            get_metrics().inc("spmm.width1_composed")
             plans[-1] = plans[-1].compose(plan)
         else:
             plans.append(plan)

@@ -20,6 +20,7 @@ from ..circuit.circuit import Circuit
 from ..dd.build import gate_matrix_dd
 from ..dd.manager import DDManager
 from ..errors import FusionError
+from ..obs import get_metrics, get_tracer
 from .cost import bqcs_cost, total_nonzeros
 from .plan import FusedGate, FusionPlan
 
@@ -58,6 +59,7 @@ def _fuse_cost_one_runs(mgr: DDManager, items: list[FusedGate]) -> list[FusedGat
     out: list[FusedGate] = []
     for item in items:
         if out and out[-1].cost == 1 and item.cost == 1:
+            get_metrics().inc("fusion.cost1_fused")
             out[-1] = _fuse(mgr, out[-1], item)
         else:
             out.append(item)
@@ -74,6 +76,7 @@ def _fuse_cost_two_pairs(mgr: DDManager, items: list[FusedGate]) -> list[FusedGa
             and items[i].cost == 2
             and items[i + 1].cost == 2
         ):
+            get_metrics().inc("fusion.cost2_pairs")
             out.append(_fuse(mgr, items[i], items[i + 1]))
             i += 2
         else:
@@ -94,14 +97,17 @@ def _greedy(
     """
     if not items:
         return items
+    metrics = get_metrics()
     out: list[FusedGate] = [items[0]]
     for item in items[1:]:
         candidate = _fuse(mgr, out[-1], item)
         if candidate.cost <= out[-1].cost + item.cost and (
             max_cost is None or candidate.cost <= max_cost
         ):
+            metrics.inc("fusion.greedy_accept")
             out[-1] = candidate
         else:
+            metrics.inc("fusion.greedy_reject")
             out.append(item)
     return out
 
@@ -117,18 +123,35 @@ def bqcs_fusion(
             f"manager is for {mgr.num_qubits} qubits, circuit has "
             f"{circuit.num_qubits}"
         )
-    items = _lift(mgr, circuit)
-    items = _fuse_cost_one_runs(mgr, items)
-    if max_cost is None or max_cost >= 4:
-        # pairing two cost-2 gates yields cost <= 4; skip under a tighter cap
-        items = _fuse_cost_two_pairs(mgr, items)
-    items = _greedy(mgr, items, max_cost)
+    with get_tracer().span(
+        "fusion.bqcs", gates=len(circuit.gates), max_cost=max_cost
+    ) as span:
+        items = _lift(mgr, circuit)
+        items = _fuse_cost_one_runs(mgr, items)
+        if max_cost is None or max_cost >= 4:
+            # pairing two cost-2 gates yields cost <= 4; skip under a tighter cap
+            items = _fuse_cost_two_pairs(mgr, items)
+        items = _greedy(mgr, items, max_cost)
+        span.set(fused_gates=len(items), total_cost=sum(g.cost for g in items))
+    _record_plan_shape("bqcs", items)
     return FusionPlan(
         num_qubits=circuit.num_qubits,
         gates=tuple(items),
         algorithm="bqcs",
         source_gate_count=len(circuit.gates),
     )
+
+
+def _record_plan_shape(algorithm: str, items: list[FusedGate]) -> None:
+    """Histogram the per-fused-gate shape signals (cost == max NZR, total
+    non-zeros, source-gate span) — the DD-growth-per-gate view that QuIDD
+    gate-level analyses track."""
+    metrics = get_metrics()
+    metrics.inc(f"fusion.plans.{algorithm}")
+    for item in items:
+        metrics.observe("fusion.gate_cost", item.cost)
+        metrics.observe("fusion.gate_nnz", item.nnz)
+        metrics.observe("fusion.source_gates", item.num_source_gates)
 
 
 def no_fusion_plan(mgr: DDManager, circuit: Circuit) -> FusionPlan:

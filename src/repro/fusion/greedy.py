@@ -16,7 +16,8 @@ from __future__ import annotations
 from ..circuit.circuit import Circuit
 from ..dd.manager import DDManager
 from ..errors import FusionError
-from .bqcs import _fuse, _lift
+from ..obs import get_metrics, get_tracer
+from .bqcs import _fuse, _lift, _record_plan_shape
 from .plan import FusedGate, FusionPlan
 
 
@@ -36,19 +37,25 @@ def flatdd_fusion(
     """
     if circuit.num_qubits != mgr.num_qubits:
         raise FusionError("manager/circuit width mismatch")
-    items = _lift(mgr, circuit)
-    if not items:
-        return FusionPlan(circuit.num_qubits, (), "flatdd", 0)
-    out: list[FusedGate] = [items[0]]
-    for item in items[1:]:
-        candidate = _fuse(mgr, out[-1], item)
-        threshold = slack * (out[-1].nnz + item.nnz)
-        if candidate.nnz < threshold or (
-            not strict and candidate.nnz <= threshold
-        ):
-            out[-1] = candidate
-        else:
-            out.append(item)
+    metrics = get_metrics()
+    with get_tracer().span("fusion.flatdd", gates=len(circuit.gates)) as span:
+        items = _lift(mgr, circuit)
+        if not items:
+            return FusionPlan(circuit.num_qubits, (), "flatdd", 0)
+        out: list[FusedGate] = [items[0]]
+        for item in items[1:]:
+            candidate = _fuse(mgr, out[-1], item)
+            threshold = slack * (out[-1].nnz + item.nnz)
+            if candidate.nnz < threshold or (
+                not strict and candidate.nnz <= threshold
+            ):
+                metrics.inc("fusion.greedy_accept")
+                out[-1] = candidate
+            else:
+                metrics.inc("fusion.greedy_reject")
+                out.append(item)
+        span.set(fused_gates=len(out))
+    _record_plan_shape("flatdd", out)
     return FusionPlan(
         num_qubits=circuit.num_qubits,
         gates=tuple(out),

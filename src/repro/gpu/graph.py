@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
 from ..errors import DeviceError
+from ..obs import get_metrics, get_tracer
 from .engine import Task, Timeline, schedule
 from .spec import GpuSpec
 
@@ -74,11 +75,26 @@ class TaskGraph:
 
     def execute(self) -> Timeline:
         """Schedule all tasks and return the timeline."""
-        timeline = schedule(self._tasks, serialize=(self.mode == "stream"))
-        if self.mode == "graph" and self._tasks:
-            # one whole-graph launch latency, paid once
-            for task in timeline.tasks:
-                task.start += self.spec.graph_launch_overhead
-                task.end += self.spec.graph_launch_overhead
-        timeline.validate()
+        metrics = get_metrics()
+        metrics.inc("graph.launches")
+        metrics.inc(f"graph.launches.{self.mode}")
+        by_engine: dict[str, int] = {}
+        for task in self._tasks:
+            by_engine[task.engine] = by_engine.get(task.engine, 0) + 1
+        for engine, count in by_engine.items():
+            metrics.inc(f"graph.tasks.{engine}", count)
+        with get_tracer().span(
+            "graph.execute", mode=self.mode, num_tasks=len(self._tasks)
+        ) as span:
+            timeline = schedule(self._tasks, serialize=(self.mode == "stream"))
+            if self.mode == "graph" and self._tasks:
+                # one whole-graph launch latency, paid once
+                for task in timeline.tasks:
+                    task.start += self.spec.graph_launch_overhead
+                    task.end += self.spec.graph_launch_overhead
+            timeline.validate()
+            span.set(
+                modeled_makespan_s=timeline.makespan,
+                overlap_fraction=timeline.overlap_fraction(),
+            )
         return timeline

@@ -1,0 +1,87 @@
+"""Structured observability: span tracing, pipeline metrics, exporters.
+
+The subsystem every perf experiment reports through:
+
+* :mod:`repro.obs.tracer` — nested spans with attributes, a process-global
+  default tracer (disabled by default; near-zero cost), and the
+  ``tracing()`` context manager that turns it on for a block;
+* :mod:`repro.obs.metrics` — an always-on registry of counters, gauges,
+  and histograms fed from the fusion/conversion/spMM/caching hot paths;
+* :mod:`repro.obs.export` — Chrome-trace JSON (Perfetto-loadable; host
+  spans and modeled GPU engines as separate tracks) and metrics JSONL.
+
+Canonical pipeline stage names (`CANONICAL_STAGES`) make wall-clock
+breakdowns comparable across simulators:
+
+* ``fusion``  — stage-1 planning: cache lookup + gate fusion + conversion
+  analysis (``prepare`` in pre-observability releases);
+* ``convert`` — stage-2 DD-to-ELL materialization;
+* ``io``      — input-batch generation/validation on the host;
+* ``execute`` — stage-3 task-graph construction, kernels, and scheduling.
+"""
+
+from .metrics import Metrics, get_metrics, set_metrics
+from .tracer import Span, Tracer, get_tracer, set_tracer, tracing
+from .export import (
+    chrome_trace,
+    metrics_record,
+    spans_to_events,
+    timeline_to_events,
+    trace_track_names,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics_jsonl,
+)
+
+#: canonical wall-breakdown stage names, in pipeline order
+CANONICAL_STAGES = ("fusion", "convert", "io", "execute")
+
+#: legacy / simulator-specific stage names folded into the canonical set
+_STAGE_ALIASES = {
+    "fusion": "fusion",
+    "prepare": "fusion",
+    "conversion": "convert",
+    "convert": "convert",
+    "io": "io",
+    "execute": "execute",
+    "simulation": "execute",
+    "host": "execute",
+    "kernels": "execute",
+}
+
+
+def canonical_breakdown(breakdown: dict) -> dict:
+    """Fold a per-stage time dict onto :data:`CANONICAL_STAGES`.
+
+    Works for both modeled breakdowns (``fusion``/``conversion``/
+    ``simulation``, Aer's ``host``/``kernels``) and wall breakdowns;
+    unknown stages count as ``execute``.  Always returns all four
+    canonical keys, in order, so breakdowns from different simulators are
+    directly comparable.
+    """
+    out = {stage: 0.0 for stage in CANONICAL_STAGES}
+    for stage, seconds in breakdown.items():
+        out[_STAGE_ALIASES.get(stage, "execute")] += seconds
+    return out
+
+
+__all__ = [
+    "CANONICAL_STAGES",
+    "Metrics",
+    "Span",
+    "Tracer",
+    "canonical_breakdown",
+    "chrome_trace",
+    "get_metrics",
+    "get_tracer",
+    "metrics_record",
+    "set_metrics",
+    "set_tracer",
+    "spans_to_events",
+    "timeline_to_events",
+    "trace_track_names",
+    "tracing",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_metrics_jsonl",
+]

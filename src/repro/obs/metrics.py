@@ -1,0 +1,147 @@
+"""Pipeline metrics: counters, gauges, and histograms.
+
+A :class:`Metrics` registry accumulates named measurements from the hot
+paths of every pipeline layer:
+
+* **counters** (monotonic) — fusion accept/reject decisions, conversion
+  routes, spMM backend choices, plan-cache hits/misses, task submissions;
+* **gauges** (last value wins) — sizes and configuration of the most
+  recent run;
+* **histograms** (count/sum/min/max) — per-gate distributions such as DD
+  edges, ELL width, and padding ratio.
+
+The registry is thread-safe and cheap (one dict update under a lock per
+event), so instrumentation stays on permanently; per-run attribution uses
+:meth:`Metrics.mark` / :meth:`Metrics.delta` to diff the monotonic state
+around a run, which is how ``SimulationResult.stats["metrics"]`` scopes
+the process-global registry to a single simulation.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class Metrics:
+    """Thread-safe registry of counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        # histogram name -> [count, sum, min, max]
+        self._hists: dict[str, list[float]] = {}
+
+    # -- instruments --------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to the counter ``name`` (creating it at 0)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to ``value``."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into the histogram ``name``."""
+        with self._lock:
+            hist = self._hists.get(name)
+            if hist is None:
+                self._hists[name] = [1, value, value, value]
+            else:
+                hist[0] += 1
+                hist[1] += value
+                hist[2] = min(hist[2], value)
+                hist[3] = max(hist[3], value)
+
+    # -- retrieval ----------------------------------------------------------
+
+    @staticmethod
+    def _hist_dict(hist: list[float]) -> dict:
+        count, total, lo, hi = hist
+        return {
+            "count": count,
+            "sum": total,
+            "min": lo,
+            "max": hi,
+            "mean": total / count if count else 0.0,
+        }
+
+    def snapshot(self) -> dict:
+        """Full copy of the registry state (JSON-safe)."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    name: self._hist_dict(hist)
+                    for name, hist in self._hists.items()
+                },
+            }
+
+    def counter(self, name: str) -> float:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def mark(self) -> dict:
+        """Opaque marker for :meth:`delta` (a snapshot of monotonic state)."""
+        return self.snapshot()
+
+    def delta(self, mark: dict) -> dict:
+        """Changes since ``mark``: counter diffs (non-zero only), current
+        gauges, and histogram count/sum/mean diffs (min/max are whole-run)."""
+        now = self.snapshot()
+        before_c = mark.get("counters", {})
+        counters = {
+            name: value - before_c.get(name, 0)
+            for name, value in now["counters"].items()
+            if value != before_c.get(name, 0)
+        }
+        before_h = mark.get("histograms", {})
+        histograms = {}
+        for name, hist in now["histograms"].items():
+            prior = before_h.get(name, {"count": 0, "sum": 0.0})
+            dcount = hist["count"] - prior["count"]
+            if dcount <= 0:
+                continue
+            dsum = hist["sum"] - prior["sum"]
+            histograms[name] = {
+                "count": dcount,
+                "sum": dsum,
+                "mean": dsum / dcount,
+                "min": hist["min"],
+                "max": hist["max"],
+            }
+        return {
+            "counters": counters,
+            "gauges": now["gauges"],
+            "histograms": histograms,
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._hists.clear()
+
+
+# ---------------------------------------------------------------------------
+# process-global default registry
+# ---------------------------------------------------------------------------
+
+_global_metrics = Metrics()
+
+
+def get_metrics() -> Metrics:
+    """The process-global metrics registry (always on; events are cheap)."""
+    return _global_metrics
+
+
+def set_metrics(metrics: Metrics) -> Metrics:
+    """Swap the global registry (returns the previous one)."""
+    global _global_metrics
+    previous = _global_metrics
+    _global_metrics = metrics
+    return previous

@@ -5,32 +5,54 @@ take); this module measures *real* host seconds per pipeline stage, so
 speedups of the compiled-plan hot paths are observed rather than asserted.
 Simulators surface the recorded breakdown in
 ``SimulationResult.stats["wall_breakdown"]`` alongside the modeled
-``breakdown``.
+``breakdown``, using the canonical stage names of
+:data:`repro.obs.CANONICAL_STAGES` (fusion/convert/io/execute).
+
+:class:`StageTimer` is a thin view over the process-global
+:class:`~repro.obs.tracer.Tracer`: every timed stage also opens a span on
+it (a no-op while tracing is disabled), so the wall totals and an exported
+trace always agree on stage boundaries.
 """
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
+from typing import Sequence
+
+from .obs import get_tracer
+from .obs.tracer import Tracer
 
 
 class StageTimer:
     """Accumulates wall seconds per named pipeline stage.
 
     Stages may be entered repeatedly; durations accumulate.  The timer is
-    deliberately tiny — one ``perf_counter`` pair per stage entry — so it
-    can stay on permanently in every simulator run.
+    deliberately tiny — one ``perf_counter`` pair plus one (usually no-op)
+    tracer span per stage entry — so it can stay on permanently in every
+    simulator run.  ``stages`` pre-registers keys at 0.0 so the breakdown
+    dict has a stable key set and ordering even for stages a run skips.
     """
 
-    def __init__(self) -> None:
-        self.wall: dict[str, float] = {}
+    def __init__(
+        self, stages: Sequence[str] = (), tracer: Tracer | None = None
+    ) -> None:
+        self.wall: dict[str, float] = {stage: 0.0 for stage in stages}
+        self._tracer = tracer
 
     @contextmanager
-    def time(self, stage: str):
-        """Context manager charging the enclosed block to ``stage``."""
+    def time(self, stage: str, **attrs):
+        """Context manager charging the enclosed block to ``stage``.
+
+        Yields the tracer span of the stage (a no-op span while tracing is
+        disabled), so callers can attach attributes:
+        ``with timer.time("fusion") as sp: sp.set(fused_gates=8)``.
+        """
+        tracer = self._tracer if self._tracer is not None else get_tracer()
         t0 = time.perf_counter()
         try:
-            yield self
+            with tracer.span(stage, category="stage", **attrs) as span:
+                yield span
         finally:
             self.record(stage, time.perf_counter() - t0)
 

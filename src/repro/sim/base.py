@@ -24,6 +24,7 @@ from ..circuit import Circuit, InputBatch, generate_batches
 from ..errors import SimulationError
 from ..gpu.engine import Timeline
 from ..gpu.power import PowerReport
+from ..obs import get_metrics, get_tracer
 from ..profile import StageTimer
 
 #: environment variable naming the default disk tier of every PlanCache;
@@ -141,6 +142,10 @@ class PlanCache:
         if cache_dir is None:
             cache_dir = os.environ.get(PLAN_CACHE_ENV) or None
         self.cache_dir = Path(cache_dir) if cache_dir else None
+        #: lookup accounting: memory hits, disk-tier hits, full builds
+        self.hits = 0
+        self.disk_hits = 0
+        self.misses = 0
 
     @staticmethod
     def key(circuit: Circuit, extra: tuple = ()) -> str:
@@ -155,8 +160,38 @@ class PlanCache:
         """Memory-tier lookup; ``build()`` fills a miss."""
         key = self.key(circuit, extra)
         if key not in self._entries:
+            self.note_lookup("built")
             self._entries[key] = build()
+        else:
+            self.note_lookup("memory")
         return self._entries[key]
+
+    def note_lookup(self, source: str) -> None:
+        """Record one lookup outcome: ``memory``, ``disk``, or ``built``.
+
+        Simulators that bypass :meth:`get` (tiered peek/load/build, like
+        BQSim's compiled-plan path) call this so hit/miss accounting stays
+        accurate; the outcome is mirrored into the global metrics registry
+        as ``plan_cache.{hits,disk_hits,misses}``.
+        """
+        if source == "memory":
+            self.hits += 1
+            metric = "plan_cache.hits"
+        elif source == "disk":
+            self.disk_hits += 1
+            metric = "plan_cache.disk_hits"
+        else:
+            self.misses += 1
+            metric = "plan_cache.misses"
+        get_metrics().inc(metric)
+
+    def stats_dict(self) -> dict[str, int]:
+        """Lookup counters for ``SimulationResult.stats["plan_cache"]``."""
+        return {
+            "hits": self.hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+        }
 
     def peek(self, key: str):
         return self._entries.get(key)
@@ -188,6 +223,41 @@ class PlanCache:
         if disk:
             for path in self.disk_entries():
                 path.unlink()
+
+
+class RunObservation:
+    """Scopes the process-global tracer and metrics to one simulator run.
+
+    Construct at the top of ``run()`` (records marks), then
+    :meth:`finalize` the stats dict at the bottom: it attaches the
+    canonical ``wall_breakdown``, the plan-cache counters, the spans
+    recorded during the run (``stats["trace"]``, empty while tracing is
+    disabled), and the metrics delta of the run (``stats["metrics"]``).
+    """
+
+    def __init__(self) -> None:
+        self.tracer = get_tracer()
+        self.metrics = get_metrics()
+        self._span_mark = self.tracer.mark()
+        self._metric_mark = self.metrics.mark()
+
+    def spans(self) -> list:
+        """Spans recorded since the run started (live objects)."""
+        return self.tracer.spans_since(self._span_mark)
+
+    def finalize(
+        self, stats: dict, timer: StageTimer, plans: "PlanCache | None"
+    ) -> dict:
+        stats["wall_breakdown"] = timer.snapshot()
+        if plans is not None:
+            stats["plan_cache"] = plans.stats_dict()
+        stats["trace"] = (
+            [span.to_dict() for span in self.spans()]
+            if self.tracer.enabled
+            else []
+        )
+        stats["metrics"] = self.metrics.delta(self._metric_mark)
+        return stats
 
 
 #: kept under the old private name for backward compatibility

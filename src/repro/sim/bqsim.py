@@ -25,7 +25,7 @@ from ..dd.manager import DDManager
 from ..ell.convert import DEFAULT_TAU, ell_from_dd
 from ..ell.format import ELLMatrix
 from ..ell.persist import CompiledPlan, load_compiled_plan, save_compiled_plan
-from ..ell.spmm import ell_spmm
+from ..ell.spmm import default_backend, ell_spmm
 from ..errors import SimulationError
 from ..fusion.bqcs import bqcs_fusion, no_fusion_plan
 from ..fusion.plan import FusionPlan
@@ -38,8 +38,15 @@ from ..gpu.spec import (
     ell_kernel_bytes,
     state_block_bytes,
 )
+from ..obs import CANONICAL_STAGES, get_tracer
 from ..profile import StageTimer
-from .base import BatchSimulator, BatchSpec, PlanCache, SimulationResult
+from .base import (
+    BatchSimulator,
+    BatchSpec,
+    PlanCache,
+    RunObservation,
+    SimulationResult,
+)
 
 NUM_BUFFERS = 4
 
@@ -148,6 +155,7 @@ class BQSimSimulator(BatchSimulator):
         if prepared is None:
             prepared = self._build(circuit)
             source = "built"
+        self._plans.note_lookup(source)
         prepared["key"] = key
         prepared["circuit_name"] = circuit.name
         self._plans.put(key, prepared)
@@ -212,6 +220,25 @@ class BQSimSimulator(BatchSimulator):
 
     # -- main entry point -------------------------------------------------------
 
+    def _trace_conv_infos(self, conv_infos: list[dict]) -> None:
+        """Emit one attribute-only span per fused gate from the cached
+        conversion analysis, so traces of model-only or plan-cache-warm
+        runs still carry the per-gate dd_edges/ell_width/route decisions."""
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return
+        for i, info in enumerate(conv_infos):
+            with tracer.span(
+                "convert.dd_to_ell",
+                gate=i,
+                dd_edges=info["edges"],
+                ell_width=info["width"],
+                route=info["route"],
+                modeled_s=info["time"],
+                cached=True,
+            ):
+                pass
+
     def run(
         self,
         circuit: Circuit,
@@ -221,30 +248,62 @@ class BQSimSimulator(BatchSimulator):
     ) -> SimulationResult:
         wall_start = time.perf_counter()
         n = circuit.num_qubits
-        timer = StageTimer()
+        obs = RunObservation()
+        timer = StageTimer(stages=CANONICAL_STAGES)
 
-        # stages 1 and 2: fusion + conversion (one-time, cached per circuit
-        # structure in memory and — with a cache_dir — on disk)
-        with timer.time("prepare"):
-            prepared, plan_source = self._prepare(circuit, execute)
-        plan: FusionPlan = prepared["plan"]
-        conv_infos = prepared["conv_infos"]
-        t_fusion = self.cpu.fusion_time(len(circuit.gates), prepared["fused_nodes"])
-        t_conversion = sum(info["time"] for info in conv_infos)
-        with timer.time("convert"):
-            ells = self._materialize_ells(prepared) if execute else None
+        with obs.tracer.span(
+            f"{self.name}.run",
+            simulator=self.name,
+            circuit=circuit.name,
+            num_qubits=n,
+            num_batches=spec.num_batches,
+            batch_size=spec.batch_size,
+            execute=execute,
+        ):
+            # stages 1 and 2: fusion + conversion (one-time, cached per
+            # circuit structure in memory and — with a cache_dir — on disk)
+            with timer.time("fusion") as span:
+                prepared, plan_source = self._prepare(circuit, execute)
+                span.set(
+                    plan_source=plan_source,
+                    fused_gates=len(prepared["plan"].gates),
+                    dd_nodes=prepared["fused_nodes"],
+                )
+            plan: FusionPlan = prepared["plan"]
+            conv_infos = prepared["conv_infos"]
+            t_fusion = self.cpu.fusion_time(
+                len(circuit.gates), prepared["fused_nodes"]
+            )
+            t_conversion = sum(info["time"] for info in conv_infos)
+            with timer.time("convert") as span:
+                fresh = prepared["ells"] is None
+                ells = self._materialize_ells(prepared) if execute else None
+                if not (execute and fresh):
+                    self._trace_conv_infos(conv_infos)
+                span.set(
+                    num_gates=len(conv_infos),
+                    materialized=bool(execute and fresh),
+                )
 
-        # stage 3: task-graph execution
-        with timer.time("execute"):
-            batches = self._resolve_batches(circuit, spec, batches, execute)
-            device = VirtualGPU(
-                self.gpu, mode="graph" if self.task_graph else "stream"
-            )
-            work = {"macs": 0.0, "bytes": 0.0}
-            outputs, snapshots = self._simulate(
-                device, plan, conv_infos, ells, batches, spec, work
-            )
-            timeline = device.run()
+            with timer.time("io") as span:
+                batches = self._resolve_batches(circuit, spec, batches, execute)
+                span.set(num_batches=0 if batches is None else len(batches))
+
+            # stage 3: task-graph execution
+            with timer.time("execute") as span:
+                device = VirtualGPU(
+                    self.gpu, mode="graph" if self.task_graph else "stream"
+                )
+                work = {"macs": 0.0, "bytes": 0.0}
+                outputs, snapshots = self._simulate(
+                    device, plan, conv_infos, ells, batches, spec, work
+                )
+                timeline = device.run()
+                span.set(
+                    backend=default_backend(),
+                    num_tasks=len(timeline.tasks),
+                    overlap_fraction=timeline.overlap_fraction(),
+                )
         t_sim = timeline.makespan
 
         total = t_fusion + t_conversion + t_sim
@@ -274,18 +333,21 @@ class BQSimSimulator(BatchSimulator):
             timeline=timeline,
             outputs=outputs,
             wall_time=time.perf_counter() - wall_start,
-            stats={
-                "fused_gates": len(plan),
-                "total_cost": plan.total_cost,
-                "macs": plan.macs(spec.num_inputs),
-                "conversion_routes": [i["route"] for i in conv_infos],
-                "plan": plan,
-                "plan_source": plan_source,
-                "plan_key": prepared["key"],
-                "wall_breakdown": timer.snapshot(),
-                "overlap_fraction": timeline.overlap_fraction(),
-                "snapshots": snapshots,
-            },
+            stats=obs.finalize(
+                {
+                    "fused_gates": len(plan),
+                    "total_cost": plan.total_cost,
+                    "macs": plan.macs(spec.num_inputs),
+                    "conversion_routes": [i["route"] for i in conv_infos],
+                    "plan": plan,
+                    "plan_source": plan_source,
+                    "plan_key": prepared["key"],
+                    "overlap_fraction": timeline.overlap_fraction(),
+                    "snapshots": snapshots,
+                },
+                timer,
+                self._plans,
+            ),
         )
 
     # -- task-graph construction -------------------------------------------------

@@ -37,8 +37,15 @@ from ..gpu.spec import (
     dense_kernel_bytes,
     state_block_bytes,
 )
+from ..obs import CANONICAL_STAGES
 from ..profile import StageTimer
-from .base import BatchSimulator, BatchSpec, PlanCache, SimulationResult
+from .base import (
+    BatchSimulator,
+    BatchSpec,
+    PlanCache,
+    RunObservation,
+    SimulationResult,
+)
 
 PlanProvider = Callable[[DDManager, Circuit], FusionPlan]
 
@@ -77,7 +84,8 @@ class CuQuantumSimulator(BatchSimulator):
     ) -> SimulationResult:
         wall_start = time.perf_counter()
         n = circuit.num_qubits
-        timer = StageTimer()
+        obs = RunObservation()
+        timer = StageTimer(stages=CANONICAL_STAGES)
 
         def build():
             mgr = DDManager(n)
@@ -89,90 +97,110 @@ class CuQuantumSimulator(BatchSimulator):
         provider_tag = getattr(
             self.plan_provider, "__name__", repr(self.plan_provider)
         )
-        with timer.time("prepare"):
-            prepared = self._plans.get(
-                circuit, build, extra=("cuquantum-v1", provider_tag)
-            )
-        plan = prepared["plan"]
-
-        # dense-matrix memory footprint of every (fused) gate on the device
-        supports = [
-            max(2, self._gate_support(circuit, fg.gate_indices)) for fg in plan.gates
-        ]
-        matrix_bytes = sum((1 << (2 * k)) * COMPLEX_BYTES for k in supports)
-        block = state_block_bytes(n, spec.batch_size)
-        if matrix_bytes + block > self.gpu.memory_bytes:
-            return SimulationResult(
-                simulator=self.name,
-                circuit_name=circuit.name,
-                num_qubits=n,
-                spec=spec,
-                modeled_time=math.inf,
-                wall_time=time.perf_counter() - wall_start,
-                stats={
-                    "failed": "dense fused gates exceed device memory",
-                    "matrix_bytes": matrix_bytes,
-                    "plan": plan,
-                },
-            )
-
-        batches = self._resolve_batches(circuit, spec, batches, execute)
-        ells = None
-        if execute:
-            with timer.time("convert"):
-                if prepared["ells"] is None:
-                    prepared["ells"] = [
-                        ell_from_dd_cpu(fg.dd, n) for fg in plan.gates
-                    ]
-                ells = prepared["ells"]
-                # warm the gather plans outside the timed kernel bodies
-                for ell in ells:
-                    ell.plan()
-
-        device = VirtualGPU(self.gpu, mode="stream")
-        rows = 1 << n
-        total_macs = 0.0
-        total_bytes = 0.0
-        outputs: list[np.ndarray] | None = [] if execute else None
-        buffer = device.alloc("state", block) if execute else None
-        prev = None
-        for ib in range(spec.num_batches):
-            if execute:
-                prev = device.h2d(buffer, batches[ib].states, deps=[prev] if prev else [])
-            else:
-                prev = device.raw_task(
-                    f"h2d:b{ib}", "h2d", self.gpu.copy_time(block),
-                    deps=[prev] if prev else [],
+        with obs.tracer.span(
+            f"{self.name}.run",
+            simulator=self.name,
+            circuit=circuit.name,
+            num_qubits=n,
+            num_batches=spec.num_batches,
+            batch_size=spec.batch_size,
+            execute=execute,
+        ):
+            with timer.time("fusion") as span:
+                prepared = self._plans.get(
+                    circuit, build, extra=("cuquantum-v1", provider_tag)
                 )
-            for ik, k in enumerate(supports):
-                macs = (1 << k) * rows * spec.batch_size
-                traffic = dense_kernel_bytes(n, spec.batch_size)
-                duration = self.gpu.kernel_time(macs, traffic)
-                total_macs += macs
-                total_bytes += traffic
-                if execute:
-                    ell = ells[ik]
+                span.set(fused_gates=len(prepared["plan"].gates))
+            plan = prepared["plan"]
 
-                    def body(ell=ell, buffer=buffer):
-                        buffer.array = ell_spmm(ell, buffer.require())
-
-                    prev = device.kernel(
-                        f"k{ik}:b{ib}", body, deps=[prev], duration=duration
-                    )
-                else:
-                    prev = device.raw_task(
-                        f"k{ik}:b{ib}", "compute", duration, deps=[prev]
-                    )
-            if execute:
-                prev, snapshot = device.d2h(buffer, deps=[prev])
-                outputs.append(snapshot)
-            else:
-                prev = device.raw_task(
-                    f"d2h:b{ib}", "d2h", self.gpu.copy_time(block), deps=[prev]
+            # dense-matrix memory footprint of every (fused) gate on the device
+            supports = [
+                max(2, self._gate_support(circuit, fg.gate_indices))
+                for fg in plan.gates
+            ]
+            matrix_bytes = sum((1 << (2 * k)) * COMPLEX_BYTES for k in supports)
+            block = state_block_bytes(n, spec.batch_size)
+            if matrix_bytes + block > self.gpu.memory_bytes:
+                return SimulationResult(
+                    simulator=self.name,
+                    circuit_name=circuit.name,
+                    num_qubits=n,
+                    spec=spec,
+                    modeled_time=math.inf,
+                    wall_time=time.perf_counter() - wall_start,
+                    stats=obs.finalize(
+                        {
+                            "failed": "dense fused gates exceed device memory",
+                            "matrix_bytes": matrix_bytes,
+                            "plan": plan,
+                        },
+                        timer,
+                        self._plans,
+                    ),
                 )
 
-        with timer.time("execute"):
-            timeline = device.run()
+            with timer.time("io"):
+                batches = self._resolve_batches(circuit, spec, batches, execute)
+            ells = None
+            if execute:
+                with timer.time("convert"):
+                    if prepared["ells"] is None:
+                        prepared["ells"] = [
+                            ell_from_dd_cpu(fg.dd, n) for fg in plan.gates
+                        ]
+                    ells = prepared["ells"]
+                    # warm the gather plans outside the timed kernel bodies
+                    for ell in ells:
+                        ell.plan()
+
+            with timer.time("execute") as span:
+                device = VirtualGPU(self.gpu, mode="stream")
+                rows = 1 << n
+                total_macs = 0.0
+                total_bytes = 0.0
+                outputs: list[np.ndarray] | None = [] if execute else None
+                buffer = device.alloc("state", block) if execute else None
+                prev = None
+                for ib in range(spec.num_batches):
+                    if execute:
+                        prev = device.h2d(
+                            buffer, batches[ib].states, deps=[prev] if prev else []
+                        )
+                    else:
+                        prev = device.raw_task(
+                            f"h2d:b{ib}", "h2d", self.gpu.copy_time(block),
+                            deps=[prev] if prev else [],
+                        )
+                    for ik, k in enumerate(supports):
+                        macs = (1 << k) * rows * spec.batch_size
+                        traffic = dense_kernel_bytes(n, spec.batch_size)
+                        duration = self.gpu.kernel_time(macs, traffic)
+                        total_macs += macs
+                        total_bytes += traffic
+                        if execute:
+                            ell = ells[ik]
+
+                            def body(ell=ell, buffer=buffer):
+                                buffer.array = ell_spmm(ell, buffer.require())
+
+                            prev = device.kernel(
+                                f"k{ik}:b{ib}", body, deps=[prev], duration=duration
+                            )
+                        else:
+                            prev = device.raw_task(
+                                f"k{ik}:b{ib}", "compute", duration, deps=[prev]
+                            )
+                    if execute:
+                        prev, snapshot = device.d2h(buffer, deps=[prev])
+                        outputs.append(snapshot)
+                    else:
+                        prev = device.raw_task(
+                            f"d2h:b{ib}", "d2h", self.gpu.copy_time(block),
+                            deps=[prev],
+                        )
+
+                timeline = device.run()
+                span.set(num_tasks=len(timeline.tasks))
         total = timeline.makespan
         power = PowerReport(
             gpu_watts=gpu_power_from_work(total_macs, total_bytes, total, self.gpu),
@@ -189,12 +217,15 @@ class CuQuantumSimulator(BatchSimulator):
             timeline=timeline,
             outputs=outputs,
             wall_time=time.perf_counter() - wall_start,
-            stats={
-                "plan": plan,
-                "macs": sum(
-                    (1 << k) * rows * spec.num_inputs for k in supports
-                ),
-                "dense_matrix_bytes": matrix_bytes,
-                "wall_breakdown": timer.snapshot(),
-            },
+            stats=obs.finalize(
+                {
+                    "plan": plan,
+                    "macs": sum(
+                        (1 << k) * rows * spec.num_inputs for k in supports
+                    ),
+                    "dense_matrix_bytes": matrix_bytes,
+                },
+                timer,
+                self._plans,
+            ),
         )

@@ -22,8 +22,15 @@ from ..ell.spmm import build_apply_plans
 from ..fusion.greedy import flatdd_fusion
 from ..gpu.power import PowerReport, cpu_power_from_utilization
 from ..gpu.spec import CpuSpec, GpuSpec
+from ..obs import CANONICAL_STAGES
 from ..profile import StageTimer
-from .base import BatchSimulator, BatchSpec, PlanCache, SimulationResult
+from .base import (
+    BatchSimulator,
+    BatchSpec,
+    PlanCache,
+    RunObservation,
+    SimulationResult,
+)
 
 
 class FlatDDSimulator(BatchSimulator):
@@ -45,41 +52,54 @@ class FlatDDSimulator(BatchSimulator):
     ) -> SimulationResult:
         wall_start = time.perf_counter()
         n = circuit.num_qubits
-        timer = StageTimer()
+        obs = RunObservation()
+        timer = StageTimer(stages=CANONICAL_STAGES)
 
         def build():
             mgr = DDManager(n)
             built = flatdd_fusion(mgr, circuit)
             return {"mgr": mgr, "plan": built, "ells": None}
 
-        with timer.time("prepare"):
-            prepared = self._plans.get(circuit, build, extra=("flatdd-v1",))
-        plan = prepared["plan"]
+        with obs.tracer.span(
+            f"{self.name}.run",
+            simulator=self.name,
+            circuit=circuit.name,
+            num_qubits=n,
+            num_batches=spec.num_batches,
+            batch_size=spec.batch_size,
+            execute=execute,
+        ):
+            with timer.time("fusion") as span:
+                prepared = self._plans.get(circuit, build, extra=("flatdd-v1",))
+                span.set(fused_gates=len(prepared["plan"].gates))
+            plan = prepared["plan"]
 
-        work_per_input = sum(fg.nnz for fg in plan.gates)
-        per_input = (
-            self.cpu.flatdd_input_overhead
-            + work_per_input / self.cpu.flatdd_machine_rate
-        )
-        total = per_input * spec.num_inputs
+            work_per_input = sum(fg.nnz for fg in plan.gates)
+            per_input = (
+                self.cpu.flatdd_input_overhead
+                + work_per_input / self.cpu.flatdd_machine_rate
+            )
+            total = per_input * spec.num_inputs
 
-        batches = self._resolve_batches(circuit, spec, batches, execute)
-        outputs: list[np.ndarray] | None = None
-        if execute:
-            with timer.time("convert"):
-                if prepared["ells"] is None:
-                    prepared["ells"] = [
-                        ell_from_dd_cpu(fg.dd, n) for fg in plan.gates
-                    ]
-                # compiled gather plans, consecutive width-1 kernels composed
-                apply_plans = build_apply_plans(prepared["ells"])
-            with timer.time("execute"):
-                outputs = []
-                for batch in batches:
-                    states = batch.states
-                    for apply_plan in apply_plans:
-                        states = apply_plan.apply(states)
-                    outputs.append(states)
+            with timer.time("io"):
+                batches = self._resolve_batches(circuit, spec, batches, execute)
+            outputs: list[np.ndarray] | None = None
+            if execute:
+                with timer.time("convert"):
+                    if prepared["ells"] is None:
+                        prepared["ells"] = [
+                            ell_from_dd_cpu(fg.dd, n) for fg in plan.gates
+                        ]
+                    # compiled gather plans, consecutive width-1 kernels composed
+                    apply_plans = build_apply_plans(prepared["ells"])
+                with timer.time("execute") as span:
+                    outputs = []
+                    for batch in batches:
+                        states = batch.states
+                        for apply_plan in apply_plans:
+                            states = apply_plan.apply(states)
+                        outputs.append(states)
+                    span.set(num_kernels=len(apply_plans))
 
         power = PowerReport(
             gpu_watts=0.0,
@@ -95,9 +115,13 @@ class FlatDDSimulator(BatchSimulator):
             power=power,
             outputs=outputs,
             wall_time=time.perf_counter() - wall_start,
-            stats={
-                "plan": plan,
-                "macs": plan.macs(spec.num_inputs),
-                "work_per_input": work_per_input,
-            },
+            stats=obs.finalize(
+                {
+                    "plan": plan,
+                    "macs": plan.macs(spec.num_inputs),
+                    "work_per_input": work_per_input,
+                },
+                timer,
+                self._plans,
+            ),
         )

@@ -24,8 +24,9 @@ from ..errors import SimulationError
 from ..gpu.device import VirtualGPU
 from ..gpu.power import PowerReport, cpu_power_from_utilization, gpu_power_from_work
 from ..gpu.spec import CpuSpec, GpuSpec, ell_kernel_bytes, state_block_bytes
+from ..obs import CANONICAL_STAGES
 from ..profile import StageTimer
-from .base import BatchSpec, SimulationResult
+from .base import BatchSpec, RunObservation, SimulationResult
 from .bqsim import BQSimSimulator
 
 
@@ -49,51 +50,80 @@ class MultiGpuBQSimSimulator(BQSimSimulator):
     ) -> SimulationResult:
         wall_start = time.perf_counter()
         n = circuit.num_qubits
-        timer = StageTimer()
+        obs = RunObservation()
+        timer = StageTimer(stages=CANONICAL_STAGES)
 
-        with timer.time("prepare"):
-            prepared, plan_source = self._prepare(circuit, execute)
-        plan = prepared["plan"]
-        conv_infos = prepared["conv_infos"]
-        t_fusion = self.cpu.fusion_time(len(circuit.gates), prepared["fused_nodes"])
-        t_conversion = sum(info["time"] for info in conv_infos)
-        with timer.time("convert"):
-            ells = self._materialize_ells(prepared) if execute else None
-
-        batches = self._resolve_batches(circuit, spec, batches, execute)
-        # deal batches round-robin: device d gets batches d, d+k, d+2k, ...
-        shards: list[list[int]] = [
-            list(range(d, spec.num_batches, self.num_devices))
-            for d in range(self.num_devices)
-        ]
-        makespans = []
-        total_macs = total_bytes = 0.0
-        outputs: list[np.ndarray | None] | None = (
-            [None] * spec.num_batches if execute else None
-        )
-        execute_t0 = time.perf_counter()
-        for device_index, shard in enumerate(shards):
-            if not shard:
-                makespans.append(0.0)
-                continue
-            device = VirtualGPU(
-                self.gpu, mode="graph" if self.task_graph else "stream"
+        with obs.tracer.span(
+            f"{self.name}.run",
+            simulator=self.name,
+            circuit=circuit.name,
+            num_qubits=n,
+            num_devices=self.num_devices,
+            num_batches=spec.num_batches,
+            batch_size=spec.batch_size,
+            execute=execute,
+        ):
+            with timer.time("fusion") as span:
+                prepared, plan_source = self._prepare(circuit, execute)
+                span.set(
+                    plan_source=plan_source,
+                    fused_gates=len(prepared["plan"].gates),
+                )
+            plan = prepared["plan"]
+            conv_infos = prepared["conv_infos"]
+            t_fusion = self.cpu.fusion_time(
+                len(circuit.gates), prepared["fused_nodes"]
             )
-            shard_spec = BatchSpec(len(shard), spec.batch_size, spec.seed)
-            shard_batches = [batches[i] for i in shard] if execute else None
-            work = {"macs": 0.0, "bytes": 0.0}
-            shard_out, _ = self._simulate(
-                device, plan, conv_infos, ells, shard_batches, shard_spec, work
-            )
-            timeline = device.run()
-            makespans.append(timeline.makespan)
-            total_macs += work["macs"]
-            total_bytes += work["bytes"]
-            if execute:
-                for local, global_index in enumerate(shard):
-                    outputs[global_index] = shard_out[local]
+            t_conversion = sum(info["time"] for info in conv_infos)
+            with timer.time("convert"):
+                fresh = prepared["ells"] is None
+                ells = self._materialize_ells(prepared) if execute else None
+                if not (execute and fresh):
+                    self._trace_conv_infos(conv_infos)
 
-        timer.record("execute", time.perf_counter() - execute_t0)
+            with timer.time("io"):
+                batches = self._resolve_batches(circuit, spec, batches, execute)
+            # deal batches round-robin: device d gets batches d, d+k, d+2k, ...
+            shards: list[list[int]] = [
+                list(range(d, spec.num_batches, self.num_devices))
+                for d in range(self.num_devices)
+            ]
+            makespans = []
+            total_macs = total_bytes = 0.0
+            outputs: list[np.ndarray | None] | None = (
+                [None] * spec.num_batches if execute else None
+            )
+            with timer.time("execute"):
+                for device_index, shard in enumerate(shards):
+                    if not shard:
+                        makespans.append(0.0)
+                        continue
+                    with obs.tracer.span(
+                        "execute.device",
+                        device=device_index,
+                        num_batches=len(shard),
+                    ) as span:
+                        device = VirtualGPU(
+                            self.gpu, mode="graph" if self.task_graph else "stream"
+                        )
+                        shard_spec = BatchSpec(len(shard), spec.batch_size, spec.seed)
+                        shard_batches = (
+                            [batches[i] for i in shard] if execute else None
+                        )
+                        work = {"macs": 0.0, "bytes": 0.0}
+                        shard_out, _ = self._simulate(
+                            device, plan, conv_infos, ells, shard_batches,
+                            shard_spec, work,
+                        )
+                        timeline = device.run()
+                        span.set(modeled_makespan_s=timeline.makespan)
+                    makespans.append(timeline.makespan)
+                    total_macs += work["macs"]
+                    total_bytes += work["bytes"]
+                    if execute:
+                        for local, global_index in enumerate(shard):
+                            outputs[global_index] = shard_out[local]
+
         t_sim = max(makespans)
         total = t_fusion + t_conversion + t_sim
         power = PowerReport(
@@ -122,15 +152,18 @@ class MultiGpuBQSimSimulator(BQSimSimulator):
             power=power,
             outputs=outputs,
             wall_time=time.perf_counter() - wall_start,
-            stats={
-                "fused_gates": len(plan),
-                "total_cost": plan.total_cost,
-                "macs": plan.macs(spec.num_inputs),
-                "num_devices": self.num_devices,
-                "device_makespans": makespans,
-                "plan": plan,
-                "plan_source": plan_source,
-                "plan_key": prepared["key"],
-                "wall_breakdown": timer.snapshot(),
-            },
+            stats=obs.finalize(
+                {
+                    "fused_gates": len(plan),
+                    "total_cost": plan.total_cost,
+                    "macs": plan.macs(spec.num_inputs),
+                    "num_devices": self.num_devices,
+                    "device_makespans": makespans,
+                    "plan": plan,
+                    "plan_source": plan_source,
+                    "plan_key": prepared["key"],
+                },
+                timer,
+                self._plans,
+            ),
         )

@@ -21,8 +21,15 @@ from ..ell.spmm import build_apply_plans
 from ..fusion.array_fusion import aer_fusion
 from ..gpu.power import PowerReport, cpu_power_from_utilization, gpu_power_from_work
 from ..gpu.spec import COMPLEX_BYTES, CpuSpec, GpuSpec
+from ..obs import CANONICAL_STAGES
 from ..profile import StageTimer
-from .base import BatchSimulator, BatchSpec, PlanCache, SimulationResult
+from .base import (
+    BatchSimulator,
+    BatchSpec,
+    PlanCache,
+    RunObservation,
+    SimulationResult,
+)
 
 
 class QiskitAerSimulator(BatchSimulator):
@@ -51,62 +58,75 @@ class QiskitAerSimulator(BatchSimulator):
         wall_start = time.perf_counter()
         n = circuit.num_qubits
         rows = 1 << n
-        timer = StageTimer()
+        obs = RunObservation()
+        timer = StageTimer(stages=CANONICAL_STAGES)
 
         def build():
             mgr = DDManager(n)
             built = aer_fusion(mgr, circuit, max_fused_qubits=self.max_fused_qubits)
             return {"mgr": mgr, "plan": built, "ells": None}
 
-        with timer.time("prepare"):
-            prepared = self._plans.get(
-                circuit, build, extra=("aer-v1", self.max_fused_qubits)
-            )
-        plan = prepared["plan"]
+        with obs.tracer.span(
+            f"{self.name}.run",
+            simulator=self.name,
+            circuit=circuit.name,
+            num_qubits=n,
+            num_batches=spec.num_batches,
+            batch_size=spec.batch_size,
+            execute=execute,
+        ):
+            with timer.time("fusion") as span:
+                prepared = self._plans.get(
+                    circuit, build, extra=("aer-v1", self.max_fused_qubits)
+                )
+                span.set(fused_gates=len(prepared["plan"].gates))
+            plan = prepared["plan"]
 
-        # host cost per input run (already folded over 8 worker processes)
-        host_per_input = (
-            self.cpu.aer_run_overhead
-            + self.cpu.aer_amp_time * rows
-            + self.cpu.aer_gate_time * len(circuit.gates)
-        )
-        # GPU kernels: one dense block apply per fused gate per input,
-        # single-input state (no batching), serialized on the shared device
-        kernel_per_input = 0.0
-        macs_per_input = 0.0
-        bytes_per_input = 0.0
-        for fused in plan.gates:
-            macs = fused.cost * rows  # cost is the dense 2^k per-amplitude MACs
-            traffic = 2 * rows * COMPLEX_BYTES
-            macs_per_input += macs
-            bytes_per_input += traffic
-            kernel_per_input += (
-                self.gpu.kernel_launch_overhead
-                + self.gpu.kernel_time(macs, traffic)
+            # host cost per input run (already folded over 8 worker processes)
+            host_per_input = (
+                self.cpu.aer_run_overhead
+                + self.cpu.aer_amp_time * rows
+                + self.cpu.aer_gate_time * len(circuit.gates)
             )
-        num_inputs = spec.num_inputs
-        t_host = host_per_input * num_inputs
-        t_kernels = kernel_per_input * num_inputs
-        # kernels of the 8 processes interleave under the host overhead; only
-        # the excess beyond the host time extends the run
-        total = t_host + max(0.0, t_kernels - t_host)
+            # GPU kernels: one dense block apply per fused gate per input,
+            # single-input state (no batching), serialized on the shared device
+            kernel_per_input = 0.0
+            macs_per_input = 0.0
+            bytes_per_input = 0.0
+            for fused in plan.gates:
+                macs = fused.cost * rows  # cost is the dense 2^k per-amplitude MACs
+                traffic = 2 * rows * COMPLEX_BYTES
+                macs_per_input += macs
+                bytes_per_input += traffic
+                kernel_per_input += (
+                    self.gpu.kernel_launch_overhead
+                    + self.gpu.kernel_time(macs, traffic)
+                )
+            num_inputs = spec.num_inputs
+            t_host = host_per_input * num_inputs
+            t_kernels = kernel_per_input * num_inputs
+            # kernels of the 8 processes interleave under the host overhead;
+            # only the excess beyond the host time extends the run
+            total = t_host + max(0.0, t_kernels - t_host)
 
-        batches = self._resolve_batches(circuit, spec, batches, execute)
-        outputs: list[np.ndarray] | None = None
-        if execute:
-            with timer.time("convert"):
-                if prepared["ells"] is None:
-                    prepared["ells"] = [
-                        ell_from_dd_cpu(fg.dd, n) for fg in plan.gates
-                    ]
-                apply_plans = build_apply_plans(prepared["ells"])
-            with timer.time("execute"):
-                outputs = []
-                for batch in batches:
-                    states = batch.states
-                    for apply_plan in apply_plans:
-                        states = apply_plan.apply(states)
-                    outputs.append(states)
+            with timer.time("io"):
+                batches = self._resolve_batches(circuit, spec, batches, execute)
+            outputs: list[np.ndarray] | None = None
+            if execute:
+                with timer.time("convert"):
+                    if prepared["ells"] is None:
+                        prepared["ells"] = [
+                            ell_from_dd_cpu(fg.dd, n) for fg in plan.gates
+                        ]
+                    apply_plans = build_apply_plans(prepared["ells"])
+                with timer.time("execute") as span:
+                    outputs = []
+                    for batch in batches:
+                        states = batch.states
+                        for apply_plan in apply_plans:
+                            states = apply_plan.apply(states)
+                        outputs.append(states)
+                    span.set(num_kernels=len(apply_plans))
 
         power = PowerReport(
             gpu_watts=gpu_power_from_work(
@@ -127,10 +147,13 @@ class QiskitAerSimulator(BatchSimulator):
             power=power,
             outputs=outputs,
             wall_time=time.perf_counter() - wall_start,
-            stats={
-                "plan": plan,
-                "macs": plan.macs(num_inputs),
-                "host_per_input": host_per_input,
-                "wall_breakdown": timer.snapshot(),
-            },
+            stats=obs.finalize(
+                {
+                    "plan": plan,
+                    "macs": plan.macs(num_inputs),
+                    "host_per_input": host_per_input,
+                },
+                timer,
+                self._plans,
+            ),
         )

@@ -53,8 +53,32 @@ def _run_simulation(args):
     )
 
     circuit = _circuit_from_args(args)
-    simulators = make_simulators()
+    bqsim_kwargs = {}
+    faults = getattr(args, "faults", None)
+    health = getattr(args, "health", None)
+    checkpoint_dir = getattr(args, "checkpoint_dir", None)
+    resume = getattr(args, "resume", None)
+    if health is not None:
+        bqsim_kwargs["health"] = health
+    if checkpoint_dir is not None:
+        bqsim_kwargs["checkpoint_dir"] = checkpoint_dir
+    max_splits = getattr(args, "max_splits", None)
+    if max_splits is not None:
+        bqsim_kwargs["max_splits"] = max_splits
+    simulators = make_simulators(**bqsim_kwargs)
     simulator = simulators[args.simulator]
+    if faults is not None:
+        # scope the plan to the chosen simulator's runs
+        simulator.faults = faults
+    if health is not None and args.simulator != "bqsim":
+        from .resilience import HealthPolicy
+
+        simulator.health = HealthPolicy.coerce(health)
+    run_kwargs = {}
+    if resume is not None:
+        if args.simulator != "bqsim":
+            raise SystemExit("--resume is only supported with --simulator bqsim")
+        run_kwargs["resume"] = resume
     spec = BatchSpec(num_batches=args.batches, batch_size=args.batch_size,
                      seed=args.seed)
     trace_out = getattr(args, "trace_out", None)
@@ -62,15 +86,25 @@ def _run_simulation(args):
     if trace_out:
         with tracing() as tracer:
             mark = tracer.mark()
-            result = simulator.run(circuit, spec, execute=args.execute)
+            result = simulator.run(circuit, spec, execute=args.execute,
+                                   **run_kwargs)
             spans = tracer.spans_since(mark)
         write_chrome_trace(
             trace_out, spans, timeline=result.timeline,
             metadata={"circuit": circuit.name, "simulator": result.simulator},
         )
     else:
-        result = simulator.run(circuit, spec, execute=args.execute)
+        result = simulator.run(circuit, spec, execute=args.execute,
+                               **run_kwargs)
         spans = []
+    resilience_out = getattr(args, "resilience_out", None)
+    if resilience_out:
+        import json
+
+        events = result.stats.get("resilience", {}).get("events", [])
+        with open(resilience_out, "w", encoding="utf-8") as fh:
+            for event in events:
+                fh.write(json.dumps(event) + "\n")
     if metrics_out:
         write_metrics_jsonl(metrics_out, [
             metrics_record(
@@ -100,6 +134,17 @@ def cmd_simulate(args) -> int:
         norm = float(abs(result.outputs[0][:, 0] ** 2).sum())
         print(f"amplitudes: computed ({len(result.outputs)} output batches, "
               f"first column norm {norm:.6f})")
+    resilience = result.stats.get("resilience") or {}
+    if resilience.get("counts"):
+        parts = ", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(resilience["counts"].items())
+        )
+        print(f"resilience: {parts} "
+              f"(backend {resilience.get('backend', '?')}, "
+              f"batch split x{resilience.get('batch_split', 1)})")
+    if getattr(args, "resilience_out", None):
+        print(f"resilience: wrote {args.resilience_out}")
     if getattr(args, "trace_out", None):
         print(f"trace     : wrote {args.trace_out} "
               f"(open in https://ui.perfetto.dev)")
@@ -180,6 +225,23 @@ def main(argv: list[str] | None = None) -> int:
                             help="compute real amplitudes (default: model-only)")
         parser.add_argument("--metrics-out", default=None, metavar="PATH",
                             help="write a JSONL metrics snapshot to PATH")
+        parser.add_argument("--faults", default=None, metavar="PLAN",
+                            help="fault-injection plan, e.g. "
+                                 "'seed=7,kernel=0.05,oom=1:1'")
+        parser.add_argument("--health", default=None,
+                            choices=["off", "warn", "renormalize", "fail"],
+                            help="per-batch numerical health policy")
+        parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                            help="write batch-boundary checkpoints "
+                                 "(bqsim only)")
+        parser.add_argument("--resume", default=None, metavar="CKPT",
+                            help="resume a bqsim run from a checkpoint "
+                                 "archive")
+        parser.add_argument("--max-splits", type=int, default=None,
+                            help="allow up to 2^N-way batch splitting on OOM "
+                                 "(bqsim only)")
+        parser.add_argument("--resilience-out", default=None, metavar="PATH",
+                            help="write the run's resilience events as JSONL")
 
     p = sub.add_parser("simulate", help="run a batch simulation")
     _add_circuit_args(p)

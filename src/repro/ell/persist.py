@@ -17,6 +17,9 @@ Two formats are supported:
 
 from __future__ import annotations
 
+import zipfile
+import zlib
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -27,6 +30,59 @@ from .format import ELLMatrix
 
 _FORMAT_VERSION = 1
 _PLAN_FORMAT_VERSION = 2
+
+
+@contextmanager
+def _open_archive(path: str | Path, what: str):
+    """Open an ``.npz`` archive, mapping every I/O-level failure — missing
+    file, truncation, zip corruption, bad compression stream — to a typed
+    :class:`ConversionError` instead of leaking ``OSError``/``BadZipFile``."""
+    path = Path(path)
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            yield data
+    except ConversionError:
+        raise
+    except (
+        OSError,
+        ValueError,
+        EOFError,
+        zipfile.BadZipFile,
+        zlib.error,
+    ) as exc:
+        raise ConversionError(
+            f"unreadable {what} archive {path.name!r}: {exc}"
+        ) from exc
+
+
+def _read(data, key: str, what: str):
+    """Read one archive entry, naming the offending key on failure."""
+    try:
+        return data[key]
+    except KeyError:
+        raise ConversionError(
+            f"{what} archive is missing entry {key!r}", key=key
+        ) from None
+    except (ValueError, zipfile.BadZipFile, zlib.error) as exc:
+        raise ConversionError(
+            f"{what} archive entry {key!r} is corrupt: {exc}", key=key
+        ) from exc
+
+
+def _check_version(data, expected: int, what: str) -> int:
+    version = int(_read(data, "format_version", what))
+    if version == expected:
+        return version
+    if version > expected:
+        raise ConversionError(
+            f"{what} format {version} is newer than supported "
+            f"({expected}); upgrade to read this archive",
+            version=version,
+        )
+    raise ConversionError(
+        f"{what} format {version} not supported (expected {expected})",
+        version=version,
+    )
 
 
 @dataclass(frozen=True)
@@ -75,25 +131,24 @@ def save_bundle(bundle: EllBundle, path: str | Path) -> Path:
 
 
 def load_bundle(path: str | Path) -> EllBundle:
-    """Load a bundle previously written by :func:`save_bundle`."""
-    with np.load(Path(path), allow_pickle=False) as data:
-        version = int(data["format_version"])
-        if version != _FORMAT_VERSION:
-            raise ConversionError(
-                f"bundle format {version} not supported (expected {_FORMAT_VERSION})"
-            )
-        num_qubits = int(data["num_qubits"])
-        num_gates = int(data["num_gates"])
+    """Load a bundle previously written by :func:`save_bundle`.
+
+    Every failure mode — missing file, truncated zip, missing entry, bad
+    format version — raises :class:`ConversionError` (never a bare
+    ``KeyError`` or ``BadZipFile``) so callers can treat the archive as a
+    cache miss or quarantine it.
+    """
+    with _open_archive(path, "bundle") as data:
+        _check_version(data, _FORMAT_VERSION, "bundle")
+        num_qubits = int(_read(data, "num_qubits", "bundle"))
+        num_gates = int(_read(data, "num_gates", "bundle"))
         matrices = []
         for i in range(num_gates):
-            try:
-                values = data[f"values_{i}"]
-                cols = data[f"cols_{i}"]
-            except KeyError:
-                raise ConversionError(f"bundle is missing arrays for gate {i}") from None
+            values = _read(data, f"values_{i}", "bundle")
+            cols = _read(data, f"cols_{i}", "bundle")
             matrices.append(ELLMatrix(num_qubits, values, cols))
         return EllBundle(
-            circuit_name=str(data["circuit_name"]),
+            circuit_name=str(_read(data, "circuit_name", "bundle")),
             num_qubits=num_qubits,
             matrices=tuple(matrices),
         )
@@ -208,18 +263,17 @@ def save_compiled_plan(plan: CompiledPlan, path: str | Path) -> Path:
 
 
 def load_compiled_plan(path: str | Path) -> CompiledPlan:
-    """Load a compiled plan previously written by :func:`save_compiled_plan`."""
-    with np.load(Path(path), allow_pickle=False) as data:
-        version = int(data["format_version"])
-        if version != _PLAN_FORMAT_VERSION:
-            raise ConversionError(
-                f"plan format {version} not supported "
-                f"(expected {_PLAN_FORMAT_VERSION})"
-            )
-        num_qubits = int(data["num_qubits"])
-        num_gates = int(data["num_gates"])
-        flat = data["gate_indices_flat"]
-        offsets = data["gate_indices_offsets"]
+    """Load a compiled plan previously written by :func:`save_compiled_plan`.
+
+    Same failure contract as :func:`load_bundle`: every problem surfaces as
+    a typed :class:`ConversionError` carrying the offending key or version.
+    """
+    with _open_archive(path, "plan") as data:
+        _check_version(data, _PLAN_FORMAT_VERSION, "plan")
+        num_qubits = int(_read(data, "num_qubits", "plan"))
+        num_gates = int(_read(data, "num_gates", "plan"))
+        flat = _read(data, "gate_indices_flat", "plan")
+        offsets = _read(data, "gate_indices_offsets", "plan")
         gate_indices = tuple(
             tuple(int(i) for i in flat[offsets[g] : offsets[g + 1]])
             for g in range(num_gates)
@@ -232,35 +286,30 @@ def load_compiled_plan(path: str | Path) -> CompiledPlan:
                 "time": float(t),
             }
             for route, edges, width, t in zip(
-                data["conv_routes"],
-                data["conv_edges"],
-                data["conv_widths"],
-                data["conv_times"],
+                _read(data, "conv_routes", "plan"),
+                _read(data, "conv_edges", "plan"),
+                _read(data, "conv_widths", "plan"),
+                _read(data, "conv_times", "plan"),
             )
         )
         matrices: tuple[ELLMatrix, ...] | None = None
-        if int(data["has_matrices"]):
+        if int(_read(data, "has_matrices", "plan")):
             loaded = []
             for i in range(num_gates):
-                try:
-                    values = data[f"values_{i}"]
-                    cols = data[f"cols_{i}"]
-                except KeyError:
-                    raise ConversionError(
-                        f"plan is missing arrays for gate {i}"
-                    ) from None
+                values = _read(data, f"values_{i}", "plan")
+                cols = _read(data, f"cols_{i}", "plan")
                 loaded.append(ELLMatrix(num_qubits, values, cols))
             matrices = tuple(loaded)
         return CompiledPlan(
-            fingerprint=str(data["fingerprint"]),
-            circuit_name=str(data["circuit_name"]),
+            fingerprint=str(_read(data, "fingerprint", "plan")),
+            circuit_name=str(_read(data, "circuit_name", "plan")),
             num_qubits=num_qubits,
-            algorithm=str(data["algorithm"]),
-            source_gate_count=int(data["source_gate_count"]),
-            fused_nodes=int(data["fused_nodes"]),
-            gate_costs=tuple(int(c) for c in data["gate_costs"]),
+            algorithm=str(_read(data, "algorithm", "plan")),
+            source_gate_count=int(_read(data, "source_gate_count", "plan")),
+            fused_nodes=int(_read(data, "fused_nodes", "plan")),
+            gate_costs=tuple(int(c) for c in _read(data, "gate_costs", "plan")),
             gate_indices=gate_indices,
-            gate_nnz=tuple(float(x) for x in data["gate_nnz"]),
+            gate_nnz=tuple(float(x) for x in _read(data, "gate_nnz", "plan")),
             conv_infos=conv_infos,
             matrices=matrices,
         )

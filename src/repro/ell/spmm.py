@@ -35,6 +35,7 @@ import numpy as np
 
 from ..errors import SimulationError
 from ..obs import get_metrics
+from ..resilience.faults import get_fault_injector
 from .format import ELLMatrix
 
 try:  # SciPy is optional: the numpy backend is the self-contained fallback
@@ -153,18 +154,26 @@ class GatherPlan:
                 raise SimulationError("ell_spmm cannot run in place")
             if out.shape != states.shape:
                 raise SimulationError("output buffer shape mismatch")
+        injector = get_fault_injector()
         if self.is_width_one:
             get_metrics().inc("spmm.backend.width1")
             result = self.values * states[self.flat_cols, :]
         else:
             mode = _resolve_backend(backend)
+            if injector is not None and injector.check(f"spmm.{mode}"):
+                raise SimulationError(f"injected spMM backend fault ({mode})")
             get_metrics().inc(f"spmm.backend.{mode}")
             if mode == "csr":
                 result = self._csr_matrix() @ states
             elif mode == "numpy":
                 result = self._apply_blocked(states)
             else:
-                return ell_spmm_loop(self.to_ell(), states, out=out)
+                result = ell_spmm_loop(self.to_ell(), states)
+        if injector is not None and injector.check("bitflip"):
+            # every branch above produced a fresh array, so the corruption
+            # never reaches the caller's inputs; the device-level output
+            # check turns the NaN into a healed retry
+            result.flat[injector.draw_index("bitflip", result.size)] = np.nan
         if out is None:
             return result
         np.copyto(out, result)

@@ -28,7 +28,21 @@ class FusionError(ReproError):
 
 
 class ConversionError(ReproError):
-    """DD-to-ELL conversion failed."""
+    """DD-to-ELL conversion or plan (de)serialization failed.
+
+    For archive failures, ``key`` names the missing/unreadable entry and
+    ``version`` records the archive's format version when one was read.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        key: str | None = None,
+        version: int | None = None,
+    ):
+        self.key = key
+        self.version = version
+        super().__init__(message)
 
 
 class DeviceError(ReproError):
@@ -37,3 +51,31 @@ class DeviceError(ReproError):
 
 class SimulationError(ReproError):
     """Batch simulation failed or produced inconsistent results."""
+
+
+class MemoryFault(DeviceError, SimulationError):
+    """Device or pool allocation failed: capacity overflow, fragmentation,
+    or an injected out-of-memory fault.  Subclasses both device and
+    simulation errors so existing handlers keep working; the resilience
+    layer catches it specifically to drive adaptive batch splitting."""
+
+
+class TransientFault(DeviceError):
+    """A retryable runtime failure (injected or detected) on one fault site.
+
+    Raised to the caller only after the retry policy's attempt/budget limits
+    are exhausted; until then the executor heals it transparently.
+    """
+
+    def __init__(self, message: str, site: str = ""):
+        self.site = site
+        super().__init__(message)
+
+
+class CheckpointError(SimulationError):
+    """Checkpoint archive unreadable or incompatible with the current run."""
+
+
+class NumericalError(SimulationError):
+    """Numerical health guard tripped (non-finite amplitudes or norm drift
+    beyond tolerance under the ``fail`` policy)."""

@@ -27,6 +27,9 @@ class Task:
     engine: str
     duration: float
     deps: tuple[int, ...] = ()
+    #: transient-fault retries absorbed by this task (the retry attempts and
+    #: modeled backoff are already folded into ``duration``)
+    retries: int = 0
     # filled by the scheduler
     start: float = -1.0
     end: float = -1.0
@@ -59,6 +62,10 @@ class Timeline:
 
     def engine_tasks(self, engine: str) -> list[Task]:
         return [t for t in self.tasks if t.engine == engine]
+
+    def total_retries(self) -> int:
+        """Transient-fault retries absorbed across all scheduled tasks."""
+        return sum(t.retries for t in self.tasks)
 
     def overlap_fraction(self) -> float:
         """Fraction of the makespan during which at least two engines are

@@ -49,8 +49,13 @@ class TaskGraph:
         engine: str,
         duration: float,
         deps: Sequence[TaskHandle] = (),
+        retries: int = 0,
     ) -> TaskHandle:
-        """Append a task; dependencies must already be in the graph."""
+        """Append a task; dependencies must already be in the graph.
+
+        ``retries`` records transient-fault retries already folded into
+        ``duration`` by the submitting device (timeline bookkeeping only).
+        """
         overhead = (
             self.spec.graph_node_overhead
             if self.mode == "graph"
@@ -62,6 +67,8 @@ class TaskGraph:
         for dep in deps:
             if dep.tid >= tid:
                 raise DeviceError("dependency submitted after dependent task")
+        if retries:
+            get_metrics().inc("graph.task_retries", retries)
         self._tasks.append(
             Task(
                 tid=tid,
@@ -69,6 +76,7 @@ class TaskGraph:
                 engine=engine,
                 duration=duration + overhead,
                 deps=tuple(dep.tid for dep in deps),
+                retries=retries,
             )
         )
         return TaskHandle(tid=tid, name=name)

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..errors import DeviceError
+from ..errors import DeviceError, MemoryFault
+from ..resilience.faults import get_fault_injector
 
 DEFAULT_ALIGNMENT = 256  # bytes, cudaMalloc's guarantee
 
@@ -69,10 +70,17 @@ class MemoryPool:
         return (value + mask) & ~mask
 
     def allocate(self, nbytes: int, tag: str = "") -> PoolBlock:
-        """First-fit allocation; raises :class:`DeviceError` when no free
-        range fits (distinguishing exhaustion from fragmentation)."""
+        """First-fit allocation; raises :class:`MemoryFault` when no free
+        range fits (distinguishing exhaustion from fragmentation) or when an
+        ``oom`` fault is injected."""
         if nbytes <= 0:
             raise DeviceError("allocation size must be positive")
+        injector = get_fault_injector()
+        if injector is not None and injector.check("oom"):
+            raise MemoryFault(
+                f"injected pool allocation failure for tag {tag!r} "
+                f"({nbytes} bytes)"
+            )
         needed = self._round_up(nbytes)
         for index, (offset, size) in enumerate(self._free):
             if size >= needed:
@@ -85,11 +93,11 @@ class MemoryPool:
                 self._live[block.offset] = block
                 return block
         if needed <= self.free_bytes:
-            raise DeviceError(
+            raise MemoryFault(
                 f"pool fragmented: {needed} B requested, {self.free_bytes} B "
                 f"free but largest block is {self.largest_free_block} B"
             )
-        raise DeviceError(
+        raise MemoryFault(
             f"pool exhausted: {needed} B requested, {self.free_bytes} B free"
         )
 

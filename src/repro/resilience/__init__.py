@@ -1,0 +1,67 @@
+"""Fault-tolerant batch execution: injection, retries, degradation,
+checkpoint/resume, and numerical health.
+
+The paper's premise is long-running batch workloads — thousands of inputs
+through one compiled task graph — so the runtime must survive transient
+kernel/copy failures, memory pressure, corrupt plan archives, and numerical
+corruption without losing completed work.  This package supplies:
+
+* :mod:`repro.resilience.faults` — a deterministic, seeded fault-injection
+  harness (``REPRO_FAULTS`` / :class:`FaultPlan`) the whole runtime consults;
+* :mod:`repro.resilience.retry` — bounded retries with exponential backoff,
+  deterministic jitter, and per-run budgets;
+* :mod:`repro.resilience.degrade` — the spMM backend fallback ladder
+  (csr → numpy → loop);
+* :mod:`repro.resilience.checkpoint` — batch-boundary checkpoints and
+  typed resume;
+* :mod:`repro.resilience.health` — per-batch NaN/norm-drift guard with
+  warn/renormalize/fail policies;
+* :mod:`repro.resilience.events` — the event log every layer records into,
+  surfaced as ``SimulationResult.stats["resilience"]``.
+"""
+
+from .checkpoint import (
+    Checkpoint,
+    CheckpointManager,
+    load_checkpoint,
+    save_checkpoint,
+)
+from .degrade import BACKEND_CHAIN, BackendLadder, apply_with_recovery
+from .events import ResilienceLog, get_resilience_log
+from .faults import (
+    FAULT_SITES,
+    FAULTS_ENV,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    fault_injection,
+    get_fault_injector,
+    set_fault_plan,
+)
+from .health import HEALTH_MODES, HealthPolicy, check_state_block
+from .retry import RetryPolicy, RetrySession
+
+__all__ = [
+    "BACKEND_CHAIN",
+    "BackendLadder",
+    "Checkpoint",
+    "CheckpointManager",
+    "FAULTS_ENV",
+    "FAULT_SITES",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "HEALTH_MODES",
+    "HealthPolicy",
+    "ResilienceLog",
+    "RetryPolicy",
+    "RetrySession",
+    "apply_with_recovery",
+    "check_state_block",
+    "fault_injection",
+    "get_fault_injector",
+    "get_resilience_log",
+    "load_checkpoint",
+    "save_checkpoint",
+    "set_fault_plan",
+]

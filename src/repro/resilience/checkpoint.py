@@ -1,0 +1,159 @@
+"""Batch-boundary checkpoints: crash a run, keep the completed batches.
+
+A checkpoint is one atomic ``.npz`` holding the completed output blocks,
+the plan fingerprint they were produced under, and the batch spec.  BQSim
+writes one after every ``every`` completed batches; ``run(resume=path)``
+validates the fingerprint/spec and replays only the unfinished batches.
+All malformations surface as typed :class:`~repro.errors.CheckpointError`.
+"""
+
+from __future__ import annotations
+
+import zipfile
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import CheckpointError
+from .events import get_resilience_log
+
+_CHECKPOINT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """The recoverable state of one interrupted batch run."""
+
+    plan_key: str
+    circuit_name: str
+    num_qubits: int
+    num_batches: int
+    batch_size: int
+    seed: int
+    outputs: tuple[np.ndarray, ...]
+
+    @property
+    def completed(self) -> int:
+        return len(self.outputs)
+
+
+def save_checkpoint(
+    path: str | Path,
+    *,
+    plan_key: str,
+    circuit_name: str,
+    num_qubits: int,
+    num_batches: int,
+    batch_size: int,
+    seed: int,
+    outputs: list[np.ndarray],
+) -> Path:
+    """Write a checkpoint atomically (tmp + rename)."""
+    path = Path(path)
+    payload: dict[str, np.ndarray] = {
+        "format_version": np.array(_CHECKPOINT_VERSION),
+        "plan_key": np.array(plan_key),
+        "circuit_name": np.array(circuit_name),
+        "num_qubits": np.array(num_qubits),
+        "num_batches": np.array(num_batches),
+        "batch_size": np.array(batch_size),
+        "seed": np.array(seed),
+        "completed": np.array(len(outputs)),
+    }
+    for i, block in enumerate(outputs):
+        payload[f"out_{i}"] = block
+    tmp = path.with_name(path.name + ".tmp.npz")
+    np.savez_compressed(tmp, **payload)
+    tmp.replace(path)
+    return path
+
+
+def load_checkpoint(path: str | Path) -> Checkpoint:
+    """Load a checkpoint; every failure mode is a :class:`CheckpointError`."""
+    path = Path(path)
+    try:
+        data = np.load(path, allow_pickle=False)
+    except (OSError, ValueError, zipfile.BadZipFile, EOFError) as exc:
+        raise CheckpointError(f"unreadable checkpoint {path}: {exc}") from exc
+    with data:
+        def read(key: str):
+            try:
+                return data[key]
+            except (KeyError, ValueError, OSError, zipfile.BadZipFile, zlib.error):
+                raise CheckpointError(
+                    f"checkpoint {path} is missing or truncates key {key!r}"
+                ) from None
+
+        version = int(read("format_version"))
+        if version != _CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {path} has format version {version} "
+                f"(expected {_CHECKPOINT_VERSION})"
+            )
+        completed = int(read("completed"))
+        outputs = tuple(read(f"out_{i}") for i in range(completed))
+        return Checkpoint(
+            plan_key=str(read("plan_key")),
+            circuit_name=str(read("circuit_name")),
+            num_qubits=int(read("num_qubits")),
+            num_batches=int(read("num_batches")),
+            batch_size=int(read("batch_size")),
+            seed=int(read("seed")),
+            outputs=outputs,
+        )
+
+
+class CheckpointManager:
+    """Owns the checkpoint file of one (plan, batch-spec) combination."""
+
+    def __init__(self, directory: str | Path, every: int = 1):
+        if every < 1:
+            raise CheckpointError("checkpoint interval must be >= 1")
+        self.directory = Path(directory)
+        self.every = every
+
+    def path_for(
+        self, plan_key: str, num_batches: int, batch_size: int, seed: int
+    ) -> Path:
+        name = f"{plan_key[:24]}-{num_batches}x{batch_size}-s{seed}.ckpt.npz"
+        return self.directory / name
+
+    def maybe_save(
+        self,
+        batch_index: int,
+        *,
+        plan_key: str,
+        circuit_name: str,
+        num_qubits: int,
+        num_batches: int,
+        batch_size: int,
+        seed: int,
+        outputs: list[np.ndarray],
+    ) -> Path | None:
+        """Persist after batch ``batch_index`` when the interval (or the end
+        of the run) says so; records a ``checkpoint`` event."""
+        done = batch_index + 1
+        if done % self.every and done != num_batches:
+            return None
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(plan_key, num_batches, batch_size, seed)
+        save_checkpoint(
+            path,
+            plan_key=plan_key,
+            circuit_name=circuit_name,
+            num_qubits=num_qubits,
+            num_batches=num_batches,
+            batch_size=batch_size,
+            seed=seed,
+            outputs=outputs,
+        )
+        get_resilience_log().record(
+            "checkpoint",
+            site="checkpoint",
+            batch=batch_index,
+            completed=len(outputs),
+            path=str(path),
+        )
+        return path

@@ -1,0 +1,90 @@
+"""The resilience event log: one append-only record per fault-handling step.
+
+Every fault, retry, demotion, quarantine, checkpoint, and health action in
+the runtime lands here as a small dict.  The log is process-global (like the
+metrics registry) and scoped to one run with :meth:`ResilienceLog.mark` /
+:meth:`ResilienceLog.summary_since`, which is how
+``SimulationResult.stats["resilience"]`` is produced.
+
+Events deliberately carry **no wall-clock timestamps** — only deterministic
+payloads (sites, attempt counts, modeled backoff seconds) — so two runs with
+the same seed and the same :class:`~repro.resilience.faults.FaultPlan`
+produce bit-identical event logs, which the determinism tests assert.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..obs import get_metrics, get_tracer
+
+#: event kinds a summary rolls up into convenience counters
+_SUMMARY_KINDS = {
+    "faults": "fault",
+    "retries": "retry",
+    "demotions": "demotion",
+    "quarantines": "quarantine",
+    "checkpoints": "checkpoint",
+    "renormalizations": "renormalize",
+}
+
+
+class ResilienceLog:
+    """Thread-safe append-only log of resilience events."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: list[dict] = []
+
+    def record(self, kind: str, **attrs) -> dict:
+        """Append one event; mirrors it into metrics and (when enabled) the
+        tracer as a zero-duration ``resilience.<kind>`` span."""
+        event = {"kind": kind}
+        event.update(attrs)
+        with self._lock:
+            self._events.append(event)
+        metrics = get_metrics()
+        metrics.inc(f"resilience.{kind}")
+        site = attrs.get("site")
+        if site:
+            metrics.inc(f"resilience.{kind}.{site}")
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span(f"resilience.{kind}", **attrs):
+                pass
+        return event
+
+    # -- per-run scoping ------------------------------------------------------
+
+    def mark(self) -> int:
+        """Opaque marker (the current event count) for ``*_since``."""
+        with self._lock:
+            return len(self._events)
+
+    def events_since(self, mark: int) -> list[dict]:
+        """Copies of the events recorded since ``mark``."""
+        with self._lock:
+            return [dict(e) for e in self._events[mark:]]
+
+    def summary_since(self, mark: int) -> dict:
+        """The ``stats["resilience"]`` block: events + per-kind counts."""
+        events = self.events_since(mark)
+        counts: dict[str, int] = {}
+        for event in events:
+            counts[event["kind"]] = counts.get(event["kind"], 0) + 1
+        summary: dict = {"events": events, "counts": counts}
+        for name, kind in _SUMMARY_KINDS.items():
+            summary[name] = counts.get(kind, 0)
+        return summary
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+
+_global_log = ResilienceLog()
+
+
+def get_resilience_log() -> ResilienceLog:
+    """The process-global resilience event log."""
+    return _global_log

@@ -1,0 +1,71 @@
+"""Bounded retries with exponential backoff and deterministic jitter.
+
+A :class:`RetryPolicy` is immutable configuration; a :class:`RetrySession`
+is the mutable per-run (per-device) state that enforces both the per-task
+attempt limit and the per-run retry budget.  Backoff seconds are *modeled*:
+they are added to the failing task's duration on the virtual timeline rather
+than slept on the host, so fault-heavy runs stay fast to execute while the
+modeled makespan still reflects the retries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .events import get_resilience_log
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry configuration for transient faults."""
+
+    #: total attempts per operation (1 = no retries)
+    max_attempts: int = 3
+    #: modeled seconds before the first retry
+    base_backoff: float = 1e-3
+    #: backoff multiplier per subsequent retry
+    multiplier: float = 2.0
+    #: jitter fraction added on top of the exponential term (deterministic,
+    #: drawn from the session's seeded stream)
+    jitter: float = 0.1
+    #: total retries allowed per session (device/run) before giving up
+    run_budget: int = 64
+
+    def backoff(self, attempt: int, rng: np.random.Generator) -> float:
+        """Modeled backoff before retrying after failed attempt ``attempt``."""
+        base = self.base_backoff * self.multiplier ** (attempt - 1)
+        return base * (1.0 + self.jitter * float(rng.random()))
+
+
+class RetrySession:
+    """Per-run retry state: budget accounting and the jitter stream."""
+
+    def __init__(self, policy: RetryPolicy | None = None, seed: int = 0):
+        self.policy = policy or RetryPolicy()
+        self._rng = np.random.default_rng([int(seed) & 0xFFFFFFFF, 0x52545259])
+        self.retries = 0
+
+    def next_backoff(self, site: str, attempt: int, error=None) -> float | None:
+        """Decide whether to retry after failed attempt ``attempt`` (1-based).
+
+        Returns the modeled backoff seconds, or ``None`` when the attempt
+        limit or the run budget is exhausted (the caller then surfaces the
+        typed error).  Records a ``retry`` / ``retry_exhausted`` event.
+        """
+        policy = self.policy
+        if attempt >= policy.max_attempts or self.retries >= policy.run_budget:
+            get_resilience_log().record(
+                "retry_exhausted",
+                site=site,
+                attempts=attempt,
+                error=type(error).__name__ if error is not None else "",
+            )
+            return None
+        self.retries += 1
+        backoff = policy.backoff(attempt, self._rng)
+        get_resilience_log().record(
+            "retry", site=site, attempt=attempt, backoff_s=round(backoff, 9)
+        )
+        return backoff

@@ -14,6 +14,7 @@ from __future__ import annotations
 import abc
 import hashlib
 import os
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
@@ -26,6 +27,7 @@ from ..gpu.engine import Timeline
 from ..gpu.power import PowerReport
 from ..obs import get_metrics, get_tracer
 from ..profile import StageTimer
+from ..resilience.events import get_resilience_log
 
 #: environment variable naming the default disk tier of every PlanCache;
 #: unset means memory-only caching
@@ -146,6 +148,7 @@ class PlanCache:
         self.hits = 0
         self.disk_hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     @staticmethod
     def key(circuit: Circuit, extra: tuple = ()) -> str:
@@ -191,6 +194,7 @@ class PlanCache:
             "hits": self.hits,
             "disk_hits": self.disk_hits,
             "misses": self.misses,
+            "quarantined": self.quarantined,
         }
 
     def peek(self, key: str):
@@ -212,10 +216,47 @@ class PlanCache:
         return self.cache_dir / f"{key}.npz"
 
     def disk_entries(self) -> list[Path]:
-        """Every plan archive currently in the disk tier."""
+        """Every plan archive currently in the disk tier.
+
+        The glob is non-recursive, so quarantined archives moved into the
+        ``corrupt/`` subdirectory are invisible here.
+        """
         if self.cache_dir is None or not self.cache_dir.is_dir():
             return []
         return sorted(self.cache_dir.glob("*.npz"))
+
+    def quarantine(self, path: Path, reason: str) -> Path | None:
+        """Move an unreadable disk entry into ``<cache_dir>/corrupt/``.
+
+        A corrupt archive must not be silently deleted (it is evidence of a
+        writer bug or disk fault) nor left in place (every future process
+        would retry and re-fail on it).  Quarantining removes it from the
+        lookup path while preserving the bytes; the event is counted,
+        mirrored to metrics (``plan_cache.corrupt``), recorded in the
+        resilience log, and surfaced as a :class:`UserWarning`.
+        """
+        target: Path | None = None
+        try:
+            if path.is_file():
+                quarantine_dir = path.parent / "corrupt"
+                quarantine_dir.mkdir(parents=True, exist_ok=True)
+                target = quarantine_dir / path.name
+                path.replace(target)
+        except OSError:
+            # quarantine is best-effort: never turn cache cleanup into a
+            # second failure
+            target = None
+        self.quarantined += 1
+        get_metrics().inc("plan_cache.corrupt")
+        get_resilience_log().record(
+            "quarantine", site="cache", path=path.name, reason=reason
+        )
+        warnings.warn(
+            f"quarantined corrupt plan archive {path.name!r}: {reason}",
+            UserWarning,
+            stacklevel=2,
+        )
+        return target
 
     def clear(self, disk: bool = False) -> None:
         """Drop the memory tier; ``disk=True`` also deletes the archives."""
@@ -232,21 +273,32 @@ class RunObservation:
     :meth:`finalize` the stats dict at the bottom: it attaches the
     canonical ``wall_breakdown``, the plan-cache counters, the spans
     recorded during the run (``stats["trace"]``, empty while tracing is
-    disabled), and the metrics delta of the run (``stats["metrics"]``).
+    disabled), the metrics delta of the run (``stats["metrics"]``), and the
+    resilience-event summary of the run (``stats["resilience"]``).
     """
 
     def __init__(self) -> None:
         self.tracer = get_tracer()
         self.metrics = get_metrics()
+        self.resilience = get_resilience_log()
         self._span_mark = self.tracer.mark()
         self._metric_mark = self.metrics.mark()
+        self._resilience_mark = self.resilience.mark()
 
     def spans(self) -> list:
         """Spans recorded since the run started (live objects)."""
         return self.tracer.spans_since(self._span_mark)
 
+    def resilience_events(self) -> list[dict]:
+        """Resilience events recorded since the run started."""
+        return self.resilience.events_since(self._resilience_mark)
+
     def finalize(
-        self, stats: dict, timer: StageTimer, plans: "PlanCache | None"
+        self,
+        stats: dict,
+        timer: StageTimer,
+        plans: "PlanCache | None",
+        resilience_extra: dict | None = None,
     ) -> dict:
         stats["wall_breakdown"] = timer.snapshot()
         if plans is not None:
@@ -257,6 +309,10 @@ class RunObservation:
             else []
         )
         stats["metrics"] = self.metrics.delta(self._metric_mark)
+        summary = self.resilience.summary_since(self._resilience_mark)
+        if resilience_extra:
+            summary.update(resilience_extra)
+        stats["resilience"] = summary
         return stats
 
 

@@ -26,7 +26,13 @@ from ..ell.convert import DEFAULT_TAU, ell_from_dd
 from ..ell.format import ELLMatrix
 from ..ell.persist import CompiledPlan, load_compiled_plan, save_compiled_plan
 from ..ell.spmm import default_backend, ell_spmm
-from ..errors import SimulationError
+from ..errors import (
+    CheckpointError,
+    ConversionError,
+    MemoryFault,
+    SimulationError,
+    TransientFault,
+)
 from ..fusion.bqcs import bqcs_fusion, no_fusion_plan
 from ..fusion.plan import FusionPlan
 from ..gpu.device import VirtualGPU
@@ -40,6 +46,19 @@ from ..gpu.spec import (
 )
 from ..obs import CANONICAL_STAGES, get_tracer
 from ..profile import StageTimer
+from ..resilience import (
+    BackendLadder,
+    CheckpointManager,
+    FaultPlan,
+    HealthPolicy,
+    RetryPolicy,
+    RetrySession,
+    check_state_block,
+    fault_injection,
+    get_fault_injector,
+    get_resilience_log,
+    load_checkpoint,
+)
 from .base import (
     BatchSimulator,
     BatchSpec,
@@ -75,6 +94,12 @@ class BQSimSimulator(BatchSimulator):
         max_fused_cost: int | None = None,
         snapshots: bool = False,
         cache_dir: str | Path | None = None,
+        retry: RetryPolicy | None = None,
+        faults: FaultPlan | str | None = None,
+        health: HealthPolicy | str | None = "warn",
+        checkpoint_dir: str | Path | None = None,
+        checkpoint_every: int = 1,
+        max_splits: int = 0,
     ):
         self.gpu = gpu or GpuSpec()
         self.cpu = cpu or CpuSpec()
@@ -90,6 +115,19 @@ class BQSimSimulator(BatchSimulator):
         #: ``cache_dir`` (or $REPRO_PLAN_CACHE) so warm *processes* skip
         #: fusion and conversion entirely
         self._plans = PlanCache(cache_dir)
+        #: retry policy for transient kernel/copy/cache faults (None = defaults)
+        self.retry = retry
+        #: fault plan scoped to every run of this simulator (None = the
+        #: process-wide plan, i.e. set_fault_plan() or $REPRO_FAULTS)
+        self.faults = faults
+        #: per-batch numerical health guard (off/warn/renormalize/fail)
+        self.health = HealthPolicy.coerce(health)
+        #: batch-boundary checkpointing (None = disabled)
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
+        self.checkpoint_every = checkpoint_every
+        #: adaptive batch splitting: on OOM, halve the state-block batch up
+        #: to ``2**max_splits`` parts; 0 keeps the strict memory guard
+        self.max_splits = max_splits
 
     # -- pipeline stages ------------------------------------------------------
 
@@ -180,20 +218,48 @@ class BQSimSimulator(BatchSimulator):
     # -- disk tier ------------------------------------------------------------
 
     def _load_compiled(self, key: str) -> dict | None:
+        """Disk-tier read with transient-I/O retries and corruption quarantine.
+
+        Transient read failures (site ``cache_io``) are retried under the
+        simulator's retry policy, then degrade to a cache miss.  A corrupt
+        or version-skewed archive (a real :class:`ConversionError`, or the
+        injected ``cache`` fault) is *quarantined* — moved aside, counted,
+        and warned about — never silently swallowed, and never retried by
+        every future process.
+        """
         path = self._plans.disk_path(key)
         if path is None or not path.exists():
             return None
-        try:
-            compiled = load_compiled_plan(path)
-        except Exception:
-            return None  # unreadable/corrupt archives are silently rebuilt
-        return {
-            "mgr": None,
-            "plan": compiled.to_fusion_plan(),
-            "fused_nodes": compiled.fused_nodes,
-            "conv_infos": [dict(info) for info in compiled.conv_infos],
-            "ells": list(compiled.matrices) if compiled.has_matrices else None,
-        }
+        injector = get_fault_injector()
+        session = RetrySession(self.retry) if injector is not None else None
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                if injector is not None and injector.check("cache_io"):
+                    raise TransientFault(
+                        f"injected cache read failure on {path.name}",
+                        site="cache_io",
+                    )
+                if injector is not None and injector.check("cache"):
+                    raise ConversionError(
+                        f"injected corruption in plan archive {path.name}"
+                    )
+                compiled = load_compiled_plan(path)
+            except TransientFault as exc:
+                if session.next_backoff("cache_io", attempt, exc) is None:
+                    return None  # exhausted: treat as a cache miss
+                continue
+            except ConversionError as exc:
+                self._plans.quarantine(path, str(exc))
+                return None
+            return {
+                "mgr": None,
+                "plan": compiled.to_fusion_plan(),
+                "fused_nodes": compiled.fused_nodes,
+                "conv_infos": [dict(info) for info in compiled.conv_infos],
+                "ells": list(compiled.matrices) if compiled.has_matrices else None,
+            }
 
     def _save_compiled(self, prepared: dict) -> None:
         path = self._plans.disk_path(prepared.get("key", ""))
@@ -245,6 +311,24 @@ class BQSimSimulator(BatchSimulator):
         spec: BatchSpec,
         batches: Sequence[InputBatch] | None = None,
         execute: bool = True,
+        resume: str | Path | None = None,
+    ) -> SimulationResult:
+        """Run the pipeline; ``resume`` replays from a checkpoint archive.
+
+        The whole run executes under the simulator's fault plan (when one
+        was configured) so injected faults, retries, and degradation are
+        scoped to this call.
+        """
+        with fault_injection(self.faults):
+            return self._run(circuit, spec, batches, execute, resume)
+
+    def _run(
+        self,
+        circuit: Circuit,
+        spec: BatchSpec,
+        batches: Sequence[InputBatch] | None,
+        execute: bool,
+        resume: str | Path | None,
     ) -> SimulationResult:
         wall_start = time.perf_counter()
         n = circuit.num_qubits
@@ -286,23 +370,67 @@ class BQSimSimulator(BatchSimulator):
                 )
 
             with timer.time("io") as span:
+                resumed: list[np.ndarray] = []
+                skip = 0
+                if resume is not None:
+                    if not execute:
+                        raise CheckpointError("resume requires execute=True")
+                    resumed = self._load_checkpoint_outputs(
+                        resume, prepared["key"], circuit, spec
+                    )
+                    skip = len(resumed)
                 batches = self._resolve_batches(circuit, spec, batches, execute)
-                span.set(num_batches=0 if batches is None else len(batches))
-
-            # stage 3: task-graph execution
-            with timer.time("execute") as span:
-                device = VirtualGPU(
-                    self.gpu, mode="graph" if self.task_graph else "stream"
+                span.set(
+                    num_batches=0 if batches is None else len(batches),
+                    resumed_batches=skip,
                 )
-                work = {"macs": 0.0, "bytes": 0.0}
-                outputs, snapshots = self._simulate(
-                    device, plan, conv_infos, ells, batches, spec, work
+
+            # stage 3: task-graph execution (OOM-aware, retrying, checked)
+            with timer.time("execute") as span:
+                ladder = BackendLadder() if execute else None
+                ckpt = (
+                    CheckpointManager(self.checkpoint_dir, every=self.checkpoint_every)
+                    if (self.checkpoint_dir is not None and execute)
+                    else None
+                )
+                done: dict[int, np.ndarray] = {}
+
+                def on_batch(ib: int, states: np.ndarray) -> np.ndarray:
+                    states = check_state_block(
+                        states, self.health, label=f"{circuit.name} batch {ib}"
+                    )
+                    done[ib] = states
+                    if ckpt is not None:
+                        ckpt.maybe_save(
+                            ib,
+                            plan_key=prepared["key"],
+                            circuit_name=circuit.name,
+                            num_qubits=n,
+                            num_batches=spec.num_batches,
+                            batch_size=spec.batch_size,
+                            seed=spec.seed,
+                            outputs=resumed + [done[j] for j in sorted(done)],
+                        )
+                    return states
+
+                device, work, outputs, snapshots, split = self._execute_resilient(
+                    plan,
+                    conv_infos,
+                    ells,
+                    batches,
+                    spec,
+                    skip=skip,
+                    ladder=ladder,
+                    on_batch=on_batch if execute else None,
                 )
                 timeline = device.run()
+                if outputs is not None and resumed:
+                    outputs = resumed + outputs
                 span.set(
-                    backend=default_backend(),
+                    backend=ladder.backend if ladder else default_backend(),
                     num_tasks=len(timeline.tasks),
                     overlap_fraction=timeline.overlap_fraction(),
+                    batch_split=split,
                 )
         t_sim = timeline.makespan
 
@@ -347,8 +475,108 @@ class BQSimSimulator(BatchSimulator):
                 },
                 timer,
                 self._plans,
+                resilience_extra={
+                    "batch_split": split,
+                    "resumed_batches": skip,
+                    "task_retries": timeline.total_retries(),
+                    "backend": ladder.backend if ladder else default_backend(),
+                    "demoted": bool(ladder.demoted) if ladder else False,
+                },
             ),
         )
+
+    # -- resilient execution -------------------------------------------------
+
+    def _execute_resilient(
+        self,
+        plan: FusionPlan,
+        conv_infos: list[dict],
+        ells: list[ELLMatrix] | None,
+        batches: list[InputBatch] | None,
+        spec: BatchSpec,
+        skip: int = 0,
+        ladder: BackendLadder | None = None,
+        on_batch=None,
+    ):
+        """Build and numerically execute the task graph, splitting batches
+        on memory pressure.
+
+        Each :class:`MemoryFault` (capacity overflow or injected OOM) halves
+        the state-block batch — a fresh device, fresh graph — up to
+        ``2**max_splits`` parts; the final split factor is returned so the
+        stats can report the degradation.
+        """
+        split = 1
+        limit = 1 << max(self.max_splits, 0)
+        while True:
+            device = VirtualGPU(
+                self.gpu,
+                mode="graph" if self.task_graph else "stream",
+                retry=self.retry,
+                seed=spec.seed,
+            )
+            work = {"macs": 0.0, "bytes": 0.0}
+            try:
+                outputs, snapshots = self._simulate(
+                    device,
+                    plan,
+                    conv_infos,
+                    ells,
+                    batches,
+                    spec,
+                    work,
+                    split=split,
+                    skip=skip,
+                    ladder=ladder,
+                    on_batch=on_batch,
+                )
+            except MemoryFault as exc:
+                if split >= limit:
+                    raise
+                split *= 2
+                get_resilience_log().record(
+                    "batch_split", site="oom", split=split, reason=str(exc)
+                )
+                continue
+            return device, work, outputs, snapshots, split
+
+    def _load_checkpoint_outputs(
+        self,
+        resume: str | Path,
+        plan_key: str,
+        circuit: Circuit,
+        spec: BatchSpec,
+    ) -> list[np.ndarray]:
+        """Validate a checkpoint against this run and return its outputs."""
+        ckpt = load_checkpoint(resume)
+        if ckpt.plan_key != plan_key:
+            raise CheckpointError(
+                f"checkpoint plan {ckpt.plan_key[:12]}... does not match "
+                f"the compiled plan {plan_key[:12]}..."
+            )
+        if ckpt.num_qubits != circuit.num_qubits:
+            raise CheckpointError(
+                f"checkpoint is for {ckpt.num_qubits} qubits, "
+                f"circuit has {circuit.num_qubits}"
+            )
+        expected = (spec.num_batches, spec.batch_size, spec.seed)
+        actual = (ckpt.num_batches, ckpt.batch_size, ckpt.seed)
+        if actual != expected:
+            raise CheckpointError(
+                f"checkpoint batch spec {actual} does not match the "
+                f"requested run {expected}"
+            )
+        if ckpt.completed > spec.num_batches:
+            raise CheckpointError(
+                "checkpoint reports more completed batches than the run has"
+            )
+        get_resilience_log().record(
+            "resume",
+            site="checkpoint",
+            completed=ckpt.completed,
+            path=str(resume),
+        )
+        return [np.array(block) for block in ckpt.outputs]
 
     # -- task-graph construction -------------------------------------------------
 
@@ -361,13 +589,28 @@ class BQSimSimulator(BatchSimulator):
         batches: list[InputBatch] | None,
         spec: BatchSpec,
         work: dict | None = None,
+        split: int = 1,
+        skip: int = 0,
+        ladder: BackendLadder | None = None,
+        on_batch=None,
     ) -> tuple[list[np.ndarray] | None, list[list[np.ndarray]] | None]:
+        """Build (and, when ``batches`` is given, numerically execute) the
+        rotating-buffer task graph.
+
+        ``split`` divides every input batch into that many column slices so
+        the four device buffers shrink accordingly (OOM degradation);
+        ``skip`` omits already-completed batches (checkpoint resume);
+        ``ladder`` routes kernels through the spMM fallback chain; and
+        ``on_batch(ib, states)`` observes/rewrites each merged output batch
+        (health checks + checkpointing).
+        """
         n = plan.num_qubits
         rows = 1 << n
         kernels = max(len(plan), 1)
-        block = state_block_bytes(n, spec.batch_size)
+        sub_size = -(-spec.batch_size // split)  # ceil division
+        block = state_block_bytes(n, sub_size)
         if NUM_BUFFERS * block > device.spec.memory_bytes:
-            raise SimulationError(
+            raise MemoryFault(
                 f"{NUM_BUFFERS} state buffers of {block} B exceed device "
                 f"memory ({device.spec.memory_bytes} B); reduce the batch "
                 "size or shard across devices"
@@ -386,75 +629,115 @@ class BQSimSimulator(BatchSimulator):
             [] if (self.snapshots and executing) else None
         )
         dfs_penalty = 1.0 if self.use_ell else float(n)
+        #: global sub-batch counter — drives the buffer rotation, so a split
+        #: run keeps the paper's double-buffered dependency pattern intact
+        jb = 0
 
-        for ib in range(spec.num_batches):
-            in_idx, _ = buffer_indices(ib, 0, kernels)
-            # H2D: write hazard on the input buffer (WAR + WAW)
-            deps = readers[in_idx] + ([writer[in_idx]] if writer[in_idx] else [])
-            if executing:
-                handle = device.h2d(
-                    buffers[in_idx], batches[ib].states, deps, name=f"h2d:b{ib}"
+        for ib in range(skip, spec.num_batches):
+            parts: list[np.ndarray] = []
+            ksnaps: list[list[np.ndarray]] | None = (
+                [[] for _ in range(len(plan.gates))]
+                if snapshots is not None
+                else None
+            )
+            for part in range(split):
+                lo = part * sub_size
+                width_part = min(sub_size, spec.batch_size - lo)
+                if width_part <= 0:
+                    break
+                tag = f"b{ib}" if split == 1 else f"b{ib}.{part}"
+                part_block = state_block_bytes(n, width_part)
+                in_idx, _ = buffer_indices(jb, 0, kernels)
+                # H2D: write hazard on the input buffer (WAR + WAW)
+                deps = readers[in_idx] + (
+                    [writer[in_idx]] if writer[in_idx] else []
                 )
-            else:
-                handle = device.raw_task(
-                    f"h2d:b{ib}", "h2d", self.gpu.copy_time(block), deps
-                )
-            writer[in_idx], readers[in_idx] = handle, []
-            if snapshots is not None:
-                snapshots.append([])
-
-            for ik in range(len(plan.gates)):
-                src, dst = buffer_indices(ib, ik, kernels)
-                width = conv_infos[ik]["width"]
-                ell_bytes = rows * width * (COMPLEX_BYTES + 8)
-                macs = rows * width * spec.batch_size
-                traffic = ell_kernel_bytes(n, spec.batch_size, width, ell_bytes)
-                duration = self.gpu.kernel_time(macs, traffic) * dfs_penalty
-                if work is not None:
-                    work["macs"] += macs
-                    work["bytes"] += traffic
-                deps = [writer[src]] + readers[dst]
-                if writer[dst] is not None:
-                    deps.append(writer[dst])
                 if executing:
-                    ell = ells[ik]
-                    src_buf, dst_buf = buffers[src], buffers[dst]
-
-                    def body(ell=ell, src_buf=src_buf, dst_buf=dst_buf):
-                        dst_buf.array = ell_spmm(ell, src_buf.require())
-
-                    handle = device.kernel(
-                        f"k{ik}:b{ib}", body, deps=deps, duration=duration
+                    seg = batches[ib].states[:, lo : lo + width_part]
+                    handle = device.h2d(
+                        buffers[in_idx], seg, deps, name=f"h2d:{tag}"
                     )
                 else:
-                    handle = device.raw_task(f"k{ik}:b{ib}", "compute", duration, deps)
-                readers[src].append(handle)
-                writer[dst] = handle
-                readers[dst] = []
-                if self.snapshots:
-                    # per-gate full-state capture: an extra D2H per kernel
-                    if executing:
-                        snap_handle, snap = device.d2h(
-                            buffers[dst], [handle], name=f"snap:k{ik}:b{ib}"
-                        )
-                        snapshots[ib].append(snap)
-                    else:
-                        snap_handle = device.raw_task(
-                            f"snap:k{ik}:b{ib}", "d2h",
-                            self.gpu.copy_time(block), [handle],
-                        )
-                    readers[dst].append(snap_handle)
+                    handle = device.raw_task(
+                        f"h2d:{tag}", "h2d", self.gpu.copy_time(part_block), deps
+                    )
+                writer[in_idx], readers[in_idx] = handle, []
 
-            final_idx, _ = buffer_indices(ib, len(plan.gates), kernels)
-            deps = [writer[final_idx]] if writer[final_idx] else []
+                for ik in range(len(plan.gates)):
+                    src, dst = buffer_indices(jb, ik, kernels)
+                    width = conv_infos[ik]["width"]
+                    ell_bytes = rows * width * (COMPLEX_BYTES + 8)
+                    macs = rows * width * width_part
+                    traffic = ell_kernel_bytes(n, width_part, width, ell_bytes)
+                    duration = self.gpu.kernel_time(macs, traffic) * dfs_penalty
+                    if work is not None:
+                        work["macs"] += macs
+                        work["bytes"] += traffic
+                    deps = [writer[src]] + readers[dst]
+                    if writer[dst] is not None:
+                        deps.append(writer[dst])
+                    if executing:
+                        ell = ells[ik]
+                        src_buf, dst_buf = buffers[src], buffers[dst]
+
+                        def body(
+                            ell=ell, src_buf=src_buf, dst_buf=dst_buf
+                        ):
+                            states = src_buf.require()
+                            if ladder is not None:
+                                dst_buf.array = ladder.apply(ell, states)
+                            else:
+                                dst_buf.array = ell_spmm(ell, states)
+
+                        handle = device.kernel(
+                            f"k{ik}:{tag}",
+                            body,
+                            deps=deps,
+                            duration=duration,
+                            output=dst_buf,
+                        )
+                    else:
+                        handle = device.raw_task(
+                            f"k{ik}:{tag}", "compute", duration, deps
+                        )
+                    readers[src].append(handle)
+                    writer[dst] = handle
+                    readers[dst] = []
+                    if self.snapshots:
+                        # per-gate full-state capture: an extra D2H per kernel
+                        if executing:
+                            snap_handle, snap = device.d2h(
+                                buffers[dst], [handle], name=f"snap:k{ik}:{tag}"
+                            )
+                            ksnaps[ik].append(snap)
+                        else:
+                            snap_handle = device.raw_task(
+                                f"snap:k{ik}:{tag}", "d2h",
+                                self.gpu.copy_time(part_block), [handle],
+                            )
+                        readers[dst].append(snap_handle)
+
+                final_idx, _ = buffer_indices(jb, len(plan.gates), kernels)
+                deps = [writer[final_idx]] if writer[final_idx] else []
+                if executing:
+                    handle, snapshot = device.d2h(
+                        buffers[final_idx], deps, name=f"d2h:{tag}"
+                    )
+                    parts.append(snapshot)
+                else:
+                    handle = device.raw_task(
+                        f"d2h:{tag}", "d2h", self.gpu.copy_time(part_block), deps
+                    )
+                readers[final_idx].append(handle)
+                jb += 1
+
             if executing:
-                handle, snapshot = device.d2h(
-                    buffers[final_idx], deps, name=f"d2h:b{ib}"
-                )
-                outputs.append(snapshot)
-            else:
-                handle = device.raw_task(
-                    f"d2h:b{ib}", "d2h", self.gpu.copy_time(block), deps
-                )
-            readers[final_idx].append(handle)
+                merged = parts[0] if len(parts) == 1 else np.hstack(parts)
+                if on_batch is not None:
+                    merged = on_batch(ib, merged)
+                outputs.append(merged)
+                if snapshots is not None:
+                    snapshots.append(
+                        [s[0] if len(s) == 1 else np.hstack(s) for s in ksnaps]
+                    )
         return outputs, snapshots

@@ -25,7 +25,7 @@ import numpy as np
 from ..circuit import Circuit, InputBatch
 from ..dd.manager import DDManager
 from ..ell.convert import ell_from_dd_cpu
-from ..ell.spmm import ell_spmm
+from ..ell.spmm import default_backend
 from ..fusion.array_fusion import cuquantum_plan
 from ..fusion.plan import FusionPlan
 from ..gpu.device import VirtualGPU
@@ -39,6 +39,14 @@ from ..gpu.spec import (
 )
 from ..obs import CANONICAL_STAGES
 from ..profile import StageTimer
+from ..resilience import (
+    BackendLadder,
+    FaultPlan,
+    HealthPolicy,
+    RetryPolicy,
+    check_state_block,
+    fault_injection,
+)
 from .base import (
     BatchSimulator,
     BatchSpec,
@@ -61,6 +69,9 @@ class CuQuantumSimulator(BatchSimulator):
         cpu: CpuSpec | None = None,
         plan_provider: PlanProvider | None = None,
         variant_name: str | None = None,
+        retry: RetryPolicy | None = None,
+        faults: FaultPlan | str | None = None,
+        health: HealthPolicy | str | None = "warn",
     ):
         self.gpu = gpu or GpuSpec()
         self.cpu = cpu or CpuSpec()
@@ -68,6 +79,9 @@ class CuQuantumSimulator(BatchSimulator):
         if variant_name:
             self.name = variant_name
         self._plans = PlanCache()
+        self.retry = retry
+        self.faults = faults
+        self.health = HealthPolicy.coerce(health)
 
     def _gate_support(self, circuit: Circuit, indices: Sequence[int]) -> int:
         qubits: set[int] = set()
@@ -81,6 +95,16 @@ class CuQuantumSimulator(BatchSimulator):
         spec: BatchSpec,
         batches: Sequence[InputBatch] | None = None,
         execute: bool = True,
+    ) -> SimulationResult:
+        with fault_injection(self.faults):
+            return self._run(circuit, spec, batches, execute)
+
+    def _run(
+        self,
+        circuit: Circuit,
+        spec: BatchSpec,
+        batches: Sequence[InputBatch] | None,
+        execute: bool,
     ) -> SimulationResult:
         wall_start = time.perf_counter()
         n = circuit.num_qubits
@@ -154,7 +178,10 @@ class CuQuantumSimulator(BatchSimulator):
                         ell.plan()
 
             with timer.time("execute") as span:
-                device = VirtualGPU(self.gpu, mode="stream")
+                device = VirtualGPU(
+                    self.gpu, mode="stream", retry=self.retry, seed=spec.seed
+                )
+                ladder = BackendLadder() if execute else None
                 rows = 1 << n
                 total_macs = 0.0
                 total_bytes = 0.0
@@ -180,11 +207,21 @@ class CuQuantumSimulator(BatchSimulator):
                         if execute:
                             ell = ells[ik]
 
-                            def body(ell=ell, buffer=buffer):
-                                buffer.array = ell_spmm(ell, buffer.require())
+                            # the chain runs in place on one buffer, so the
+                            # body pins its input on first entry — a retried
+                            # body (after an injected bit-flip) re-applies
+                            # from the pinned source, never the bad output
+                            def body(ell=ell, buffer=buffer, cell=[]):
+                                if not cell:
+                                    cell.append(buffer.require())
+                                buffer.array = ladder.apply(ell, cell[0])
 
                             prev = device.kernel(
-                                f"k{ik}:b{ib}", body, deps=[prev], duration=duration
+                                f"k{ik}:b{ib}",
+                                body,
+                                deps=[prev],
+                                duration=duration,
+                                output=buffer,
                             )
                         else:
                             prev = device.raw_task(
@@ -192,6 +229,10 @@ class CuQuantumSimulator(BatchSimulator):
                             )
                     if execute:
                         prev, snapshot = device.d2h(buffer, deps=[prev])
+                        snapshot = check_state_block(
+                            snapshot, self.health,
+                            label=f"{circuit.name} batch {ib}",
+                        )
                         outputs.append(snapshot)
                     else:
                         prev = device.raw_task(
@@ -227,5 +268,10 @@ class CuQuantumSimulator(BatchSimulator):
                 },
                 timer,
                 self._plans,
+                resilience_extra={
+                    "backend": ladder.backend if ladder else default_backend(),
+                    "demoted": bool(ladder.demoted) if ladder else False,
+                    "task_retries": timeline.total_retries(),
+                },
             ),
         )

@@ -24,6 +24,16 @@ from ..gpu.power import PowerReport, cpu_power_from_utilization
 from ..gpu.spec import CpuSpec, GpuSpec
 from ..obs import CANONICAL_STAGES
 from ..profile import StageTimer
+from ..resilience import (
+    BackendLadder,
+    FaultPlan,
+    HealthPolicy,
+    RetryPolicy,
+    RetrySession,
+    apply_with_recovery,
+    check_state_block,
+    fault_injection,
+)
 from .base import (
     BatchSimulator,
     BatchSpec,
@@ -38,10 +48,20 @@ class FlatDDSimulator(BatchSimulator):
 
     name = "flatdd"
 
-    def __init__(self, gpu: GpuSpec | None = None, cpu: CpuSpec | None = None):
+    def __init__(
+        self,
+        gpu: GpuSpec | None = None,
+        cpu: CpuSpec | None = None,
+        retry: RetryPolicy | None = None,
+        faults: FaultPlan | str | None = None,
+        health: HealthPolicy | str | None = "warn",
+    ):
         self.cpu = cpu or CpuSpec()
         self.gpu = gpu or GpuSpec()  # unused; kept for a uniform constructor
         self._plans = PlanCache()
+        self.retry = retry
+        self.faults = faults
+        self.health = HealthPolicy.coerce(health)
 
     def run(
         self,
@@ -49,6 +69,16 @@ class FlatDDSimulator(BatchSimulator):
         spec: BatchSpec,
         batches: Sequence[InputBatch] | None = None,
         execute: bool = True,
+    ) -> SimulationResult:
+        with fault_injection(self.faults):
+            return self._run(circuit, spec, batches, execute)
+
+    def _run(
+        self,
+        circuit: Circuit,
+        spec: BatchSpec,
+        batches: Sequence[InputBatch] | None,
+        execute: bool,
     ) -> SimulationResult:
         wall_start = time.perf_counter()
         n = circuit.num_qubits
@@ -93,13 +123,23 @@ class FlatDDSimulator(BatchSimulator):
                     # compiled gather plans, consecutive width-1 kernels composed
                     apply_plans = build_apply_plans(prepared["ells"])
                 with timer.time("execute") as span:
+                    ladder = BackendLadder()
+                    session = RetrySession(self.retry, seed=spec.seed)
                     outputs = []
-                    for batch in batches:
+                    for ib, batch in enumerate(batches):
                         states = batch.states
                         for apply_plan in apply_plans:
-                            states = apply_plan.apply(states)
+                            states = apply_with_recovery(
+                                ladder, apply_plan, states, session
+                            )
+                        states = check_state_block(
+                            states, self.health,
+                            label=f"{circuit.name} batch {ib}",
+                        )
                         outputs.append(states)
-                    span.set(num_kernels=len(apply_plans))
+                    span.set(
+                        num_kernels=len(apply_plans), backend=ladder.backend
+                    )
 
         power = PowerReport(
             gpu_watts=0.0,

@@ -20,12 +20,14 @@ from typing import Sequence
 import numpy as np
 
 from ..circuit import Circuit, InputBatch
-from ..errors import SimulationError
+from ..ell.spmm import default_backend
+from ..errors import CheckpointError, SimulationError
 from ..gpu.device import VirtualGPU
 from ..gpu.power import PowerReport, cpu_power_from_utilization, gpu_power_from_work
 from ..gpu.spec import CpuSpec, GpuSpec, ell_kernel_bytes, state_block_bytes
 from ..obs import CANONICAL_STAGES
 from ..profile import StageTimer
+from ..resilience import BackendLadder, check_state_block, fault_injection
 from .base import BatchSpec, RunObservation, SimulationResult
 from .bqsim import BQSimSimulator
 
@@ -47,6 +49,21 @@ class MultiGpuBQSimSimulator(BQSimSimulator):
         spec: BatchSpec,
         batches: Sequence[InputBatch] | None = None,
         execute: bool = True,
+        resume: str | None = None,
+    ) -> SimulationResult:
+        if resume is not None:
+            raise CheckpointError(
+                "checkpoint resume is single-device; use BQSimSimulator"
+            )
+        with fault_injection(self.faults):
+            return self._run_multi(circuit, spec, batches, execute)
+
+    def _run_multi(
+        self,
+        circuit: Circuit,
+        spec: BatchSpec,
+        batches: Sequence[InputBatch] | None,
+        execute: bool,
     ) -> SimulationResult:
         wall_start = time.perf_counter()
         n = circuit.num_qubits
@@ -93,6 +110,10 @@ class MultiGpuBQSimSimulator(BQSimSimulator):
             outputs: list[np.ndarray | None] | None = (
                 [None] * spec.num_batches if execute else None
             )
+            #: one fallback ladder shared by every device: a backend broken
+            #: on one shard is broken on all of them
+            ladder = BackendLadder() if execute else None
+            total_retries = 0
             with timer.time("execute"):
                 for device_index, shard in enumerate(shards):
                     if not shard:
@@ -104,20 +125,33 @@ class MultiGpuBQSimSimulator(BQSimSimulator):
                         num_batches=len(shard),
                     ) as span:
                         device = VirtualGPU(
-                            self.gpu, mode="graph" if self.task_graph else "stream"
+                            self.gpu,
+                            mode="graph" if self.task_graph else "stream",
+                            retry=self.retry,
+                            seed=spec.seed + device_index,
                         )
                         shard_spec = BatchSpec(len(shard), spec.batch_size, spec.seed)
                         shard_batches = (
                             [batches[i] for i in shard] if execute else None
                         )
+
+                        def on_batch(ib, states, device_index=device_index):
+                            return check_state_block(
+                                states, self.health,
+                                label=f"{circuit.name} dev{device_index} "
+                                      f"batch {ib}",
+                            )
+
                         work = {"macs": 0.0, "bytes": 0.0}
                         shard_out, _ = self._simulate(
                             device, plan, conv_infos, ells, shard_batches,
-                            shard_spec, work,
+                            shard_spec, work, ladder=ladder,
+                            on_batch=on_batch if execute else None,
                         )
                         timeline = device.run()
                         span.set(modeled_makespan_s=timeline.makespan)
                     makespans.append(timeline.makespan)
+                    total_retries += timeline.total_retries()
                     total_macs += work["macs"]
                     total_bytes += work["bytes"]
                     if execute:
@@ -165,5 +199,10 @@ class MultiGpuBQSimSimulator(BQSimSimulator):
                 },
                 timer,
                 self._plans,
+                resilience_extra={
+                    "backend": ladder.backend if ladder else default_backend(),
+                    "demoted": bool(ladder.demoted) if ladder else False,
+                    "task_retries": total_retries,
+                },
             ),
         )

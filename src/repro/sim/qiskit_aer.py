@@ -23,6 +23,16 @@ from ..gpu.power import PowerReport, cpu_power_from_utilization, gpu_power_from_
 from ..gpu.spec import COMPLEX_BYTES, CpuSpec, GpuSpec
 from ..obs import CANONICAL_STAGES
 from ..profile import StageTimer
+from ..resilience import (
+    BackendLadder,
+    FaultPlan,
+    HealthPolicy,
+    RetryPolicy,
+    RetrySession,
+    apply_with_recovery,
+    check_state_block,
+    fault_injection,
+)
 from .base import (
     BatchSimulator,
     BatchSpec,
@@ -42,11 +52,17 @@ class QiskitAerSimulator(BatchSimulator):
         gpu: GpuSpec | None = None,
         cpu: CpuSpec | None = None,
         max_fused_qubits: int = 5,
+        retry: RetryPolicy | None = None,
+        faults: FaultPlan | str | None = None,
+        health: HealthPolicy | str | None = "warn",
     ):
         self.gpu = gpu or GpuSpec()
         self.cpu = cpu or CpuSpec()
         self.max_fused_qubits = max_fused_qubits
         self._plans = PlanCache()
+        self.retry = retry
+        self.faults = faults
+        self.health = HealthPolicy.coerce(health)
 
     def run(
         self,
@@ -54,6 +70,16 @@ class QiskitAerSimulator(BatchSimulator):
         spec: BatchSpec,
         batches: Sequence[InputBatch] | None = None,
         execute: bool = True,
+    ) -> SimulationResult:
+        with fault_injection(self.faults):
+            return self._run(circuit, spec, batches, execute)
+
+    def _run(
+        self,
+        circuit: Circuit,
+        spec: BatchSpec,
+        batches: Sequence[InputBatch] | None,
+        execute: bool,
     ) -> SimulationResult:
         wall_start = time.perf_counter()
         n = circuit.num_qubits
@@ -120,13 +146,23 @@ class QiskitAerSimulator(BatchSimulator):
                         ]
                     apply_plans = build_apply_plans(prepared["ells"])
                 with timer.time("execute") as span:
+                    ladder = BackendLadder()
+                    session = RetrySession(self.retry, seed=spec.seed)
                     outputs = []
-                    for batch in batches:
+                    for ib, batch in enumerate(batches):
                         states = batch.states
                         for apply_plan in apply_plans:
-                            states = apply_plan.apply(states)
+                            states = apply_with_recovery(
+                                ladder, apply_plan, states, session
+                            )
+                        states = check_state_block(
+                            states, self.health,
+                            label=f"{circuit.name} batch {ib}",
+                        )
                         outputs.append(states)
-                    span.set(num_kernels=len(apply_plans))
+                    span.set(
+                        num_kernels=len(apply_plans), backend=ladder.backend
+                    )
 
         power = PowerReport(
             gpu_watts=gpu_power_from_work(

@@ -68,3 +68,25 @@ def test_qasm_input_for_simulate(tmp_path, capsys):
 def test_missing_circuit_spec():
     with pytest.raises(SystemExit):
         main(["fuse"])
+
+
+def test_simulate_with_faults_and_event_log(tmp_path, capsys):
+    events = tmp_path / "resilience.jsonl"
+    rc = main(["simulate", "--family", "qft", "-n", "6", "--batches", "3",
+               "--batch-size", "4", "--execute",
+               "--faults", "seed=7,kernel=0.05,oom=1:1", "--max-splits", "1",
+               "--resilience-out", str(events)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "resilience:" in out and "batch split x2" in out
+    import json
+
+    lines = [json.loads(line) for line in events.read_text().splitlines()]
+    assert any(event["kind"] == "fault" for event in lines)
+    assert any(event["kind"] == "batch_split" for event in lines)
+
+
+def test_resume_flag_is_bqsim_only():
+    with pytest.raises(SystemExit, match="only supported"):
+        main(["simulate", "--family", "qft", "-n", "6", "--execute",
+              "--simulator", "cuquantum", "--resume", "nowhere.npz"])

@@ -1,11 +1,14 @@
 """Tests for the mutation operators and the differential fuzzer."""
 
+import warnings
+
 import numpy as np
 import pytest
 
-from repro.circuit import Circuit
+from repro.circuit import Circuit, generate_batches
 from repro.circuit.generators import random_circuit, vqe
-from repro.errors import SimulationError
+from repro.errors import ReproError, SimulationError
+from repro.sim import BQSimSimulator, BatchSpec
 from repro.testing import (
     BREAKING,
     DifferentialFuzzer,
@@ -131,3 +134,35 @@ def test_fuzzer_reports_oracle_blind_spot(seed_circuit):
 def test_fuzzer_validates_iterations(seed_circuit):
     with pytest.raises(SimulationError, match="at least one"):
         DifferentialFuzzer().run(seed_circuit, iterations=0)
+
+
+def test_chaos_mode_surfaces_only_typed_errors():
+    """Random low-rate fault plans over the full pipeline: a run either
+    completes with unit-norm outputs or fails with a :class:`ReproError`
+    subclass — never a bare ``KeyError``/``IndexError``/``ValueError``."""
+    circuit = random_circuit(4, 16, seed=11)
+    spec = BatchSpec(num_batches=2, batch_size=4, seed=3)
+    batches = list(generate_batches(4, 2, 4, 3))
+    rng = np.random.default_rng(7)
+    sites = ["kernel", "copy", "bitflip", "oom", "spmm"]
+    completed = 0
+    for trial in range(8):
+        chosen = rng.choice(sites, size=2, replace=False)
+        plan = ",".join(
+            [f"seed={trial}"]
+            + [f"{site}={rng.uniform(0.0, 0.15):.3f}" for site in chosen]
+        )
+        sim = BQSimSimulator(faults=plan, max_splits=2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            try:
+                result = sim.run(circuit, spec, batches=batches)
+            except Exception as exc:  # noqa: BLE001 - the assertion is the point
+                assert isinstance(exc, ReproError), (
+                    f"plan {plan!r} leaked {type(exc).__name__}: {exc}"
+                )
+                continue
+        completed += 1
+        for out in result.outputs:
+            assert np.allclose(np.linalg.norm(out, axis=0), 1.0, atol=1e-6)
+    assert completed >= 1, "every chaos trial failed; rates are too hot"

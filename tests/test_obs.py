@@ -231,7 +231,12 @@ def test_plan_cache_accounting_memory_and_disk(tmp_path):
     spec = BatchSpec(2, 8, seed=1)
     sim = BQSimSimulator(cache_dir=tmp_path / "plans")
     cold = sim.run(circuit, spec)
-    assert cold.stats["plan_cache"] == {"hits": 0, "disk_hits": 0, "misses": 1}
+    assert cold.stats["plan_cache"] == {
+        "hits": 0,
+        "disk_hits": 0,
+        "misses": 1,
+        "quarantined": 0,
+    }
     warm_memory = sim.run(circuit, spec)
     assert warm_memory.stats["plan_cache"]["hits"] == 1
     # a fresh simulator sharing the cache dir hits the on-disk archive

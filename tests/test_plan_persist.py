@@ -161,15 +161,23 @@ def test_model_only_warm_start_uses_metadata_archive(tmp_path, circuit, spec):
     assert warm.modeled_time > 0
 
 
-def test_corrupt_archive_is_silently_rebuilt(tmp_path, circuit, spec):
+def test_corrupt_archive_is_quarantined_and_rebuilt(tmp_path, circuit, spec):
     cache = tmp_path / "plans"
     sim = BQSimSimulator(cache_dir=cache)
     sim.run(circuit, spec)
     [archive] = sim._plans.disk_entries()
     archive.write_bytes(b"not an npz archive")
-    fresh = BQSimSimulator(cache_dir=cache).run(circuit, spec)
+    fresh_sim = BQSimSimulator(cache_dir=cache)
+    with pytest.warns(UserWarning, match="quarantined corrupt plan archive"):
+        fresh = fresh_sim.run(circuit, spec)
     assert fresh.stats["plan_source"] == "built"
     assert fresh.outputs is not None
+    assert fresh.stats["plan_cache"]["quarantined"] == 1
+    # the bad bytes are preserved out of the lookup path, not deleted
+    quarantined = cache / "corrupt" / archive.name
+    assert quarantined.read_bytes() == b"not an npz archive"
+    # the rebuild rewrote a good archive under the original name
+    assert archive in fresh_sim._plans.disk_entries()
 
 
 def test_cache_settings_partition_disk_entries(tmp_path, circuit, spec):

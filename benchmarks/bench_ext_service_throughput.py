@@ -1,0 +1,70 @@
+"""Extension bench — batch-service coalescing vs one-job-per-run.
+
+The serving-layer acceptance check: on a shared-structure workload (many
+small jobs over the same circuit families), the coalescer packs compatible
+jobs into BQCS mega-batches and beats a baseline service that is forced to
+run every job alone (``max_jobs_per_batch=1``).  Larger effective batches
+amortize plan transfer and fill the modeled copy/compute pipeline, which
+is the core BQSim batching claim applied at the serving layer.
+
+Asserts:
+
+* coalescing actually happened (mean coalesce factor > 1, reported);
+* coalesced modeled time beats solo modeled time (speedup > 1);
+* both modes produce bit-identical amplitudes for every job.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.circuit.generators import make_circuit
+from repro.service import BatchSimulationService
+
+FAMILIES = ("qft", "ghz", "vqe")
+NUM_QUBITS = 6
+JOBS_PER_FAMILY = 6
+INPUTS_PER_JOB = 4
+
+
+def submit_workload(service: BatchSimulationService) -> list[str]:
+    """The shared-structure workload: many small jobs, few distinct plans."""
+    job_ids = []
+    for _ in range(JOBS_PER_FAMILY):
+        for family in FAMILIES:
+            circuit = make_circuit(family, NUM_QUBITS)
+            job = service.submit(circuit, num_inputs=INPUTS_PER_JOB)
+            job_ids.append(job.job_id)
+    service.drain()
+    return job_ids
+
+
+def service_throughput() -> dict:
+    coalesced = BatchSimulationService(max_depth=64)
+    solo = BatchSimulationService(max_depth=64, max_jobs_per_batch=1)
+    ids_c = submit_workload(coalesced)
+    ids_s = submit_workload(solo)
+    for jid_c, jid_s in zip(ids_c, ids_s):
+        a = coalesced.job(jid_c).result
+        b = solo.job(jid_s).result
+        assert a is not None and np.array_equal(a, b)
+    stats_c = coalesced.stats()
+    stats_s = solo.stats()
+    return {
+        "jobs": len(ids_c),
+        "coalesce_factor_mean": stats_c["coalesce_factor_mean"],
+        "coalesce_factor_max": stats_c["coalesce_factor_max"],
+        "megabatches_coalesced": stats_c["megabatches"],
+        "megabatches_solo": stats_s["megabatches"],
+        "coalesced_modeled_s": stats_c["modeled_time_s"],
+        "solo_modeled_s": stats_s["modeled_time_s"],
+        "coalesced_inputs_per_s": stats_c["modeled_throughput_inputs_per_s"],
+        "solo_inputs_per_s": stats_s["modeled_throughput_inputs_per_s"],
+        "speedup": stats_s["modeled_time_s"] / stats_c["modeled_time_s"],
+    }
+
+
+def test_service_coalescing_beats_solo(benchmark, scale):
+    row = run_once(benchmark, service_throughput)
+    assert row["coalesce_factor_mean"] > 1
+    assert row["megabatches_coalesced"] < row["megabatches_solo"]
+    assert row["speedup"] > 1.0, row

@@ -20,13 +20,16 @@ from .sim import (
     QiskitAerSimulator,
     cross_validate,
 )
+from .service import BatchSimulationService, ServiceClient
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchSimulationService",
     "BatchSpec",
     "BQSimSimulator",
     "Circuit",
+    "ServiceClient",
     "cross_validate",
     "CuQuantumSimulator",
     "FlatDDSimulator",

@@ -116,6 +116,15 @@ def _run_simulation(args):
                 wall_time_s=result.wall_time,
             )
         ])
+    stats_json = getattr(args, "stats_json", None)
+    if stats_json:
+        import json
+
+        from .obs.export import simulation_stats_record
+
+        with open(stats_json, "w", encoding="utf-8") as fh:
+            json.dump(simulation_stats_record(result), fh, indent=2)
+            fh.write("\n")
     return circuit, spec, result, spans
 
 
@@ -150,6 +159,87 @@ def cmd_simulate(args) -> int:
               f"(open in https://ui.perfetto.dev)")
     if getattr(args, "metrics_out", None):
         print(f"metrics   : wrote {args.metrics_out}")
+    if getattr(args, "stats_json", None):
+        print(f"stats     : wrote {args.stats_json}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the scripted saturation workload against an in-process service."""
+    from .service import BatchSimulationService, saturation_workload
+
+    simulator_kwargs = {}
+    if args.health is not None:
+        simulator_kwargs["health"] = args.health
+    if args.max_splits is not None:
+        simulator_kwargs["max_splits"] = args.max_splits
+    if args.faults is not None:
+        simulator_kwargs["faults"] = args.faults
+    service = BatchSimulationService(
+        num_workers=args.workers,
+        max_depth=args.max_depth,
+        simulator_kwargs=simulator_kwargs,
+    )
+    families = [f.strip() for f in args.families.split(",") if f.strip()]
+    stats = saturation_workload(
+        service,
+        families,
+        num_qubits=args.num_qubits,
+        num_jobs=args.jobs,
+        seed=args.seed,
+        max_inputs=args.max_inputs,
+    )
+    workload = stats["workload"]
+    print(f"workload  : {workload['jobs_submitted']} jobs "
+          f"({workload['jobs_shed']} shed) over {','.join(workload['families'])} "
+          f"n={workload['num_qubits']}, {args.workers} worker(s)")
+    print(f"jobs      : {workload['jobs_done']} done, "
+          f"{workload['jobs_failed']} failed, "
+          f"{workload['solo_retries']} solo retries, "
+          f"{stats['rejected']} rejected at admission")
+    print(f"coalesce  : {stats['megabatches']} mega-batches, "
+          f"factor mean {stats['coalesce_factor_mean']:.2f} "
+          f"max {stats['coalesce_factor_max']}, "
+          f"occupancy {stats['occupancy_mean']:.2f}")
+    print(f"latency   : max wait {stats['wait_max_s'] * 1e3:.3f} ms, "
+          f"{stats['degraded_groups']} degraded group(s)")
+    print(f"throughput: {stats['inputs_done']} inputs in "
+          f"{stats['modeled_time_s'] * 1e3:.3f} ms modeled "
+          f"({stats['modeled_throughput_inputs_per_s']:.0f} inputs/s)")
+    if args.queue_metrics:
+        count = service.write_queue_metrics(args.queue_metrics)
+        print(f"metrics   : wrote {count} queue events to {args.queue_metrics}")
+    if args.stats_json:
+        import json
+
+        with open(args.stats_json, "w", encoding="utf-8") as fh:
+            json.dump(stats, fh, indent=2)
+            fh.write("\n")
+        print(f"stats     : wrote {args.stats_json}")
+    return 1 if workload["jobs_failed"] and args.strict else 0
+
+
+def cmd_submit(args) -> int:
+    """Submit one job to a fresh in-process service and wait for it."""
+    from .service import ServiceClient
+
+    circuit = _circuit_from_args(args)
+    simulator_kwargs = {}
+    if args.faults is not None:
+        simulator_kwargs["faults"] = args.faults
+    client = ServiceClient(simulator_kwargs=simulator_kwargs)
+    job_id = client.submit(
+        circuit, num_inputs=args.inputs, priority=args.priority
+    )
+    print(f"submitted : {job_id} ({circuit.name}, {args.inputs} input(s), "
+          f"priority {args.priority})")
+    amplitudes = client.result(job_id)
+    job = client.service.job(job_id)
+    norm = float(abs(amplitudes[:, 0] ** 2).sum())
+    print(f"status    : {job.status.value} "
+          f"(group {job.group_key[:12]}, attempts {job.attempts})")
+    print(f"result    : {amplitudes.shape[1]} output state(s), "
+          f"first column norm {norm:.6f}")
     return 0
 
 
@@ -248,7 +338,48 @@ def main(argv: list[str] | None = None) -> int:
     _add_sim_args(p)
     p.add_argument("--trace-out", default=None, metavar="PATH",
                    help="record spans and write a Chrome/Perfetto trace")
+    p.add_argument("--stats-json", default=None, metavar="PATH",
+                   help="write the run's stats (incl. plan_cache and "
+                        "resilience summaries) as a JSON document")
     p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser(
+        "serve",
+        help="run a scripted saturation workload against the batch service",
+    )
+    p.add_argument("--families", default="qft,ghz,vqe",
+                   help="comma-separated circuit families to mix")
+    p.add_argument("-n", "--num-qubits", type=int, default=6)
+    p.add_argument("--jobs", type=int, default=24,
+                   help="jobs to submit (mixed priorities and sizes)")
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--max-depth", type=int, default=16,
+                   help="admission queue depth bound (backpressure)")
+    p.add_argument("--max-inputs", type=int, default=16,
+                   help="largest per-job input batch in the workload")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--faults", default=None, metavar="PLAN",
+                   help="fault-injection plan for every worker simulator")
+    p.add_argument("--health", default=None,
+                   choices=["off", "warn", "renormalize", "fail"])
+    p.add_argument("--max-splits", type=int, default=None)
+    p.add_argument("--queue-metrics", default=None, metavar="PATH",
+                   help="write per-round queue metrics as JSONL")
+    p.add_argument("--stats-json", default=None, metavar="PATH",
+                   help="write the service summary stats as JSON")
+    p.add_argument("--strict", action="store_true",
+                   help="exit non-zero if any job failed")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="submit one job to the batch service and wait"
+    )
+    _add_circuit_args(p)
+    p.add_argument("--inputs", type=int, default=4,
+                   help="input states in the job's batch")
+    p.add_argument("--priority", type=int, default=0)
+    p.add_argument("--faults", default=None, metavar="PLAN")
+    p.set_defaults(fn=cmd_submit)
 
     p = sub.add_parser(
         "trace", help="run a simulation with tracing on and export the trace"

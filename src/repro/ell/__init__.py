@@ -22,6 +22,7 @@ from .persist import (
     bundle_from_plan,
     load_bundle,
     load_compiled_plan,
+    plan_fingerprint,
     save_bundle,
     save_compiled_plan,
 )
@@ -59,6 +60,7 @@ __all__ = [
     "GatherPlan",
     "load_bundle",
     "load_compiled_plan",
+    "plan_fingerprint",
     "save_bundle",
     "save_compiled_plan",
     "spmm_bytes",

@@ -17,6 +17,7 @@ Two formats are supported:
 
 from __future__ import annotations
 
+import hashlib
 import zipfile
 import zlib
 from contextlib import contextmanager
@@ -30,6 +31,32 @@ from .format import ELLMatrix
 
 _FORMAT_VERSION = 1
 _PLAN_FORMAT_VERSION = 2
+
+
+def plan_fingerprint(circuit, extra: tuple = ()) -> str:
+    """The canonical structural key of a compiled execution plan.
+
+    Combines :meth:`Circuit.fingerprint` — qubit count plus every gate's
+    name, operands, and exact parameter bits — with a hashed ``extra``
+    tuple of compilation settings (fusion flags, tau, ...).  Everything
+    that names a compiled plan goes through this one function: the
+    :class:`~repro.sim.base.PlanCache` memory and disk tiers key entries
+    with it, archives record it as :attr:`CompiledPlan.fingerprint`, and
+    the serving layer's coalescer uses it to decide which queued jobs can
+    share one mega-batch — so "same fingerprint" always means "same
+    compiled plan".
+
+    Two structurally equal circuits fingerprint equally regardless of
+    object identity, display name, or process; any gate edit, parameter
+    bit flip, or settings change produces a different key.  The result is
+    filesystem-safe (hex, plus one ``-`` separator when ``extra`` is
+    non-empty).
+    """
+    digest = circuit.fingerprint()
+    if extra:
+        salt = hashlib.sha256(repr(extra).encode()).hexdigest()[:16]
+        return f"{digest[:48]}-{salt}"
+    return digest[:48]
 
 
 @contextmanager

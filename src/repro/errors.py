@@ -79,3 +79,21 @@ class CheckpointError(SimulationError):
 class NumericalError(SimulationError):
     """Numerical health guard tripped (non-finite amplitudes or norm drift
     beyond tolerance under the ``fail`` policy)."""
+
+
+class ServiceError(ReproError):
+    """Batch-simulation-service misuse: unknown job id, illegal lifecycle
+    transition, or a request against a terminal/failed job."""
+
+
+class AdmissionError(ServiceError):
+    """The service refused a new job (backpressure).
+
+    Raised when the queue is at its depth bound; ``depth`` and
+    ``max_depth`` let clients implement retry/shedding policies.
+    """
+
+    def __init__(self, message: str, depth: int = 0, max_depth: int = 0):
+        self.depth = depth
+        self.max_depth = max_depth
+        super().__init__(message)

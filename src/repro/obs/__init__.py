@@ -25,6 +25,7 @@ from .tracer import Span, Tracer, get_tracer, set_tracer, tracing
 from .export import (
     chrome_trace,
     metrics_record,
+    simulation_stats_record,
     spans_to_events,
     timeline_to_events,
     trace_track_names,
@@ -77,6 +78,7 @@ __all__ = [
     "metrics_record",
     "set_metrics",
     "set_tracer",
+    "simulation_stats_record",
     "spans_to_events",
     "timeline_to_events",
     "trace_track_names",

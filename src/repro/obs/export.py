@@ -215,6 +215,46 @@ def metrics_record(label: str, metrics: dict, **extra) -> dict:
     return record
 
 
+#: result.stats entries that are live objects or bulk arrays, not JSON
+_NON_JSON_STATS = ("plan", "snapshots")
+
+
+def simulation_stats_record(result) -> dict:
+    """One JSON document for a :class:`SimulationResult` (``--stats-json``).
+
+    Everything a script needs without parsing human output: identity,
+    modeled/wall timings and breakdowns, and the full stats dict —
+    including ``plan_cache`` and ``resilience`` summaries — minus the live
+    objects (the fusion plan, snapshot arrays) that have no JSON form.
+    """
+    stats = {
+        key: value
+        for key, value in result.stats.items()
+        if key not in _NON_JSON_STATS
+    }
+    return _json_safe(
+        {
+            "simulator": result.simulator,
+            "circuit": result.circuit_name,
+            "num_qubits": result.num_qubits,
+            "spec": {
+                "num_batches": result.spec.num_batches,
+                "batch_size": result.spec.batch_size,
+                "seed": result.spec.seed,
+                "num_inputs": result.spec.num_inputs,
+            },
+            "modeled_time_s": result.modeled_time,
+            "wall_time_s": result.wall_time,
+            "breakdown": dict(result.breakdown),
+            "executed": result.outputs is not None,
+            "num_output_batches": (
+                len(result.outputs) if result.outputs is not None else 0
+            ),
+            "stats": stats,
+        }
+    )
+
+
 def write_metrics_jsonl(path: str | Path, records: Iterable[dict]) -> Path:
     """Write records as one JSON object per line; returns the path."""
     path = Path(path)

@@ -1,0 +1,52 @@
+"""The serving layer: an in-process batch simulation service.
+
+The paper amortizes fusion, conversion, and launch overhead by batching
+many inputs through one compiled circuit *within* a single ``run()``
+call; this package moves that opportunity up a layer.  Independently
+submitted jobs that share a circuit structure (the same
+:func:`~repro.ell.persist.plan_fingerprint`) are coalesced into one BQCS
+mega-batch and executed by a single simulator call — the inverse of the
+one-process-per-input Qiskit Aer baseline the paper beats.
+
+Five parts, one per module:
+
+* :mod:`repro.service.jobs` — the job model and its strict
+  ``PENDING → QUEUED → COALESCED → RUNNING → DONE/FAILED/CANCELLED``
+  lifecycle, with durable content-addressed ids;
+* :mod:`repro.service.queue` — bounded admission with typed
+  :class:`~repro.errors.AdmissionError` backpressure;
+* :mod:`repro.service.scheduler` — weighted-fair priority aging (no
+  starvation) with a bounded earliest-deadline-first urgent lane;
+* :mod:`repro.service.coalesce` — plan-fingerprint grouping, mega-batch
+  packing under the device memory budget, bit-identical scatter;
+* :mod:`repro.service.workers` — the worker pool (one simulator + plan
+  cache per worker) and the service orchestrator, with per-mega-batch
+  resilience and per-job-isolation degradation;
+* :mod:`repro.service.client` — the synchronous submit/result API and
+  the scripted saturation workload behind ``repro serve``.
+"""
+
+from .coalesce import CoalescedGroup, Coalescer, column_budget
+from .client import ServiceClient, saturation_workload
+from .jobs import Job, JobStatus, TERMINAL_STATES, make_job
+from .queue import DEFAULT_MAX_DEPTH, JobQueue
+from .scheduler import FairScheduler, SchedulerPolicy
+from .workers import BatchSimulationService, Worker
+
+__all__ = [
+    "BatchSimulationService",
+    "CoalescedGroup",
+    "Coalescer",
+    "column_budget",
+    "DEFAULT_MAX_DEPTH",
+    "FairScheduler",
+    "Job",
+    "JobQueue",
+    "JobStatus",
+    "make_job",
+    "saturation_workload",
+    "SchedulerPolicy",
+    "ServiceClient",
+    "TERMINAL_STATES",
+    "Worker",
+]

@@ -1,0 +1,188 @@
+"""BQCS request coalescing: many jobs, one simulator run.
+
+The paper's speedup comes from pushing *batches* of inputs through one
+compiled circuit (amortizing fusion, conversion, and launch overhead);
+the coalescer moves that opportunity up a layer, to independently
+submitted jobs.  Queued jobs whose circuits compile to the same plan —
+same :func:`~repro.ell.persist.plan_fingerprint`, same per-job options —
+are concatenated column-wise into one **mega-batch**, executed by a
+single :meth:`BQSimSimulator.run` call, and scattered back to per-job
+results.
+
+Correctness invariant (tested property-style): every ELL spMM backend
+computes each output column from its input column alone, so coalescing,
+padding, and batch slicing are all *bit-identical* to running each job
+solo.  The coalescer may therefore merge aggressively; the only limits
+are the device memory budget (four rotating state buffers must fit, the
+same bound stage 3 enforces) and a configurable column cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..circuit import InputBatch
+from ..errors import ServiceError
+from ..gpu.spec import GpuSpec, state_block_bytes
+from ..obs import get_metrics
+from ..sim.base import BatchSpec
+from ..sim.bqsim import NUM_BUFFERS
+from .jobs import Job, JobStatus
+
+#: hard cap on mega-batch columns, independent of device memory — keeps a
+#: single run's numpy working set (and scatter latency) bounded
+DEFAULT_MAX_COLUMNS = 4096
+
+
+def column_budget(
+    gpu: GpuSpec, num_qubits: int, cap: int = DEFAULT_MAX_COLUMNS
+) -> int:
+    """Widest state block stage 3 can rotate for ``num_qubits`` qubits.
+
+    Mirrors the simulator's own guard: ``NUM_BUFFERS`` buffers of the
+    block must fit device memory.  At least one column is always allowed;
+    a single over-wide *job* is then the simulator's (splitting/OOM)
+    problem, not the coalescer's.
+    """
+    per_column = NUM_BUFFERS * state_block_bytes(num_qubits, 1)
+    return max(1, min(cap, int(gpu.memory_bytes // per_column)))
+
+
+@dataclass(frozen=True)
+class CoalescedGroup:
+    """An ordered cohort of compatible jobs bound for one simulator run."""
+
+    key: str
+    jobs: tuple[Job, ...]
+
+    def __post_init__(self) -> None:
+        if not self.jobs:
+            raise ServiceError("a coalesced group needs at least one job")
+
+    @property
+    def circuit(self):
+        """The structural representative (all members fingerprint equally)."""
+        return self.jobs[0].circuit
+
+    @property
+    def num_qubits(self) -> int:
+        return self.jobs[0].num_qubits
+
+    @property
+    def total_columns(self) -> int:
+        return sum(job.num_inputs for job in self.jobs)
+
+    @property
+    def coalesce_factor(self) -> int:
+        """Jobs sharing this run — the quantity the service exists to raise."""
+        return len(self.jobs)
+
+    def offsets(self) -> list[tuple[Job, int, int]]:
+        """Per-job ``(job, start, stop)`` column spans in the mega-batch."""
+        spans, cursor = [], 0
+        for job in self.jobs:
+            spans.append((job, cursor, cursor + job.num_inputs))
+            cursor += job.num_inputs
+        return spans
+
+
+class Coalescer:
+    """Groups compatible queued jobs and packs/unpacks mega-batches."""
+
+    def __init__(
+        self,
+        gpu: GpuSpec,
+        max_columns: int = DEFAULT_MAX_COLUMNS,
+        max_jobs: int | None = None,
+    ) -> None:
+        if max_columns < 1:
+            raise ServiceError("max_columns must be >= 1")
+        self.gpu = gpu
+        self.max_columns = max_columns
+        #: optional cap on jobs per group (None = column budget decides)
+        self.max_jobs = max_jobs
+
+    # -- grouping ------------------------------------------------------------
+
+    def build_group(self, head: Job, ranked: list[Job]) -> CoalescedGroup:
+        """Coalesce ``head`` with every compatible job in ``ranked`` order.
+
+        Compatibility is exactly "same group key" (plan fingerprint +
+        options, stamped at admission); the group grows until the column
+        budget for its qubit count — or ``max_jobs`` — is exhausted.
+        Members are marked COALESCED.
+        """
+        budget = column_budget(self.gpu, head.num_qubits, self.max_columns)
+        members = [head]
+        columns = head.num_inputs
+        for job in ranked:
+            if job is head or job.group_key != head.group_key:
+                continue
+            if columns + job.num_inputs > budget:
+                continue
+            if self.max_jobs is not None and len(members) >= self.max_jobs:
+                break
+            members.append(job)
+            columns += job.num_inputs
+        for job in members:
+            job.transition(JobStatus.COALESCED)
+        group = CoalescedGroup(key=head.group_key, jobs=tuple(members))
+        metrics = get_metrics()
+        metrics.observe("service.coalesce_factor", group.coalesce_factor)
+        metrics.observe("service.megabatch_columns", group.total_columns)
+        return group
+
+    # -- packing -------------------------------------------------------------
+
+    def mega_batches(
+        self, group: CoalescedGroup
+    ) -> tuple[BatchSpec, list[InputBatch], int]:
+        """Pack a group into uniform device batches.
+
+        Returns ``(spec, batches, pad)``: the concatenated columns of every
+        member, sliced into equal batches no wider than the column budget.
+        The final slice is padded with ``pad`` copies of the first column
+        (norm-1, so the health guard stays quiet); padding is provably
+        inert — spMM columns are independent — and dropped at scatter.
+        """
+        budget = column_budget(self.gpu, group.num_qubits, self.max_columns)
+        mega = np.hstack([job.batch.states for job in group.jobs])
+        total = mega.shape[1]
+        width = min(total, budget)
+        num_batches = -(-total // width)  # ceil
+        pad = num_batches * width - total
+        if pad:
+            mega = np.hstack([mega, np.repeat(mega[:, :1], pad, axis=1)])
+        batches = [
+            InputBatch(mega[:, i * width : (i + 1) * width])
+            for i in range(num_batches)
+        ]
+        occupancy = total / (num_batches * width)
+        get_metrics().observe("service.batch_occupancy", occupancy)
+        spec = BatchSpec(num_batches=num_batches, batch_size=width, seed=0)
+        return spec, batches, pad
+
+    # -- unpacking -----------------------------------------------------------
+
+    @staticmethod
+    def scatter(
+        group: CoalescedGroup, outputs: list[np.ndarray]
+    ) -> dict[str, np.ndarray]:
+        """Slice a run's output batches back into per-job result blocks.
+
+        Inverse of :meth:`mega_batches`: concatenate, drop padding, split
+        at the group's column offsets.  Bit-identical to what each job
+        would have produced alone.
+        """
+        merged = outputs[0] if len(outputs) == 1 else np.hstack(outputs)
+        if merged.shape[1] < group.total_columns:
+            raise ServiceError(
+                f"scatter expected >= {group.total_columns} output columns, "
+                f"got {merged.shape[1]}"
+            )
+        return {
+            job.job_id: merged[:, start:stop]
+            for job, start, stop in group.offsets()
+        }

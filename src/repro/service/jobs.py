@@ -1,0 +1,204 @@
+"""The job model of the batch simulation service.
+
+A :class:`Job` is one independently submitted unit of work: a circuit, a
+batch of input states, and scheduling attributes (priority, deadline,
+coalescing options).  Jobs move through a strict lifecycle::
+
+    PENDING -> QUEUED -> COALESCED -> RUNNING -> DONE
+                  |          |           |
+                  +----------+-----------+---> FAILED / CANCELLED
+
+``PENDING`` is the freshly constructed job before admission; ``QUEUED``
+means admitted and waiting; ``COALESCED`` means grouped into a mega-batch
+awaiting a worker; ``RUNNING`` covers the single simulator call that
+executes the group; the three terminal states never transition again.
+Illegal transitions raise :class:`~repro.errors.ServiceError`, so a bug in
+the scheduler or worker pool surfaces as a typed error instead of a job
+silently stuck in the wrong state.
+
+Job ids are *durable*: ``job-<seq>-<digest>`` where the digest hashes the
+circuit structure and the exact input bytes.  The same submission sequence
+against the same service therefore names jobs identically across runs,
+which is what lets saturation scripts and tests refer to jobs by id.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from ..circuit import Circuit, InputBatch
+from ..errors import ServiceError
+
+
+class JobStatus(str, Enum):
+    """Lifecycle states of a service job."""
+
+    PENDING = "pending"
+    QUEUED = "queued"
+    COALESCED = "coalesced"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+#: states a job never leaves
+TERMINAL_STATES = frozenset(
+    {JobStatus.DONE, JobStatus.FAILED, JobStatus.CANCELLED}
+)
+
+#: legal lifecycle edges (see the module docstring diagram)
+_TRANSITIONS: dict[JobStatus, frozenset[JobStatus]] = {
+    JobStatus.PENDING: frozenset(
+        {JobStatus.QUEUED, JobStatus.FAILED, JobStatus.CANCELLED}
+    ),
+    JobStatus.QUEUED: frozenset(
+        {JobStatus.COALESCED, JobStatus.RUNNING, JobStatus.FAILED,
+         JobStatus.CANCELLED}
+    ),
+    JobStatus.COALESCED: frozenset(
+        {JobStatus.RUNNING, JobStatus.QUEUED, JobStatus.FAILED,
+         JobStatus.CANCELLED}
+    ),
+    JobStatus.RUNNING: frozenset({JobStatus.DONE, JobStatus.FAILED}),
+    JobStatus.DONE: frozenset(),
+    JobStatus.FAILED: frozenset(),
+    JobStatus.CANCELLED: frozenset(),
+}
+
+
+def job_id_for(seq: int, circuit: Circuit, batch: InputBatch) -> str:
+    """Durable job id: sequence number + content digest.
+
+    The digest covers the circuit *structure* (via
+    :meth:`Circuit.fingerprint`) and the exact input amplitudes, so the id
+    both orders jobs (``seq``) and identifies their content across
+    processes.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(circuit.fingerprint().encode())
+    hasher.update(np.ascontiguousarray(batch.states).tobytes())
+    return f"job-{seq}-{hasher.hexdigest()[:12]}"
+
+
+@dataclass
+class Job:
+    """One submitted simulation request and its full lifecycle record."""
+
+    job_id: str
+    seq: int
+    circuit: Circuit
+    batch: InputBatch
+    priority: int = 0
+    deadline: float | None = None  # absolute service-clock time
+    options: tuple = ()  # extra coalescing compatibility settings
+    status: JobStatus = JobStatus.PENDING
+    submitted_at: float = 0.0  # set at admission
+    started_at: float | None = None
+    finished_at: float | None = None
+    group_key: str = ""  # plan fingerprint, set at admission
+    attempts: int = 0  # mega-batch runs this job took part in
+    solo_retry: bool = False  # finished via per-job isolation fallback
+    error: str | None = None
+    result: np.ndarray | None = None
+    history: list[str] = field(default_factory=list)
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def num_inputs(self) -> int:
+        """Input state vectors (mega-batch columns) this job contributes."""
+        return self.batch.batch_size
+
+    @property
+    def num_qubits(self) -> int:
+        return self.batch.num_qubits
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.status in TERMINAL_STATES
+
+    def wait_time(self, now: float | None = None) -> float:
+        """Seconds from admission to start (or to ``now`` while waiting)."""
+        if self.started_at is not None:
+            return self.started_at - self.submitted_at
+        return 0.0 if now is None else max(0.0, now - self.submitted_at)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def transition(self, new: JobStatus) -> "Job":
+        """Move to ``new``, validating the edge against the lifecycle."""
+        if new not in _TRANSITIONS[self.status]:
+            raise ServiceError(
+                f"job {self.job_id} cannot go {self.status.value} -> "
+                f"{new.value}"
+            )
+        self.history.append(new.value)
+        self.status = new
+        return self
+
+    def finish(self, result: np.ndarray, at: float) -> "Job":
+        self.transition(JobStatus.DONE)
+        self.result = result
+        self.finished_at = at
+        return self
+
+    def fail(self, error: str, at: float) -> "Job":
+        self.transition(JobStatus.FAILED)
+        self.error = error
+        self.finished_at = at
+        return self
+
+    def describe(self) -> dict:
+        """JSON-safe summary (no amplitudes) for logs and CLI output."""
+        return {
+            "job_id": self.job_id,
+            "status": self.status.value,
+            "circuit": self.circuit.name,
+            "num_qubits": self.num_qubits,
+            "num_inputs": self.num_inputs,
+            "priority": self.priority,
+            "deadline": self.deadline,
+            "group_key": self.group_key[:12],
+            "attempts": self.attempts,
+            "solo_retry": self.solo_retry,
+            "wait_s": self.wait_time(),
+            "error": self.error,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (
+            f"<Job {self.job_id} {self.status.value} "
+            f"{self.circuit.name} x{self.num_inputs}>"
+        )
+
+
+def make_job(
+    seq: int,
+    circuit: Circuit,
+    batch: InputBatch,
+    priority: int = 0,
+    deadline: float | None = None,
+    options: tuple = (),
+) -> Job:
+    """Construct a PENDING job with a durable content-addressed id."""
+    if batch.num_qubits != circuit.num_qubits:
+        raise ServiceError(
+            f"input batch is {batch.num_qubits}-qubit but circuit "
+            f"{circuit.name!r} has {circuit.num_qubits}"
+        )
+    if batch.batch_size < 1:
+        raise ServiceError("job needs at least one input state")
+    return Job(
+        job_id=job_id_for(seq, circuit, batch),
+        seq=seq,
+        circuit=circuit,
+        batch=batch,
+        priority=priority,
+        deadline=deadline,
+        options=tuple(options),
+    )

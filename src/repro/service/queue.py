@@ -1,0 +1,129 @@
+"""Bounded admission queue for service jobs.
+
+The queue is the service's backpressure valve: depth is bounded, and an
+admission past the bound raises a typed
+:class:`~repro.errors.AdmissionError` instead of growing without limit —
+overload must surface at the *edge* (the submitting client) rather than as
+memory growth or unbounded latency inside the service.  Everything is
+thread-safe under one lock so a multi-threaded client can share a service
+instance, and the queue-depth gauge (``service.queue_depth``) tracks every
+admission and removal.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from ..errors import AdmissionError, ServiceError
+from ..obs import get_metrics
+from .jobs import Job, JobStatus
+
+#: default admission bound, sized so a saturation script must shed load
+DEFAULT_MAX_DEPTH = 256
+
+
+class JobQueue:
+    """FIFO store of admitted-but-unscheduled jobs with bounded depth."""
+
+    def __init__(
+        self,
+        max_depth: int = DEFAULT_MAX_DEPTH,
+        clock=time.monotonic,
+    ) -> None:
+        if max_depth < 1:
+            raise ServiceError("queue depth bound must be >= 1")
+        self.max_depth = max_depth
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}  # insertion-ordered (submit order)
+        #: admission accounting
+        self.admitted = 0
+        self.rejected = 0
+
+    # -- admission -----------------------------------------------------------
+
+    def admit(self, job: Job) -> Job:
+        """Admit a PENDING job, stamping its submit time; bounded.
+
+        Raises :class:`AdmissionError` (and counts the rejection) when the
+        queue is full — the job stays PENDING so the client may retry after
+        backing off.
+        """
+        metrics = get_metrics()
+        with self._lock:
+            if len(self._jobs) >= self.max_depth:
+                self.rejected += 1
+                metrics.inc("service.rejected")
+                raise AdmissionError(
+                    f"queue is at its depth bound ({self.max_depth}); "
+                    f"job {job.job_id} rejected",
+                    depth=len(self._jobs),
+                    max_depth=self.max_depth,
+                )
+            job.submitted_at = self.clock()
+            job.transition(JobStatus.QUEUED)
+            self._jobs[job.job_id] = job
+            self.admitted += 1
+            depth = len(self._jobs)
+        metrics.inc("service.submitted")
+        metrics.gauge("service.queue_depth", depth)
+        return job
+
+    # -- inspection ----------------------------------------------------------
+
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._jobs)
+
+    def jobs(self) -> list[Job]:
+        """Snapshot of queued jobs in submission order."""
+        with self._lock:
+            return list(self._jobs.values())
+
+    def __len__(self) -> int:
+        return self.depth()
+
+    def __contains__(self, job_id: str) -> bool:
+        with self._lock:
+            return job_id in self._jobs
+
+    # -- removal -------------------------------------------------------------
+
+    def take(self, jobs: list[Job]) -> None:
+        """Remove scheduled jobs from the queue (they now belong to a
+        mega-batch group)."""
+        with self._lock:
+            for job in jobs:
+                self._jobs.pop(job.job_id, None)
+            depth = len(self._jobs)
+        get_metrics().gauge("service.queue_depth", depth)
+
+    def requeue(self, jobs: list[Job]) -> None:
+        """Return COALESCED jobs to the queue (group was abandoned).
+
+        Re-inserted jobs keep their original ``submitted_at``, so their
+        aging credit — and thus their scheduling position — survives.
+        """
+        with self._lock:
+            for job in jobs:
+                job.transition(JobStatus.QUEUED)
+                self._jobs[job.job_id] = job
+            depth = len(self._jobs)
+        get_metrics().gauge("service.queue_depth", depth)
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a queued job; raises for unknown or already-taken ids."""
+        with self._lock:
+            job = self._jobs.pop(job_id, None)
+            depth = len(self._jobs)
+        if job is None:
+            raise ServiceError(
+                f"job {job_id!r} is not queued (unknown, running, or done)"
+            )
+        job.transition(JobStatus.CANCELLED)
+        job.finished_at = self.clock()
+        metrics = get_metrics()
+        metrics.inc("service.cancelled")
+        metrics.gauge("service.queue_depth", depth)
+        return job

@@ -1,0 +1,374 @@
+"""The worker pool and the in-process batch simulation service.
+
+:class:`BatchSimulationService` wires the four other service parts
+together: jobs are admitted through the bounded
+:class:`~repro.service.queue.JobQueue`, ordered by the
+:class:`~repro.service.scheduler.FairScheduler`, merged by the
+:class:`~repro.service.coalesce.Coalescer`, and executed by a pool of
+:class:`Worker` instances — each owning its own
+:class:`~repro.sim.bqsim.BQSimSimulator` (and therefore its own plan
+cache), assigned round-robin.
+
+Resilience composes per mega-batch: the simulator's own fault injection,
+retries, OOM splitting, health guard, and checkpoints all apply to the
+coalesced run exactly as to a solo one.  When a mega-batch still fails
+(retries exhausted, health ``fail``, memory fault past the split limit),
+the service **degrades to per-job isolation**: every member is re-run
+alone on the same worker, so one poisoned job fails alone instead of
+failing its cohort.
+
+Every dispatch round appends one JSON-safe record to
+:attr:`BatchSimulationService.events` (the queue-metrics stream ``repro
+serve --queue-metrics`` writes as JSONL) and emits metrics — queue depth,
+wait time, coalesce factor, batch occupancy — plus ``service.*`` tracer
+spans, so Perfetto traces show request-level lanes above the modeled GPU
+engine lanes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from ..circuit import Circuit, InputBatch
+from ..circuit.inputs import random_batch
+from ..ell.persist import plan_fingerprint
+from ..errors import ReproError, ServiceError
+from ..gpu.spec import GpuSpec
+from ..obs import get_metrics, get_tracer
+from ..resilience import get_resilience_log
+from ..sim.base import BatchSpec
+from ..sim.bqsim import BQSimSimulator
+from .coalesce import DEFAULT_MAX_COLUMNS, CoalescedGroup, Coalescer
+from .jobs import Job, JobStatus, make_job
+from .queue import DEFAULT_MAX_DEPTH, JobQueue
+from .scheduler import FairScheduler, SchedulerPolicy
+
+
+class Worker:
+    """One executor: a dedicated simulator plus its plan cache."""
+
+    def __init__(self, wid: int, simulator: BQSimSimulator) -> None:
+        self.wid = wid
+        self.simulator = simulator
+        self.megabatches = 0
+        self.solo_runs = 0
+        self.jobs_done = 0
+
+    def run_group(self, group: CoalescedGroup, spec, batches):
+        """One coalesced simulator call for the whole cohort."""
+        self.megabatches += 1
+        return self.simulator.run(
+            group.circuit, spec, batches=batches, execute=True
+        )
+
+    def run_solo(self, job: Job):
+        """Isolated fallback run for one member of a failed cohort."""
+        self.solo_runs += 1
+        spec = BatchSpec(num_batches=1, batch_size=job.num_inputs, seed=0)
+        return self.simulator.run(
+            job.circuit, spec, batches=[job.batch], execute=True
+        )
+
+
+class BatchSimulationService:
+    """In-process serving layer over :class:`BQSimSimulator`.
+
+    Synchronous by design: :meth:`submit` admits jobs, :meth:`step` runs
+    one dispatch round (schedule, coalesce, execute, scatter), and
+    :meth:`drain` steps until the queue is empty.  Determinism: with an
+    injected ``clock`` the whole schedule is a pure function of the
+    submission sequence, which is what the fairness tests rely on.
+    """
+
+    def __init__(
+        self,
+        num_workers: int = 1,
+        max_depth: int = DEFAULT_MAX_DEPTH,
+        max_columns: int = DEFAULT_MAX_COLUMNS,
+        max_jobs_per_batch: int | None = None,
+        policy: SchedulerPolicy | None = None,
+        clock=time.monotonic,
+        gpu: GpuSpec | None = None,
+        simulator_kwargs: dict | None = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ServiceError("service needs at least one worker")
+        self.clock = clock
+        self.gpu = gpu or GpuSpec()
+        kwargs = dict(simulator_kwargs or {})
+        kwargs.setdefault("gpu", self.gpu)
+        self.workers = [
+            Worker(i, BQSimSimulator(**kwargs)) for i in range(num_workers)
+        ]
+        self.queue = JobQueue(max_depth=max_depth, clock=clock)
+        self.scheduler = FairScheduler(policy)
+        self.coalescer = Coalescer(
+            self.gpu, max_columns=max_columns, max_jobs=max_jobs_per_batch
+        )
+        #: every job ever admitted, by id (terminal jobs stay addressable)
+        self.jobs: dict[str, Job] = {}
+        #: JSON-safe queue-metrics records, one per dispatch round/rejection
+        self.events: list[dict] = []
+        self._seq = 0
+        self._rr = 0
+        self._completed = 0
+        self._failed = 0
+        self._degraded_groups = 0
+        self._modeled_s = 0.0
+        self._wall_s = 0.0
+        self._inputs_done = 0
+
+    # -- submission ----------------------------------------------------------
+
+    def _group_key(self, circuit: Circuit, options: tuple) -> str:
+        """Coalescing compatibility key: the worker simulators' plan
+        fingerprint (identical across the pool) plus per-job options."""
+        extra = self.workers[0].simulator._cache_extra() + tuple(options)
+        return plan_fingerprint(circuit, extra)
+
+    def submit(
+        self,
+        circuit: Circuit,
+        batch: InputBatch | None = None,
+        *,
+        num_inputs: int = 1,
+        priority: int = 0,
+        deadline: float | None = None,
+        options: tuple = (),
+    ) -> Job:
+        """Admit one job; raises :class:`AdmissionError` on backpressure.
+
+        ``batch`` defaults to ``num_inputs`` seeded random states (seeded
+        by the submission sequence, so a replayed script submits identical
+        jobs).  ``deadline`` is absolute service-clock time.
+        """
+        if batch is None:
+            batch = random_batch(circuit.num_qubits, num_inputs, self._seq)
+        job = make_job(
+            self._seq, circuit, batch,
+            priority=priority, deadline=deadline, options=options,
+        )
+        job.group_key = self._group_key(circuit, job.options)
+        with get_tracer().span(
+            "service.submit",
+            job=job.job_id,
+            circuit=circuit.name,
+            inputs=job.num_inputs,
+            priority=priority,
+        ):
+            try:
+                self.queue.admit(job)
+            except Exception:
+                self.events.append(
+                    {
+                        "event": "reject",
+                        "t": self.clock(),
+                        "job": job.job_id,
+                        "queue_depth": self.queue.depth(),
+                    }
+                )
+                raise
+        self._seq += 1
+        self.jobs[job.job_id] = job
+        return job
+
+    def cancel(self, job_id: str) -> Job:
+        return self.queue.cancel(job_id)
+
+    def job(self, job_id: str) -> Job:
+        try:
+            return self.jobs[job_id]
+        except KeyError:
+            raise ServiceError(f"unknown job id {job_id!r}") from None
+
+    # -- dispatch ------------------------------------------------------------
+
+    def step(self) -> int:
+        """One dispatch round; returns the number of jobs finished (0 when
+        idle)."""
+        now = self.clock()
+        queued = self.queue.jobs()
+        head = self.scheduler.select(queued, now)
+        if head is None:
+            return 0
+        ranked = self.scheduler.rank(queued, now)
+        group = self.coalescer.build_group(head, ranked)
+        self.queue.take(list(group.jobs))
+        worker = self.workers[self._rr % len(self.workers)]
+        self._rr += 1
+        return self._execute(worker, group)
+
+    def drain(self, max_rounds: int | None = None) -> dict:
+        """Step until the queue is empty; returns :meth:`stats`."""
+        rounds = 0
+        while self.queue.depth() > 0:
+            if max_rounds is not None and rounds >= max_rounds:
+                break
+            self.step()
+            rounds += 1
+        return self.stats()
+
+    # -- execution -----------------------------------------------------------
+
+    def _execute(self, worker: Worker, group: CoalescedGroup) -> int:
+        now = self.clock()
+        metrics = get_metrics()
+        waits = [job.wait_time(now) for job in group.jobs]
+        for job in group.jobs:
+            job.transition(JobStatus.RUNNING)
+            job.started_at = now
+            job.attempts += 1
+            metrics.observe("service.wait_s", job.wait_time())
+        spec, batches, pad = self.coalescer.mega_batches(group)
+        record = {
+            "event": "megabatch",
+            "t": now,
+            "worker": worker.wid,
+            "group": group.key[:12],
+            "circuit": group.circuit.name,
+            "jobs": group.coalesce_factor,
+            "columns": group.total_columns,
+            "batches": spec.num_batches,
+            "batch_size": spec.batch_size,
+            "pad": pad,
+            "coalesce_factor": group.coalesce_factor,
+            "occupancy": group.total_columns / spec.num_inputs,
+            "wait_mean_s": float(np.mean(waits)),
+            "wait_max_s": float(np.max(waits)),
+        }
+        wall0 = time.perf_counter()
+        finished = 0
+        try:
+            with get_tracer().span(
+                "service.megabatch",
+                group=group.key[:12],
+                circuit=group.circuit.name,
+                jobs=group.coalesce_factor,
+                columns=group.total_columns,
+                worker=worker.wid,
+            ):
+                result = worker.run_group(group, spec, batches)
+        except ReproError as exc:
+            record["degraded"] = True
+            record["error"] = str(exc)
+            finished = self._degrade(worker, group, exc)
+        else:
+            per_job = Coalescer.scatter(group, result.outputs)
+            done_at = self.clock()
+            for job in group.jobs:
+                job.finish(per_job[job.job_id], done_at)
+            finished = len(group.jobs)
+            worker.jobs_done += finished
+            self._completed += finished
+            self._inputs_done += group.total_columns
+            self._modeled_s += result.modeled_time
+            record["degraded"] = False
+            record["modeled_s"] = result.modeled_time
+            metrics.inc("service.completed", finished)
+        record["wall_s"] = time.perf_counter() - wall0
+        record["queue_depth"] = self.queue.depth()
+        self._wall_s += record["wall_s"]
+        metrics.inc("service.megabatches")
+        metrics.gauge("service.queue_depth", self.queue.depth())
+        self.events.append(record)
+        return finished
+
+    def _degrade(
+        self, worker: Worker, group: CoalescedGroup, cause: ReproError
+    ) -> int:
+        """Per-job isolation fallback after a failed mega-batch.
+
+        Each member re-runs alone; members that fail even solo go FAILED
+        with their own error, the rest complete normally — the poisoned
+        job cannot take its cohort down.
+        """
+        self._degraded_groups += 1
+        metrics = get_metrics()
+        metrics.inc("service.degraded_groups")
+        get_resilience_log().record(
+            "degrade",
+            site="service",
+            group=group.key[:12],
+            jobs=group.coalesce_factor,
+            reason=str(cause),
+        )
+        finished = 0
+        for job in group.jobs:
+            try:
+                with get_tracer().span(
+                    "service.solo_retry", job=job.job_id, worker=worker.wid
+                ):
+                    result = worker.run_solo(job)
+            except ReproError as exc:
+                job.fail(str(exc), self.clock())
+                self._failed += 1
+                metrics.inc("service.failed")
+            else:
+                job.solo_retry = True
+                job.finish(result.outputs[0], self.clock())
+                worker.jobs_done += 1
+                self._completed += 1
+                self._inputs_done += job.num_inputs
+                self._modeled_s += result.modeled_time
+                metrics.inc("service.completed")
+            finished += 1
+        return finished
+
+    # -- reporting -----------------------------------------------------------
+
+    def stats(self) -> dict:
+        """JSON-safe service-level summary (the serve CLI prints this)."""
+        mega = [e for e in self.events if e["event"] == "megabatch"]
+        factors = [e["coalesce_factor"] for e in mega]
+        occupancy = [e["occupancy"] for e in mega]
+        waits = [e["wait_max_s"] for e in mega]
+        plan_caches = [w.simulator._plans.stats_dict() for w in self.workers]
+        return {
+            "submitted": self.queue.admitted,
+            "rejected": self.queue.rejected,
+            "completed": self._completed,
+            "failed": self._failed,
+            "cancelled": sum(
+                1 for j in self.jobs.values()
+                if j.status is JobStatus.CANCELLED
+            ),
+            "queue_depth": self.queue.depth(),
+            "megabatches": len(mega),
+            "degraded_groups": self._degraded_groups,
+            "scheduler_rounds": self.scheduler.rounds,
+            "coalesce_factor_mean": float(np.mean(factors)) if factors else 0.0,
+            "coalesce_factor_max": max(factors, default=0),
+            "occupancy_mean": float(np.mean(occupancy)) if occupancy else 0.0,
+            "wait_max_s": max(waits, default=0.0),
+            "inputs_done": self._inputs_done,
+            "modeled_time_s": self._modeled_s,
+            "wall_time_s": self._wall_s,
+            "modeled_throughput_inputs_per_s": (
+                self._inputs_done / self._modeled_s if self._modeled_s else 0.0
+            ),
+            "workers": [
+                {
+                    "wid": w.wid,
+                    "megabatches": w.megabatches,
+                    "solo_runs": w.solo_runs,
+                    "jobs_done": w.jobs_done,
+                }
+                for w in self.workers
+            ],
+            "plan_cache": {
+                key: sum(pc[key] for pc in plan_caches)
+                for key in ("hits", "disk_hits", "misses", "quarantined")
+            },
+        }
+
+    def write_queue_metrics(self, path) -> int:
+        """Write the per-round event stream as JSONL; returns the count."""
+        import json
+
+        with open(path, "w", encoding="utf-8") as fh:
+            for event in self.events:
+                fh.write(json.dumps(event) + "\n")
+        return len(self.events)

@@ -12,7 +12,6 @@ would be prohibitive.
 from __future__ import annotations
 
 import abc
-import hashlib
 import os
 import warnings
 from dataclasses import dataclass, field
@@ -22,6 +21,7 @@ from typing import Sequence
 import numpy as np
 
 from ..circuit import Circuit, InputBatch, generate_batches
+from ..ell.persist import plan_fingerprint
 from ..errors import SimulationError
 from ..gpu.engine import Timeline
 from ..gpu.power import PowerReport
@@ -152,12 +152,13 @@ class PlanCache:
 
     @staticmethod
     def key(circuit: Circuit, extra: tuple = ()) -> str:
-        """Structural cache key: circuit fingerprint + hashed settings."""
-        digest = circuit.fingerprint()
-        if extra:
-            salt = hashlib.sha256(repr(extra).encode()).hexdigest()[:16]
-            return f"{digest[:48]}-{salt}"
-        return digest[:48]
+        """Structural cache key: circuit fingerprint + hashed settings.
+
+        Delegates to :func:`repro.ell.persist.plan_fingerprint`, the one
+        canonical definition of a compiled plan's identity (shared with the
+        serving layer's coalescer).
+        """
+        return plan_fingerprint(circuit, extra)
 
     def get(self, circuit: Circuit, build, extra: tuple = ()):
         """Memory-tier lookup; ``build()`` fills a miss."""

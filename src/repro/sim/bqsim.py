@@ -140,6 +140,16 @@ class BQSimSimulator(BatchSimulator):
         """Settings that change what stages 1-2 produce (part of the key)."""
         return ("bqsim-v1", self.fusion, self.max_fused_cost, self.tau, self.use_ell)
 
+    def plan_fingerprint(self, circuit: Circuit) -> str:
+        """The structural key this simulator compiles ``circuit`` under.
+
+        Two circuits with equal fingerprints share one compiled plan in
+        this simulator's :class:`~repro.sim.base.PlanCache` (memory and
+        disk tiers alike), which is the compatibility predicate the
+        serving layer's coalescer uses to merge jobs into one mega-batch.
+        """
+        return self._plans.key(circuit, self._cache_extra())
+
     def _build(self, circuit: Circuit) -> dict:
         """Stages 1 and 2 from scratch: fusion + conversion analysis."""
         mgr = DDManager(circuit.num_qubits)

@@ -90,3 +90,64 @@ def test_resume_flag_is_bqsim_only():
     with pytest.raises(SystemExit, match="only supported"):
         main(["simulate", "--family", "qft", "-n", "6", "--execute",
               "--simulator", "cuquantum", "--resume", "nowhere.npz"])
+
+
+def test_simulate_stats_json(tmp_path, capsys):
+    import json
+
+    stats = tmp_path / "stats.json"
+    rc = main(["simulate", "--family", "qft", "-n", "6", "--batches", "2",
+               "--batch-size", "4", "--execute", "--stats-json", str(stats)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert f"stats     : wrote {stats}" in out
+    doc = json.loads(stats.read_text())
+    assert doc["circuit"] == "qft_n6"
+    assert doc["simulator"] == "bqsim"
+    assert doc["executed"] is True
+    assert doc["num_output_batches"] == 2
+    assert doc["spec"]["num_batches"] == 2
+    assert doc["spec"]["batch_size"] == 4
+    assert doc["spec"]["num_inputs"] == 8
+    assert doc["modeled_time_s"] > 0 and doc["wall_time_s"] > 0
+    assert "plan_cache" in doc["stats"] and "resilience" in doc["stats"]
+    assert "plan" not in doc["stats"] and "snapshots" not in doc["stats"]
+
+
+def test_serve_saturation(tmp_path, capsys):
+    import json
+
+    metrics = tmp_path / "queue.jsonl"
+    stats = tmp_path / "serve.json"
+    rc = main(["serve", "--families", "qft,ghz", "-n", "5", "--jobs", "10",
+               "--max-depth", "8", "--seed", "3",
+               "--queue-metrics", str(metrics), "--stats-json", str(stats)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "mega-batches" in out and "throughput" in out
+    doc = json.loads(stats.read_text())
+    assert doc["workload"]["jobs_done"] + doc["workload"]["jobs_failed"] \
+        + doc["workload"]["jobs_shed"] == 10
+    assert doc["megabatches"] >= 1
+    assert doc["coalesce_factor_mean"] >= 1
+    events = [json.loads(line) for line in metrics.read_text().splitlines()]
+    assert events and all(e["event"] == "megabatch" for e in events)
+    assert all({"jobs", "columns", "wait_max_s"} <= e.keys() for e in events)
+
+
+def test_serve_with_injected_fault(capsys):
+    rc = main(["serve", "--families", "qft", "-n", "5", "--jobs", "6",
+               "--seed", "11", "--faults", "seed=2,oom=1:1",
+               "--max-splits", "0"])
+    out = capsys.readouterr().out
+    assert rc == 0  # degradation absorbs the fault; no job is lost
+    assert "degraded group" in out
+
+
+def test_submit_one_job(capsys):
+    rc = main(["submit", "--family", "ghz", "-n", "5", "--inputs", "3"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "submitted : job-" in out
+    assert "status    : done" in out
+    assert "3 output state(s)" in out

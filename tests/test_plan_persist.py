@@ -18,6 +18,7 @@ from repro.ell import (
     ELLMatrix,
     CompiledPlan,
     load_compiled_plan,
+    plan_fingerprint,
     save_compiled_plan,
 )
 from repro.errors import ConversionError
@@ -210,3 +211,67 @@ def test_disk_cache_matches_in_memory_numerics(tmp_path, circuit, spec):
     assert warm.stats["plan_source"] == "disk"
     for a, b in zip(plain.outputs, warm.outputs):
         assert np.array_equal(a, b)
+
+
+# ---------------------------------------------------------------------------
+# plan_fingerprint: the public, canonical plan-identity helper
+# ---------------------------------------------------------------------------
+
+class TestPlanFingerprint:
+    def test_stable_across_calls_and_rebuilds(self):
+        a = make_circuit("qft", 5)
+        b = make_circuit("qft", 5)
+        assert plan_fingerprint(a) == plan_fingerprint(b)
+        assert plan_fingerprint(a) == plan_fingerprint(a)
+
+    def test_shape_is_48_hex(self):
+        digest = plan_fingerprint(make_circuit("ghz", 4))
+        assert len(digest) == 48
+        assert all(c in "0123456789abcdef" for c in digest)
+
+    def test_extra_appends_salt_suffix(self):
+        circuit = make_circuit("ghz", 4)
+        bare = plan_fingerprint(circuit)
+        salted = plan_fingerprint(circuit, ("bqsim-v1", True))
+        prefix, _, salt = salted.partition("-")
+        assert prefix == bare
+        assert len(salt) == 16
+        assert salted != bare
+
+    def test_extra_partitions_identity(self):
+        circuit = make_circuit("vqe", 4)
+        assert plan_fingerprint(circuit, ("fuse", 8)) != plan_fingerprint(
+            circuit, ("fuse", 9)
+        )
+        assert plan_fingerprint(circuit, ("fuse", 8)) == plan_fingerprint(
+            circuit, ("fuse", 8)
+        )
+
+    def test_distinct_across_families_and_sizes(self):
+        keys = {
+            plan_fingerprint(make_circuit(family, n))
+            for family in ("qft", "ghz", "vqe", "qaoa")
+            for n in (4, 5, 6)
+        }
+        assert len(keys) == 12  # no collisions across families or widths
+
+    def test_parameter_bits_matter(self):
+        base = make_circuit("vqe", 4, seed=0)
+        other = make_circuit("vqe", 4, seed=1)
+        assert plan_fingerprint(base) != plan_fingerprint(other)
+
+    def test_cache_key_delegates_to_helper(self):
+        from repro.sim.base import PlanCache
+
+        circuit = make_circuit("qft", 5)
+        extra = ("bqsim-v1", True, 8, 1e-12, True)
+        assert PlanCache().key(circuit, extra) == plan_fingerprint(circuit, extra)
+
+    def test_simulator_exposes_public_fingerprint(self):
+        circuit = make_circuit("qft", 5)
+        sim = BQSimSimulator()
+        key = sim.plan_fingerprint(circuit)
+        assert key == plan_fingerprint(circuit, sim._cache_extra())
+        # identical settings -> identical key; different settings -> different
+        assert BQSimSimulator().plan_fingerprint(circuit) == key
+        assert BQSimSimulator(fusion=False).plan_fingerprint(circuit) != key

@@ -14,7 +14,12 @@ Asserts:
 * both modes produce bit-identical amplitudes for every job.
 """
 
+import os
+import tempfile
+import time
+
 import numpy as np
+import pytest
 from conftest import run_once
 
 from repro.circuit.generators import make_circuit
@@ -68,3 +73,74 @@ def test_service_coalescing_beats_solo(benchmark, scale):
     assert row["coalesce_factor_mean"] > 1
     assert row["megabatches_coalesced"] < row["megabatches_solo"]
     assert row["speedup"] > 1.0, row
+
+
+# ---------------------------------------------------------------------------
+# workers sweep: wall-clock scaling of the process pool
+# ---------------------------------------------------------------------------
+
+SWEEP_FAMILIES = ("qft", "ghz", "vqe", "qaoa")  # four distinct plans
+SWEEP_QUBITS = 11
+SWEEP_JOBS_PER_FAMILY = 8
+SWEEP_INPUTS_PER_JOB = 64
+
+
+def _timed_pool_run(workers: int, cache_dir: str) -> float:
+    """Wall-clock seconds to drain the 4-plan workload on ``workers``
+    pool processes.
+
+    The shared plan cache is pre-warmed (one tiny job per family) before
+    the clock starts, so the measurement isolates *execution* scaling —
+    exactly what the pool parallelizes — from one-time plan compilation,
+    which the compile-once disk tier amortizes across every worker and
+    every run anyway.
+    """
+    service = BatchSimulationService(
+        num_workers=workers,
+        parallelism="process",
+        max_depth=4 * SWEEP_JOBS_PER_FAMILY + len(SWEEP_FAMILIES),
+        simulator_kwargs={"cache_dir": cache_dir},
+    )
+    try:
+        circuits = {
+            family: make_circuit(family, SWEEP_QUBITS)
+            for family in SWEEP_FAMILIES
+        }
+        for circuit in circuits.values():  # warm pool + shared plan cache
+            service.submit(circuit, num_inputs=1)
+        service.drain()
+        start = time.perf_counter()
+        for family in SWEEP_FAMILIES:
+            for _ in range(SWEEP_JOBS_PER_FAMILY):
+                service.submit(
+                    circuits[family], num_inputs=SWEEP_INPUTS_PER_JOB
+                )
+        service.drain()
+        elapsed = time.perf_counter() - start
+        stats = service.stats()
+        assert stats["failed"] == 0, stats
+    finally:
+        service.close()
+    return elapsed
+
+
+def workers_sweep() -> dict:
+    """Drain the same 4-plan workload at 1, 2, and 4 pool workers."""
+    with tempfile.TemporaryDirectory(prefix="repro-bench-plans-") as cache:
+        walls = {w: _timed_pool_run(w, cache) for w in (1, 2, 4)}
+    return {
+        "wall_1_worker_s": walls[1],
+        "wall_2_workers_s": walls[2],
+        "wall_4_workers_s": walls[4],
+        "speedup_2_workers": walls[1] / walls[2],
+        "speedup_4_workers": walls[1] / walls[4],
+    }
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="workers sweep needs >= 4 CPUs to demonstrate scaling",
+)
+def test_process_pool_scales_with_workers(benchmark, scale):
+    row = run_once(benchmark, workers_sweep)
+    assert row["speedup_4_workers"] > 1.8, row

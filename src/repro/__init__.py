@@ -29,7 +29,6 @@ __all__ = [
     "BatchSpec",
     "BQSimSimulator",
     "Circuit",
-    "ServiceClient",
     "cross_validate",
     "CuQuantumSimulator",
     "FlatDDSimulator",
@@ -40,4 +39,5 @@ __all__ = [
     "MultiGpuBQSimSimulator",
     "parse_qasm",
     "QiskitAerSimulator",
+    "ServiceClient",
 ]

@@ -179,20 +179,25 @@ def cmd_serve(args) -> int:
         num_workers=args.workers,
         max_depth=args.max_depth,
         simulator_kwargs=simulator_kwargs,
+        parallelism=args.parallelism,
     )
     families = [f.strip() for f in args.families.split(",") if f.strip()]
-    stats = saturation_workload(
-        service,
-        families,
-        num_qubits=args.num_qubits,
-        num_jobs=args.jobs,
-        seed=args.seed,
-        max_inputs=args.max_inputs,
-    )
+    try:
+        stats = saturation_workload(
+            service,
+            families,
+            num_qubits=args.num_qubits,
+            num_jobs=args.jobs,
+            seed=args.seed,
+            max_inputs=args.max_inputs,
+        )
+    finally:
+        service.close()
     workload = stats["workload"]
     print(f"workload  : {workload['jobs_submitted']} jobs "
           f"({workload['jobs_shed']} shed) over {','.join(workload['families'])} "
-          f"n={workload['num_qubits']}, {args.workers} worker(s)")
+          f"n={workload['num_qubits']}, {args.workers} worker(s), "
+          f"parallelism={stats['parallelism']}")
     print(f"jobs      : {workload['jobs_done']} done, "
           f"{workload['jobs_failed']} failed, "
           f"{workload['solo_retries']} solo retries, "
@@ -227,19 +232,36 @@ def cmd_submit(args) -> int:
     simulator_kwargs = {}
     if args.faults is not None:
         simulator_kwargs["faults"] = args.faults
-    client = ServiceClient(simulator_kwargs=simulator_kwargs)
-    job_id = client.submit(
-        circuit, num_inputs=args.inputs, priority=args.priority
+    client = ServiceClient(
+        num_workers=args.workers,
+        parallelism=args.parallelism,
+        simulator_kwargs=simulator_kwargs,
     )
-    print(f"submitted : {job_id} ({circuit.name}, {args.inputs} input(s), "
-          f"priority {args.priority})")
-    amplitudes = client.result(job_id)
-    job = client.service.job(job_id)
-    norm = float(abs(amplitudes[:, 0] ** 2).sum())
-    print(f"status    : {job.status.value} "
-          f"(group {job.group_key[:12]}, attempts {job.attempts})")
-    print(f"result    : {amplitudes.shape[1]} output state(s), "
-          f"first column norm {norm:.6f}")
+    try:
+        job_id = client.submit(
+            circuit, num_inputs=args.inputs, priority=args.priority
+        )
+        print(f"submitted : {job_id} ({circuit.name}, {args.inputs} "
+              f"input(s), priority {args.priority})")
+        amplitudes = client.result(job_id)
+        job = client.service.job(job_id)
+        norm = float(abs(amplitudes[:, 0] ** 2).sum())
+        print(f"status    : {job.status.value} "
+              f"(group {job.group_key[:12]}, attempts {job.attempts})")
+        print(f"result    : {amplitudes.shape[1]} output state(s), "
+              f"first column norm {norm:.6f}")
+        if args.stats_json:
+            import json
+
+            from .obs.export import service_job_stats_record
+
+            record = service_job_stats_record(job, client.service)
+            with open(args.stats_json, "w", encoding="utf-8") as fh:
+                json.dump(record, fh, indent=2)
+                fh.write("\n")
+            print(f"stats     : wrote {args.stats_json}")
+    finally:
+        client.close()
     return 0
 
 
@@ -353,6 +375,10 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--jobs", type=int, default=24,
                    help="jobs to submit (mixed priorities and sizes)")
     p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--parallelism", default="none",
+                   choices=["none", "process"],
+                   help="'process' executes mega-batches concurrently on "
+                        "--workers OS processes sharing one plan cache")
     p.add_argument("--max-depth", type=int, default=16,
                    help="admission queue depth bound (backpressure)")
     p.add_argument("--max-inputs", type=int, default=16,
@@ -379,6 +405,12 @@ def main(argv: list[str] | None = None) -> int:
                    help="input states in the job's batch")
     p.add_argument("--priority", type=int, default=0)
     p.add_argument("--faults", default=None, metavar="PLAN")
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--parallelism", default="none",
+                   choices=["none", "process"])
+    p.add_argument("--stats-json", default=None, metavar="PATH",
+                   help="write job + service stats as JSON (same schema "
+                        "as 'repro simulate --stats-json')")
     p.set_defaults(fn=cmd_submit)
 
     p = sub.add_parser(

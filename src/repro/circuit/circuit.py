@@ -19,7 +19,16 @@ from .gates import Gate
 
 @dataclass
 class Circuit:
-    """An ordered sequence of gates on a fixed-width qubit register."""
+    """An ordered sequence of gates on a fixed-width qubit register.
+
+    The IR every stage consumes: build it with the fluent gate helpers,
+    a generator family (:func:`~repro.circuit.generators.make_circuit`),
+    or the OpenQASM 2 parser.  Qubit 0 is the least-significant
+    state-index bit (Qiskit convention).  Example::
+
+        circuit = Circuit(2).h(0).cx(0, 1)     # Bell pair
+        assert len(circuit) == 2 and circuit.depth() == 2
+    """
 
     num_qubits: int
     gates: list[Gate] = field(default_factory=list)

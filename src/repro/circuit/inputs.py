@@ -18,7 +18,16 @@ from ..errors import SimulationError
 
 @dataclass(frozen=True)
 class InputBatch:
-    """A batch of state vectors stored column-wise."""
+    """A batch of state vectors stored column-wise.
+
+    The operand layout every kernel consumes: a ``(2**n, batch)``
+    complex128 block whose column ``j`` is input state ``j`` — so a
+    batched gate application is one matrix-matrix product, which is the
+    whole point of BQCS.  Example::
+
+        batch = zero_state_batch(num_qubits=3, batch_size=4)
+        assert batch.states.shape == (8, 4) and batch.num_qubits == 3
+    """
 
     states: np.ndarray  # complex128, shape (2**n, batch)
 
@@ -117,7 +126,16 @@ def generate_batches(
     batch_size: int,
     seed: int = 0,
 ) -> Iterator[InputBatch]:
-    """Deterministic stream of random input batches (the paper's 200 x 256)."""
+    """Deterministic stream of random input batches (the paper's 200 x 256).
+
+    Yields ``num_batches`` normalized Haar-ish random
+    :class:`InputBatch` blocks of ``batch_size`` columns, reproducible
+    from ``seed`` — the same stream a :class:`~repro.sim.BatchSpec` with
+    equal numbers describes.  Example::
+
+        batches = list(generate_batches(3, num_batches=2, batch_size=5))
+        assert [b.states.shape for b in batches] == [(8, 5), (8, 5)]
+    """
     rng = np.random.default_rng(seed)
     for _ in range(num_batches):
         yield random_batch(num_qubits, batch_size, rng)

@@ -220,7 +220,20 @@ def _expand_gate_def(
 
 
 def parse_qasm(text: str, name: str = "qasm") -> Circuit:
-    """Parse OpenQASM 2.0 source text into a :class:`Circuit`."""
+    """Parse OpenQASM 2.0 source text into a :class:`Circuit`.
+
+    Supports the standard-library gates, custom ``gate`` definitions
+    (macro-expanded with symbolic parameters), and multiple quantum
+    registers (flattened in declaration order); ``barrier``, ``measure``
+    and ``reset`` are ignored, and malformed statements raise a
+    :class:`QasmError` that carries the offending line.  Example::
+
+        circuit = parse_qasm(
+            'OPENQASM 2.0; include "qelib1.inc"; '
+            "qreg q[2]; h q[0]; cx q[0], q[1];"
+        )
+        assert circuit.num_qubits == 2 and len(circuit) == 2
+    """
     text = _TOKEN_COMMENT.sub("", text)
     text, gate_defs = _extract_gate_defs(text)
     statements: list[tuple[int, str]] = []
@@ -308,7 +321,15 @@ def parse_qasm(text: str, name: str = "qasm") -> Circuit:
 
 
 def load_qasm(path: str) -> Circuit:
-    """Read a ``.qasm`` file from disk."""
+    """Read a ``.qasm`` file from disk.
+
+    Convenience wrapper over :func:`parse_qasm`: reads the file as
+    UTF-8 and records its path as the circuit name, so errors and bench
+    reports identify the source file.  Example::
+
+        circuit = load_qasm("circuits/ghz4.qasm")
+        assert circuit.name.endswith("ghz4.qasm")
+    """
     with open(path, "r", encoding="utf-8") as fh:
         return parse_qasm(fh.read(), name=path)
 

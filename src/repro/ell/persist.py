@@ -18,6 +18,7 @@ Two formats are supported:
 from __future__ import annotations
 
 import hashlib
+import os
 import zipfile
 import zlib
 from contextlib import contextmanager
@@ -283,7 +284,9 @@ def save_compiled_plan(plan: CompiledPlan, path: str | Path) -> Path:
             payload[f"values_{i}"] = matrix.values
             payload[f"cols_{i}"] = matrix.cols
     final = path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
-    tmp = final.with_name(final.name + ".tmp.npz")
+    # pid-unique scratch name: concurrent writers (pool workers racing on
+    # one shared cache dir) must never interleave bytes in one temp file
+    tmp = final.with_name(f"{final.name}.tmp{os.getpid()}.npz")
     np.savez_compressed(tmp, **payload)
     tmp.replace(final)
     return final

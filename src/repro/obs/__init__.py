@@ -67,21 +67,21 @@ def canonical_breakdown(breakdown: dict) -> dict:
 
 
 __all__ = [
-    "CANONICAL_STAGES",
-    "Metrics",
-    "Span",
-    "Tracer",
     "canonical_breakdown",
+    "CANONICAL_STAGES",
     "chrome_trace",
     "get_metrics",
     "get_tracer",
+    "Metrics",
     "metrics_record",
     "set_metrics",
     "set_tracer",
     "simulation_stats_record",
+    "Span",
     "spans_to_events",
     "timeline_to_events",
     "trace_track_names",
+    "Tracer",
     "tracing",
     "validate_chrome_trace",
     "write_chrome_trace",

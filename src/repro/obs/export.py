@@ -255,6 +255,52 @@ def simulation_stats_record(result) -> dict:
     )
 
 
+def service_job_stats_record(job, service) -> dict:
+    """One JSON document for a serviced job (``repro submit --stats-json``).
+
+    Schema-aligned with :func:`simulation_stats_record` so scripts can
+    consume ``repro simulate`` and ``repro submit`` output uniformly: the
+    same top-level keys (``simulator``, ``circuit``, ``spec``,
+    ``modeled_time_s``, ``stats`` …) with ``stats.plan_cache`` always
+    present.  Service-only detail lands under ``stats.service`` (the
+    :meth:`~repro.service.workers.BatchSimulationService.stats` summary)
+    and ``stats.job`` (per-job lifecycle).
+    """
+    svc = service.stats()
+    executed = job.result is not None
+    return _json_safe(
+        {
+            "simulator": "service",
+            "circuit": job.circuit.name,
+            "num_qubits": job.num_qubits,
+            "spec": {
+                "num_batches": 1,
+                "batch_size": job.num_inputs,
+                "seed": 0,
+                "num_inputs": job.num_inputs,
+            },
+            "modeled_time_s": svc["modeled_time_s"],
+            "wall_time_s": svc["wall_time_s"],
+            "breakdown": {},
+            "executed": executed,
+            "num_output_batches": 1 if executed else 0,
+            "stats": {
+                "plan_cache": svc["plan_cache"],
+                "service": svc,
+                "job": {
+                    "job_id": job.job_id,
+                    "status": job.status.value,
+                    "group_key": job.group_key,
+                    "attempts": job.attempts,
+                    "solo_retry": job.solo_retry,
+                    "priority": job.priority,
+                    "error": job.error,
+                },
+            },
+        }
+    )
+
+
 def write_metrics_jsonl(path: str | Path, records: Iterable[dict]) -> Path:
     """Write records as one JSON object per line; returns the path."""
     path = Path(path)

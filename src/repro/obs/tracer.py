@@ -167,6 +167,45 @@ class Tracer:
         with self._lock:
             self._spans.clear()
 
+    # -- cross-process merge -------------------------------------------------
+
+    def absorb(
+        self,
+        span_dicts: list[dict],
+        thread: str | None = None,
+        offset: float = 0.0,
+    ) -> list[Span]:
+        """Re-record spans serialized in another process (no-op when
+        disabled).
+
+        The service's process worker pool traces each task inside the
+        worker, ships the spans back as :meth:`Span.to_dict` records, and
+        the parent absorbs them here so one exported trace shows every
+        worker.  Span ids are remapped into this tracer's id space
+        (parent/child links preserved), ``thread`` relabels the track
+        (e.g. ``pool-worker-3`` — one Perfetto track per worker), and
+        ``offset`` shifts the foreign epoch onto this tracer's timeline
+        (pass the dispatch timestamp relative to this tracer's epoch).
+        """
+        if not self.enabled or not span_dicts:
+            return []
+        remap = {d["span_id"]: next(self._ids) for d in span_dicts}
+        absorbed = [
+            Span(
+                name=d["name"],
+                span_id=remap[d["span_id"]],
+                parent_id=remap.get(d["parent_id"]),
+                thread=thread or d["thread"],
+                start=d["start_s"] + offset,
+                end=d["end_s"] + offset,
+                attrs=dict(d["attrs"]),
+            )
+            for d in span_dicts
+        ]
+        with self._lock:
+            self._spans.extend(absorbed)
+        return absorbed
+
 
 # ---------------------------------------------------------------------------
 # process-global default tracer

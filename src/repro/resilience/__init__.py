@@ -42,26 +42,26 @@ from .health import HEALTH_MODES, HealthPolicy, check_state_block
 from .retry import RetryPolicy, RetrySession
 
 __all__ = [
+    "apply_with_recovery",
     "BACKEND_CHAIN",
     "BackendLadder",
+    "check_state_block",
     "Checkpoint",
     "CheckpointManager",
-    "FAULTS_ENV",
+    "fault_injection",
     "FAULT_SITES",
     "FaultInjector",
     "FaultPlan",
+    "FAULTS_ENV",
     "FaultSpec",
+    "get_fault_injector",
+    "get_resilience_log",
     "HEALTH_MODES",
     "HealthPolicy",
+    "load_checkpoint",
     "ResilienceLog",
     "RetryPolicy",
     "RetrySession",
-    "apply_with_recovery",
-    "check_state_block",
-    "fault_injection",
-    "get_fault_injector",
-    "get_resilience_log",
-    "load_checkpoint",
     "save_checkpoint",
     "set_fault_plan",
 ]

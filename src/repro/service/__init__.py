@@ -22,6 +22,10 @@ Five parts, one per module:
 * :mod:`repro.service.workers` — the worker pool (one simulator + plan
   cache per worker) and the service orchestrator, with per-mega-batch
   resilience and per-job-isolation degradation;
+* :mod:`repro.service.pool` — the spawn-safe process worker pool behind
+  ``parallelism="process"``: N OS processes executing mega-batches
+  concurrently, shared-memory state shipping, one shared on-disk plan
+  cache with compile-once file locking;
 * :mod:`repro.service.client` — the synchronous submit/result API and
   the scripted saturation workload behind ``repro serve``.
 """
@@ -29,6 +33,7 @@ Five parts, one per module:
 from .coalesce import CoalescedGroup, Coalescer, column_budget
 from .client import ServiceClient, saturation_workload
 from .jobs import Job, JobStatus, TERMINAL_STATES, make_job
+from .pool import DEFAULT_SHM_THRESHOLD, ProcessWorkerPool
 from .queue import DEFAULT_MAX_DEPTH, JobQueue
 from .scheduler import FairScheduler, SchedulerPolicy
 from .workers import BatchSimulationService, Worker
@@ -39,11 +44,13 @@ __all__ = [
     "Coalescer",
     "column_budget",
     "DEFAULT_MAX_DEPTH",
+    "DEFAULT_SHM_THRESHOLD",
     "FairScheduler",
     "Job",
     "JobQueue",
     "JobStatus",
     "make_job",
+    "ProcessWorkerPool",
     "saturation_workload",
     "SchedulerPolicy",
     "ServiceClient",

@@ -27,12 +27,30 @@ from .workers import BatchSimulationService
 
 
 class ServiceClient:
-    """Blocking submit/result API over an in-process service."""
+    """Blocking submit/result API over an in-process service.
+
+    Owns a fresh :class:`BatchSimulationService` built from
+    ``service_kwargs`` (or wraps one passed in).  Typical use::
+
+        with ServiceClient(num_workers=2) as client:
+            job_id = client.submit(make_circuit("qft", 5), num_inputs=8)
+            amplitudes = client.result(job_id)  # (32, 8) complex matrix
+    """
 
     def __init__(
         self, service: BatchSimulationService | None = None, **service_kwargs
     ) -> None:
         self.service = service or BatchSimulationService(**service_kwargs)
+
+    def close(self) -> None:
+        """Release the service's execution resources (process pool)."""
+        self.service.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def submit(
         self,
@@ -111,6 +129,13 @@ def saturation_workload(
     dispatch round between bursts so submission races execution.  Rejected
     jobs (backpressure) drain one round and retry once; a second rejection
     sheds the job.  Returns the service stats plus workload accounting.
+    This is the load the CLI (``repro serve``) and the CI smoke job run.
+    Example::
+
+        service = BatchSimulationService(num_workers=2)
+        report = saturation_workload(service, ["qft", "ghz"], num_jobs=12)
+        workload = report["workload"]
+        assert workload["jobs_done"] + workload["jobs_shed"] <= 12
     """
     rng = np.random.default_rng(seed)
     circuits = {

@@ -44,7 +44,10 @@ def column_budget(
     Mirrors the simulator's own guard: ``NUM_BUFFERS`` buffers of the
     block must fit device memory.  At least one column is always allowed;
     a single over-wide *job* is then the simulator's (splitting/OOM)
-    problem, not the coalescer's.
+    problem, not the coalescer's.  Example::
+
+        budget = column_budget(GpuSpec(), num_qubits=10)
+        assert budget >= 1
     """
     per_column = NUM_BUFFERS * state_block_bytes(num_qubits, 1)
     return max(1, min(cap, int(gpu.memory_bytes // per_column)))
@@ -52,7 +55,16 @@ def column_budget(
 
 @dataclass(frozen=True)
 class CoalescedGroup:
-    """An ordered cohort of compatible jobs bound for one simulator run."""
+    """An ordered cohort of compatible jobs bound for one simulator run.
+
+    Every member shares one plan fingerprint, so the group executes as a
+    single mega-batch; :meth:`offsets` records each job's column span so
+    results scatter back bit-identically.  Example::
+
+        group = CoalescedGroup(key, jobs=(job_a, job_b))
+        assert group.coalesce_factor == 2
+        (job_a, 0, a_cols), (job_b, _, _) = group.offsets()
+    """
 
     key: str
     jobs: tuple[Job, ...]
@@ -89,7 +101,19 @@ class CoalescedGroup:
 
 
 class Coalescer:
-    """Groups compatible queued jobs and packs/unpacks mega-batches."""
+    """Groups compatible queued jobs and packs/unpacks mega-batches.
+
+    :meth:`build_group` collects ranked jobs matching the head-of-line
+    job's plan fingerprint (up to the device-memory column budget and
+    ``max_jobs_per_batch``); :meth:`mega_batches` packs their inputs
+    into uniform-width :class:`~repro.circuit.InputBatch` slices,
+    padding the tail with norm-1 copies of the first column;
+    :meth:`scatter` undoes the packing exactly.  Example::
+
+        coalescer = Coalescer(GpuSpec())
+        group = coalescer.build_group(head_job, ranked_jobs)
+        spec, batches, pad = coalescer.mega_batches(group)
+    """
 
     def __init__(
         self,
@@ -136,16 +160,19 @@ class Coalescer:
 
     # -- packing -------------------------------------------------------------
 
-    def mega_batches(
+    def mega_block(
         self, group: CoalescedGroup
-    ) -> tuple[BatchSpec, list[InputBatch], int]:
-        """Pack a group into uniform device batches.
+    ) -> tuple[BatchSpec, np.ndarray, int]:
+        """Pack a group into one contiguous padded column block.
 
-        Returns ``(spec, batches, pad)``: the concatenated columns of every
-        member, sliced into equal batches no wider than the column budget.
-        The final slice is padded with ``pad`` copies of the first column
-        (norm-1, so the health guard stays quiet); padding is provably
-        inert — spMM columns are independent — and dropped at scatter.
+        Returns ``(spec, mega, pad)``: the concatenated columns of every
+        member as a single ``(2**n, spec.num_inputs)`` array, padded with
+        ``pad`` copies of the first column so it splits into
+        ``spec.num_batches`` equal batches no wider than the column
+        budget.  Padding is norm-1 (the health guard stays quiet) and
+        provably inert — spMM columns are independent — and dropped at
+        scatter.  This is also the exact block the process worker pool
+        ships through shared memory.
         """
         budget = column_budget(self.gpu, group.num_qubits, self.max_columns)
         mega = np.hstack([job.batch.states for job in group.jobs])
@@ -155,13 +182,25 @@ class Coalescer:
         pad = num_batches * width - total
         if pad:
             mega = np.hstack([mega, np.repeat(mega[:, :1], pad, axis=1)])
-        batches = [
-            InputBatch(mega[:, i * width : (i + 1) * width])
-            for i in range(num_batches)
-        ]
         occupancy = total / (num_batches * width)
         get_metrics().observe("service.batch_occupancy", occupancy)
         spec = BatchSpec(num_batches=num_batches, batch_size=width, seed=0)
+        return spec, mega, pad
+
+    def mega_batches(
+        self, group: CoalescedGroup
+    ) -> tuple[BatchSpec, list[InputBatch], int]:
+        """Pack a group into uniform device batches.
+
+        :meth:`mega_block` sliced into per-batch views — the layout
+        :meth:`BQSimSimulator.run` consumes directly.
+        """
+        spec, mega, pad = self.mega_block(group)
+        width = spec.batch_size
+        batches = [
+            InputBatch(mega[:, i * width : (i + 1) * width])
+            for i in range(spec.num_batches)
+        ]
         return spec, batches, pad
 
     # -- unpacking -----------------------------------------------------------

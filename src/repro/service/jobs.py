@@ -35,7 +35,16 @@ from ..errors import ServiceError
 
 
 class JobStatus(str, Enum):
-    """Lifecycle states of a service job."""
+    """Lifecycle states of a service job.
+
+    String-valued so statuses serialize naturally into stats JSON and
+    queue-metrics records.  Legal transitions are enforced by
+    :meth:`Job.transition`; ``DONE``/``FAILED``/``CANCELLED`` are
+    terminal (see :data:`TERMINAL_STATES`).  Example::
+
+        assert JobStatus.DONE.value == "done"
+        assert JobStatus.DONE in TERMINAL_STATES
+    """
 
     PENDING = "pending"
     QUEUED = "queued"
@@ -87,7 +96,18 @@ def job_id_for(seq: int, circuit: Circuit, batch: InputBatch) -> str:
 
 @dataclass
 class Job:
-    """One submitted simulation request and its full lifecycle record."""
+    """One submitted simulation request and its full lifecycle record.
+
+    Bundles a circuit, an input batch, and scheduling attributes
+    (priority, optional deadline) with a validated state machine: every
+    transition is checked against :class:`JobStatus` rules and appended
+    to ``history`` with a timestamp, so a finished job is its own audit
+    trail.  Example::
+
+        job = make_job(0, circuit, batch, priority=5)
+        assert job.status is JobStatus.PENDING
+        assert job.num_inputs == batch.batch_size
+    """
 
     job_id: str
     seq: int
@@ -185,7 +205,16 @@ def make_job(
     deadline: float | None = None,
     options: tuple = (),
 ) -> Job:
-    """Construct a PENDING job with a durable content-addressed id."""
+    """Construct a PENDING job with a durable content-addressed id.
+
+    The id is ``job-<seq>-<sha256(circuit fingerprint ‖ batch
+    bytes)[:12]>`` — ``seq`` orders jobs within a service, the digest
+    identifies their content across processes.  Validates that the batch
+    width matches the circuit before accepting.  Example::
+
+        job = make_job(0, make_circuit("ghz", 3), zero_state_batch(3, 4))
+        assert job.job_id.startswith("job-0-")
+    """
     if batch.num_qubits != circuit.num_qubits:
         raise ServiceError(
             f"input batch is {batch.num_qubits}-qubit but circuit "

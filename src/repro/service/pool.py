@@ -1,0 +1,562 @@
+"""Process-parallel execution pool for the batch simulation service.
+
+The serving layer's coalescer removes per-gate overhead by merging jobs
+into mega-batches, but PR 4 still executed every mega-batch serially on
+one Python interpreter — the GIL caps throughput at one core no matter
+how many :class:`~repro.service.workers.Worker` objects exist.  This
+module adds the missing axis: a :class:`ProcessWorkerPool` of **N OS
+processes** (stdlib :mod:`multiprocessing`, spawn-safe) that each own a
+full :class:`~repro.sim.bqsim.BQSimSimulator` and execute whole
+mega-batches concurrently.
+
+Three properties carry over from the serial path by construction:
+
+* **bit-identical results** — a worker runs the exact padded mega-block
+  the serial path would have run, through the same simulator code; spMM
+  computes each output column from its input column alone, so process
+  placement cannot change a single bit (property-tested in
+  ``tests/test_service_pool.py``);
+* **degradation stays local** — when a mega-batch raises
+  :class:`~repro.errors.ReproError` inside a worker, that worker re-runs
+  every member job alone (per-job isolation) before reporting, exactly
+  like the serial service's ``_degrade``;
+* **compile-once plans** — every worker points at one shared on-disk
+  :class:`~repro.sim.base.PlanCache` tier; first-build races are settled
+  by the cache's ``flock``-based :meth:`~repro.sim.base.PlanCache.build_lock`,
+  so each plan fingerprint is fused and converted exactly once fleet-wide
+  and the losers load the winner's archive.
+
+State vectors cross the process boundary via
+:mod:`multiprocessing.shared_memory` once they exceed
+:data:`DEFAULT_SHM_THRESHOLD` bytes (below it, pickling through the task
+queue is cheaper than two segment syscalls).  The parent creates *both*
+the input and the output segment and unlinks them when the result lands,
+so segment lifetime never depends on worker exit order.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import os
+import shutil
+import tempfile
+import time
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..circuit import InputBatch
+from ..errors import ReproError, ServiceError
+from ..obs import get_metrics, get_tracer
+from ..obs.tracer import Tracer, set_tracer
+from ..sim.base import PLAN_CACHE_ENV, BatchSpec
+
+#: arrays at or above this many bytes ship via ``shared_memory``; smaller
+#: ones are pickled inline through the task queue (two segment syscalls
+#: plus a mmap cost more than copying a few KiB through a pipe)
+DEFAULT_SHM_THRESHOLD = 1 << 16
+
+#: seconds a blocking :meth:`ProcessWorkerPool.poll` waits between
+#: worker-liveness checks
+_POLL_TICK_S = 0.25
+
+#: seconds :meth:`ProcessWorkerPool.close` waits for a worker to exit
+#: before terminating it
+_JOIN_TIMEOUT_S = 5.0
+
+
+def _receive_array(desc) -> np.ndarray:
+    """Materialize an array descriptor produced by ``_ship_array``.
+
+    Workers only ever *attach* (``create=False``), which registers
+    nothing with the resource tracker — segment lifetime and tracker
+    bookkeeping belong solely to the creating parent, which unlinks
+    after collecting the result.
+    """
+    kind = desc[0]
+    if kind == "inline":
+        return desc[1]
+    _, name, shape, dtype = desc
+    seg = shared_memory.SharedMemory(name=name)
+    try:
+        return np.ndarray(shape, dtype=np.dtype(dtype), buffer=seg.buf).copy()
+    finally:
+        seg.close()
+
+
+def _run_task(sim, wid: int, task: dict) -> dict:
+    """Execute one dispatched mega-batch inside a worker process.
+
+    Returns a picklable result record.  Mirrors the serial service's
+    execute-then-degrade contract: a :class:`ReproError` from the group
+    run triggers per-job solo re-runs *inside this worker*; any other
+    exception fails every member (the worker itself must survive to take
+    the next task).
+    """
+    wall0 = time.perf_counter()
+    tracer = Tracer(enabled=True) if task["trace"] else None
+    previous = set_tracer(tracer) if tracer is not None else None
+    mega = _receive_array(task["inputs"])
+    spec = BatchSpec(*task["spec"])
+    total = task["total_columns"]
+    job_columns = task["job_columns"]
+    width = spec.batch_size
+    batches = [
+        InputBatch(mega[:, i * width : (i + 1) * width])
+        for i in range(spec.num_batches)
+    ]
+    merged = None
+    per_job: list[dict] = []
+    degraded = False
+    cause = None
+    modeled = 0.0
+    plan_source = ""
+    solo_runs = 0
+    try:
+        try:
+            result = sim.run(
+                task["circuit"], spec, batches=batches, execute=True
+            )
+        except ReproError as exc:
+            degraded = True
+            cause = str(exc)
+            merged = np.zeros((mega.shape[0], total), dtype=np.complex128)
+            offset = 0
+            for cols in job_columns:
+                solo_batch = InputBatch(mega[:, offset : offset + cols])
+                try:
+                    solo = sim.run(
+                        task["circuit"],
+                        BatchSpec(num_batches=1, batch_size=cols, seed=0),
+                        batches=[solo_batch],
+                        execute=True,
+                    )
+                except ReproError as solo_exc:
+                    per_job.append({"ok": False, "error": str(solo_exc)})
+                else:
+                    merged[:, offset : offset + cols] = solo.outputs[0]
+                    modeled += solo.modeled_time
+                    solo_runs += 1
+                    per_job.append({"ok": True, "error": None})
+                offset += cols
+        else:
+            out = (
+                result.outputs[0]
+                if len(result.outputs) == 1
+                else np.hstack(result.outputs)
+            )
+            merged = np.ascontiguousarray(out[:, :total])
+            modeled = result.modeled_time
+            plan_source = result.stats.get("plan_source", "")
+            per_job = [{"ok": True, "error": None} for _ in job_columns]
+    except BaseException as exc:  # noqa: BLE001 - worker must not die
+        degraded = True
+        cause = f"{type(exc).__name__}: {exc}"
+        merged = None
+        per_job = [{"ok": False, "error": cause} for _ in job_columns]
+    finally:
+        if previous is not None:
+            set_tracer(previous)
+
+    outputs = None
+    if merged is not None:
+        if task["out_shm"] is not None:
+            name, shape = task["out_shm"]
+            seg = shared_memory.SharedMemory(name=name)
+            try:
+                view = np.ndarray(
+                    shape, dtype=np.complex128, buffer=seg.buf
+                )
+                view[:] = merged
+            finally:
+                seg.close()
+            outputs = ("shm",)
+        else:
+            outputs = ("inline", merged)
+    return {
+        "task_id": task["task_id"],
+        "wid": wid,
+        "degraded": degraded,
+        "cause": cause,
+        "per_job": per_job,
+        "outputs": outputs,
+        "modeled_s": modeled,
+        "plan_source": plan_source,
+        "solo_runs": solo_runs,
+        "plan_cache": sim._plans.stats_dict(),
+        "spans": (
+            [span.to_dict() for span in tracer.spans()] if tracer else []
+        ),
+        "wall_s": time.perf_counter() - wall0,
+    }
+
+
+def _worker_main(wid: int, task_q, result_q, simulator_kwargs: dict) -> None:
+    """Entry point of one pool worker process (module-level: spawn pickles
+    it by qualified name)."""
+    from ..sim.bqsim import BQSimSimulator
+
+    sim = BQSimSimulator(**simulator_kwargs)
+    while True:
+        task = task_q.get()
+        if task is None:
+            break
+        result_q.put(_run_task(sim, wid, task))
+
+
+class ProcessWorkerPool:
+    """N spawn-safe worker processes executing mega-batches concurrently.
+
+    The pool is deliberately dumb: it knows nothing about jobs, queues,
+    or scheduling — :meth:`submit` takes one packed mega-block and hands
+    it to an idle worker, :meth:`poll` collects finished results.  The
+    :class:`~repro.service.workers.BatchSimulationService` drives it in
+    ``parallelism="process"`` mode and keeps all policy (fairness,
+    coalescing, accounting) in the parent.
+
+    Example — two workers sharing one on-disk plan cache::
+
+        pool = ProcessWorkerPool(num_workers=2, cache_dir="/tmp/plans")
+        tid, wid = pool.submit(circuit, spec, mega, total, [total])
+        (result,) = pool.poll(block=True)
+        pool.close()
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        simulator_kwargs: dict | None = None,
+        cache_dir: str | None = None,
+        shm_threshold: int = DEFAULT_SHM_THRESHOLD,
+    ) -> None:
+        if num_workers < 1:
+            raise ServiceError("process pool needs at least one worker")
+        self.num_workers = num_workers
+        self.shm_threshold = shm_threshold
+        kwargs = dict(simulator_kwargs or {})
+        #: the shared disk tier every worker compiles into; precedence:
+        #: explicit argument > simulator kwargs > $REPRO_PLAN_CACHE > a
+        #: pool-owned temp dir removed at close()
+        self._owns_cache_dir = False
+        resolved = (
+            cache_dir
+            or kwargs.get("cache_dir")
+            or os.environ.get(PLAN_CACHE_ENV)
+        )
+        if not resolved:
+            resolved = tempfile.mkdtemp(prefix="repro-pool-plans-")
+            self._owns_cache_dir = True
+        kwargs["cache_dir"] = str(resolved)
+        self.cache_dir = str(resolved)
+        self.simulator_kwargs = kwargs
+        self._ctx = mp.get_context("spawn")
+        self._procs: dict[int, mp.process.BaseProcess] = {}
+        self._task_qs: dict[int, object] = {}
+        self._result_q = None
+        self._idle: set[int] = set()
+        self._pending: dict[int, dict] = {}
+        self._task_ids = itertools.count(1)
+        self._started = False
+        self._closed = False
+        #: transport + throughput counters (also mirrored to metrics)
+        self.dispatched = 0
+        self.completed = 0
+        self.shm_tasks = 0
+        self.pickle_tasks = 0
+        self.shm_bytes = 0
+        #: last plan-cache snapshot and per-worker tallies, by wid
+        self._plan_cache: dict[int, dict] = {}
+        self._worker_stats: dict[int, dict] = {
+            wid: {"wid": wid, "megabatches": 0, "solo_runs": 0, "jobs_done": 0}
+            for wid in range(num_workers)
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the worker processes (idempotent; ``submit`` calls it)."""
+        if self._started:
+            return
+        if self._closed:
+            raise ServiceError("pool is closed")
+        self._result_q = self._ctx.Queue()
+        for wid in range(self.num_workers):
+            task_q = self._ctx.Queue()
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(wid, task_q, self._result_q, self.simulator_kwargs),
+                name=f"repro-pool-{wid}",
+                daemon=True,
+            )
+            proc.start()
+            self._task_qs[wid] = task_q
+            self._procs[wid] = proc
+            self._idle.add(wid)
+        self._started = True
+        get_metrics().gauge("service.pool.workers", self.num_workers)
+
+    def close(self) -> None:
+        """Stop every worker and release all pool-owned resources."""
+        if self._closed:
+            return
+        self._closed = True
+        for wid, task_q in self._task_qs.items():
+            try:
+                task_q.put(None)
+            except Exception:
+                pass
+        for proc in self._procs.values():
+            proc.join(timeout=_JOIN_TIMEOUT_S)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for pending in self._pending.values():
+            self._release_segments(pending)
+        self._pending.clear()
+        if self._result_q is not None:
+            self._result_q.close()
+        for task_q in self._task_qs.values():
+            task_q.close()
+        if self._owns_cache_dir:
+            shutil.rmtree(self.cache_dir, ignore_errors=True)
+
+    def __enter__(self) -> "ProcessWorkerPool":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def idle_workers(self) -> int:
+        """Workers currently without a dispatched task."""
+        if not self._started:
+            return self.num_workers
+        return len(self._idle)
+
+    @property
+    def inflight(self) -> int:
+        """Tasks dispatched but not yet collected by :meth:`poll`."""
+        return len(self._pending)
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _ship_array(self, array: np.ndarray, handles: list):
+        """Descriptor for ``array``: a parent-owned shm segment when it
+        clears the threshold, the pickled array itself otherwise."""
+        if array.nbytes >= self.shm_threshold:
+            seg = shared_memory.SharedMemory(create=True, size=array.nbytes)
+            np.ndarray(array.shape, dtype=array.dtype, buffer=seg.buf)[:] = (
+                array
+            )
+            handles.append(seg)
+            self.shm_tasks += 1
+            self.shm_bytes += array.nbytes
+            get_metrics().inc("service.pool.shm_tasks")
+            get_metrics().inc("service.pool.shm_bytes", array.nbytes)
+            return ("shm", seg.name, array.shape, array.dtype.str)
+        self.pickle_tasks += 1
+        get_metrics().inc("service.pool.pickle_tasks")
+        return ("inline", array)
+
+    def submit(
+        self,
+        circuit,
+        spec: BatchSpec,
+        mega: np.ndarray,
+        total_columns: int,
+        job_columns: list[int],
+        trace: bool | None = None,
+    ) -> tuple[int, int]:
+        """Dispatch one packed mega-block to an idle worker.
+
+        ``mega`` is the padded ``(2**n, spec.num_inputs)`` block the serial
+        path would execute; ``job_columns`` are the unpadded per-job column
+        counts (summing to ``total_columns``).  Returns ``(task_id, wid)``.
+        Raises :class:`ServiceError` when no worker is idle — callers poll
+        first.
+        """
+        self.start()
+        if not self._idle:
+            raise ServiceError("no idle pool worker (poll for results first)")
+        if trace is None:
+            trace = get_tracer().enabled
+        wid = min(self._idle)
+        self._idle.discard(wid)
+        task_id = next(self._task_ids)
+        handles: list[shared_memory.SharedMemory] = []
+        inputs = self._ship_array(mega, handles)
+        out_bytes = mega.shape[0] * total_columns * 16
+        out_shm = None
+        out_seg = None
+        if out_bytes >= self.shm_threshold:
+            out_seg = shared_memory.SharedMemory(create=True, size=out_bytes)
+            handles.append(out_seg)
+            out_shm = (out_seg.name, (mega.shape[0], total_columns))
+            self.shm_bytes += out_bytes
+            get_metrics().inc("service.pool.shm_bytes", out_bytes)
+        task = {
+            "task_id": task_id,
+            "circuit": circuit,
+            "spec": (spec.num_batches, spec.batch_size, spec.seed),
+            "inputs": inputs,
+            "out_shm": out_shm,
+            "total_columns": total_columns,
+            "job_columns": list(job_columns),
+            "trace": bool(trace),
+        }
+        self._pending[task_id] = {
+            "wid": wid,
+            "handles": handles,
+            "out_seg": out_seg,
+            "out_shape": (mega.shape[0], total_columns),
+            "dispatched_at": time.perf_counter() - get_tracer().epoch,
+        }
+        self._task_qs[wid].put(task)
+        self.dispatched += 1
+        get_metrics().inc("service.pool.dispatched")
+        get_metrics().gauge("service.pool.inflight", self.inflight)
+        return task_id, wid
+
+    # -- collection ----------------------------------------------------------
+
+    def _release_segments(self, pending: dict) -> None:
+        for seg in pending["handles"]:
+            try:
+                seg.close()
+                seg.unlink()
+            except Exception:  # pragma: no cover - already gone
+                pass
+
+    def _finalize(self, raw: dict) -> dict:
+        pending = self._pending.pop(raw["task_id"])
+        wid = pending["wid"]
+        self._idle.add(wid)
+        outputs = None
+        if raw["outputs"] is not None:
+            if raw["outputs"][0] == "shm":
+                seg = pending["out_seg"]
+                outputs = np.ndarray(
+                    pending["out_shape"], dtype=np.complex128, buffer=seg.buf
+                ).copy()
+            else:
+                outputs = raw["outputs"][1]
+        self._release_segments(pending)
+        self.completed += 1
+        stats = self._worker_stats[wid]
+        stats["megabatches"] += 1
+        stats["solo_runs"] += raw["solo_runs"]
+        stats["jobs_done"] += sum(
+            1 for pj in raw["per_job"] or [] if pj["ok"]
+        )
+        self._plan_cache[wid] = raw["plan_cache"]
+        metrics = get_metrics()
+        metrics.inc("service.pool.completed")
+        metrics.observe("service.pool.task_wall_s", raw["wall_s"])
+        metrics.gauge("service.pool.inflight", self.inflight)
+        if raw["spans"]:
+            get_tracer().absorb(
+                raw["spans"],
+                thread=f"pool-worker-{wid}",
+                offset=pending["dispatched_at"],
+            )
+        raw["outputs"] = outputs
+        return raw
+
+    def poll(self, block: bool = False, timeout: float = 60.0) -> list[dict]:
+        """Collect finished task results (empty list when none are ready).
+
+        ``block=True`` waits up to ``timeout`` seconds for at least one
+        result while there is anything in flight, failing any task whose
+        worker died rather than hanging forever.
+        """
+        import queue as _queue
+
+        results = []
+        if self._result_q is None:
+            return results
+        while True:
+            try:
+                results.append(self._finalize(self._result_q.get_nowait()))
+            except _queue.Empty:
+                break
+        if results or not block or not self._pending:
+            return results
+        deadline = time.monotonic() + timeout
+        while not results:
+            try:
+                results.append(
+                    self._finalize(self._result_q.get(timeout=_POLL_TICK_S))
+                )
+            except _queue.Empty:
+                dead = [
+                    tid
+                    for tid, pending in self._pending.items()
+                    if not self._procs[pending["wid"]].is_alive()
+                ]
+                for tid in dead:
+                    results.append(self._fail_dead_worker(tid))
+                if results:
+                    break
+                if time.monotonic() > deadline:
+                    raise ServiceError(
+                        f"pool poll timed out after {timeout}s with "
+                        f"{self.inflight} task(s) in flight"
+                    )
+        return results
+
+    def _fail_dead_worker(self, task_id: int) -> dict:
+        """Synthesize a failure result for a task whose worker crashed."""
+        pending = self._pending[task_id]
+        wid = pending["wid"]
+        get_metrics().inc("service.pool.worker_deaths")
+        raw = {
+            "task_id": task_id,
+            "wid": wid,
+            "degraded": True,
+            "cause": f"pool worker {wid} died",
+            "per_job": None,  # caller fails every member
+            "outputs": None,
+            "modeled_s": 0.0,
+            "plan_source": "",
+            "solo_runs": 0,
+            "plan_cache": self._plan_cache.get(
+                wid, {"hits": 0, "disk_hits": 0, "misses": 0, "quarantined": 0}
+            ),
+            "spans": [],
+            "wall_s": 0.0,
+        }
+        finalized = self._finalize(raw)
+        # a dead worker is not idle: it can never take another task
+        self._idle.discard(wid)
+        return finalized
+
+    # -- reporting -----------------------------------------------------------
+
+    def worker_summaries(self) -> list[dict]:
+        """Per-worker tallies shaped like the serial service's entries."""
+        return [self._worker_stats[wid] for wid in sorted(self._worker_stats)]
+
+    def plan_cache_totals(self) -> dict[str, int]:
+        """Fleet-wide plan-cache counters (sum of last per-worker
+        snapshots)."""
+        keys = ("hits", "disk_hits", "misses", "quarantined")
+        return {
+            key: sum(snap.get(key, 0) for snap in self._plan_cache.values())
+            for key in keys
+        }
+
+    def stats(self) -> dict:
+        """JSON-safe pool summary for ``service.stats()["pool"]``."""
+        return {
+            "workers": self.num_workers,
+            "idle": self.idle_workers,
+            "inflight": self.inflight,
+            "dispatched": self.dispatched,
+            "completed": self.completed,
+            "shm_tasks": self.shm_tasks,
+            "pickle_tasks": self.pickle_tasks,
+            "shm_bytes": self.shm_bytes,
+            "cache_dir": self.cache_dir,
+        }

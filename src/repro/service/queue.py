@@ -24,7 +24,18 @@ DEFAULT_MAX_DEPTH = 256
 
 
 class JobQueue:
-    """FIFO store of admitted-but-unscheduled jobs with bounded depth."""
+    """FIFO store of admitted-but-unscheduled jobs with bounded depth.
+
+    ``admit()`` raises a typed :class:`~repro.errors.AdmissionError`
+    (carrying ``depth``/``max_depth``) once ``max_depth`` jobs wait, so
+    submitters get backpressure instead of unbounded latency; requeued
+    jobs keep their original submission time, preserving aging credit.
+    Example::
+
+        queue = JobQueue(max_depth=2)
+        queue.admit(job)                  # OK
+        assert queue.depth() == 1
+    """
 
     def __init__(
         self,

@@ -31,7 +31,17 @@ from .jobs import Job
 
 @dataclass(frozen=True)
 class SchedulerPolicy:
-    """Tunable fairness knobs (defaults favor throughput, bounded wait)."""
+    """Tunable fairness knobs (defaults favor throughput, bounded wait).
+
+    ``aging_rate`` is the effective-priority points a job earns per
+    second of queue wait (any positive value guarantees
+    starvation-freedom); ``urgent_window`` is how close a deadline must
+    be before the job jumps to the bounded earliest-deadline-first lane.
+    Example::
+
+        policy = SchedulerPolicy(aging_rate=2.0, urgent_window=10.0)
+        service = BatchSimulationService(policy=policy)
+    """
 
     #: effective-priority points granted per second of queue wait; must be
     #: positive — zero would reintroduce starvation under sustained
@@ -51,7 +61,17 @@ class SchedulerPolicy:
 
 
 class FairScheduler:
-    """Orders queued jobs by (urgency, effective priority, seniority)."""
+    """Orders queued jobs by (urgency, effective priority, seniority).
+
+    Effective priority is ``priority + aging_rate × wait_seconds``, so a
+    priority-0 job eventually outranks any stream of high-priority
+    arrivals; deadline-urgent jobs preempt via a bounded EDF lane; ties
+    break on submission sequence, making the schedule a deterministic
+    function of (submissions, clock).  Example::
+
+        scheduler = FairScheduler(SchedulerPolicy(aging_rate=1.0))
+        ranked = scheduler.select(queue.jobs(), now=time.monotonic())
+    """
 
     def __init__(self, policy: SchedulerPolicy | None = None) -> None:
         self.policy = policy or SchedulerPolicy()

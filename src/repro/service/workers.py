@@ -43,12 +43,23 @@ from ..sim.base import BatchSpec
 from ..sim.bqsim import BQSimSimulator
 from .coalesce import DEFAULT_MAX_COLUMNS, CoalescedGroup, Coalescer
 from .jobs import Job, JobStatus, make_job
+from .pool import DEFAULT_SHM_THRESHOLD, ProcessWorkerPool
 from .queue import DEFAULT_MAX_DEPTH, JobQueue
 from .scheduler import FairScheduler, SchedulerPolicy
 
 
 class Worker:
-    """One executor: a dedicated simulator plus its plan cache."""
+    """One executor: a dedicated simulator plus its plan cache.
+
+    The serial (``parallelism="none"``) execution unit: it runs
+    mega-batches inline through its own :class:`BQSimSimulator` and
+    tallies per-worker accounting (mega-batches run, solo-isolation
+    retries, jobs finished) that ``service.stats()["workers"]``
+    surfaces.  Example::
+
+        worker = Worker(0, BQSimSimulator())
+        assert worker.megabatches == 0 and worker.jobs_done == 0
+    """
 
     def __init__(self, wid: int, simulator: BQSimSimulator) -> None:
         self.wid = wid
@@ -81,6 +92,23 @@ class BatchSimulationService:
     :meth:`drain` steps until the queue is empty.  Determinism: with an
     injected ``clock`` the whole schedule is a pure function of the
     submission sequence, which is what the fairness tests rely on.
+
+    ``parallelism`` selects the execution backend:
+
+    * ``"none"`` (default) — mega-batches run serially on in-process
+      :class:`Worker` simulators, round-robin;
+    * ``"process"`` — mega-batches are dispatched to an N-process
+      :class:`~repro.service.pool.ProcessWorkerPool` whose workers share
+      one on-disk plan cache; :meth:`step` fills every idle worker, then
+      blocks for at least one completion.  Results are bit-identical to
+      serial mode for any worker count.
+
+    Example::
+
+        service = BatchSimulationService(num_workers=2)
+        job = service.submit(make_circuit("ghz", 4), num_inputs=8)
+        service.drain()
+        amplitudes = job.result  # (16, 8) complex matrix
     """
 
     def __init__(
@@ -93,16 +121,36 @@ class BatchSimulationService:
         clock=time.monotonic,
         gpu: GpuSpec | None = None,
         simulator_kwargs: dict | None = None,
+        parallelism: str = "none",
+        shm_threshold: int = DEFAULT_SHM_THRESHOLD,
     ) -> None:
         if num_workers < 1:
             raise ServiceError("service needs at least one worker")
+        if parallelism not in ("none", "process"):
+            raise ServiceError(
+                f"unknown parallelism {parallelism!r}"
+                " (expected 'none' or 'process')"
+            )
         self.clock = clock
         self.gpu = gpu or GpuSpec()
+        self.parallelism = parallelism
+        self.num_workers = num_workers
         kwargs = dict(simulator_kwargs or {})
         kwargs.setdefault("gpu", self.gpu)
-        self.workers = [
-            Worker(i, BQSimSimulator(**kwargs)) for i in range(num_workers)
-        ]
+        self._simulator_kwargs = kwargs
+        self._shm_threshold = shm_threshold
+        self._pool: ProcessWorkerPool | None = None
+        #: pool tasks dispatched but not yet collected:
+        #: task_id -> (group, event record, dispatch perf_counter)
+        self._inflight: dict[int, tuple] = {}
+        if parallelism == "process":
+            self.workers: list[Worker] = []
+            self._template = BQSimSimulator(**kwargs)
+        else:
+            self.workers = [
+                Worker(i, BQSimSimulator(**kwargs)) for i in range(num_workers)
+            ]
+            self._template = self.workers[0].simulator
         self.queue = JobQueue(max_depth=max_depth, clock=clock)
         self.scheduler = FairScheduler(policy)
         self.coalescer = Coalescer(
@@ -126,7 +174,7 @@ class BatchSimulationService:
     def _group_key(self, circuit: Circuit, options: tuple) -> str:
         """Coalescing compatibility key: the worker simulators' plan
         fingerprint (identical across the pool) plus per-job options."""
-        extra = self.workers[0].simulator._cache_extra() + tuple(options)
+        extra = self._template._cache_extra() + tuple(options)
         return plan_fingerprint(circuit, extra)
 
     def submit(
@@ -188,7 +236,16 @@ class BatchSimulationService:
 
     def step(self) -> int:
         """One dispatch round; returns the number of jobs finished (0 when
-        idle)."""
+        idle).
+
+        Serial mode executes one coalesced group inline.  Process mode
+        collects any finished pool results, fills every idle worker with
+        a freshly coalesced group, and — when nothing had finished but
+        work is in flight — blocks for at least one completion so
+        callers polling ``step() == 0`` still mean "service idle".
+        """
+        if self.parallelism == "process":
+            return self._step_pool()
         now = self.clock()
         queued = self.queue.jobs()
         head = self.scheduler.select(queued, now)
@@ -202,14 +259,26 @@ class BatchSimulationService:
         return self._execute(worker, group)
 
     def drain(self, max_rounds: int | None = None) -> dict:
-        """Step until the queue is empty; returns :meth:`stats`."""
+        """Step until the queue (and any in-flight pool work) is empty;
+        returns :meth:`stats`."""
         rounds = 0
-        while self.queue.depth() > 0:
+        while self.queue.depth() > 0 or self._inflight:
             if max_rounds is not None and rounds >= max_rounds:
                 break
             self.step()
             rounds += 1
         return self.stats()
+
+    def close(self) -> None:
+        """Release execution resources (stops the process pool, if any)."""
+        if self._pool is not None:
+            self._pool.close()
+
+    def __enter__(self) -> "BatchSimulationService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- execution -----------------------------------------------------------
 
@@ -317,6 +386,146 @@ class BatchSimulationService:
             finished += 1
         return finished
 
+    # -- process-pool execution ----------------------------------------------
+
+    def _ensure_pool(self) -> ProcessWorkerPool:
+        if self._pool is None:
+            self._pool = ProcessWorkerPool(
+                self.num_workers,
+                simulator_kwargs=self._simulator_kwargs,
+                shm_threshold=self._shm_threshold,
+            )
+        return self._pool
+
+    def _step_pool(self) -> int:
+        pool = self._ensure_pool()
+        finished = sum(self._finalize_pool(r) for r in pool.poll())
+        while pool.idle_workers > 0:
+            now = self.clock()
+            queued = self.queue.jobs()
+            head = self.scheduler.select(queued, now)
+            if head is None:
+                break
+            ranked = self.scheduler.rank(queued, now)
+            group = self.coalescer.build_group(head, ranked)
+            self.queue.take(list(group.jobs))
+            self._dispatch_pool(pool, group)
+        if finished == 0 and self._inflight:
+            finished = sum(
+                self._finalize_pool(r) for r in pool.poll(block=True)
+            )
+        return finished
+
+    def _dispatch_pool(
+        self, pool: ProcessWorkerPool, group: CoalescedGroup
+    ) -> int:
+        """Hand one coalesced group to an idle pool worker (non-blocking)."""
+        now = self.clock()
+        metrics = get_metrics()
+        waits = [job.wait_time(now) for job in group.jobs]
+        for job in group.jobs:
+            job.transition(JobStatus.RUNNING)
+            job.started_at = now
+            job.attempts += 1
+            metrics.observe("service.wait_s", job.wait_time())
+        spec, mega, pad = self.coalescer.mega_block(group)
+        with get_tracer().span(
+            "service.dispatch",
+            group=group.key[:12],
+            circuit=group.circuit.name,
+            jobs=group.coalesce_factor,
+            columns=group.total_columns,
+        ):
+            task_id, wid = pool.submit(
+                group.circuit,
+                spec,
+                mega,
+                group.total_columns,
+                [job.num_inputs for job in group.jobs],
+            )
+        record = {
+            "event": "megabatch",
+            "t": now,
+            "worker": wid,
+            "group": group.key[:12],
+            "circuit": group.circuit.name,
+            "jobs": group.coalesce_factor,
+            "columns": group.total_columns,
+            "batches": spec.num_batches,
+            "batch_size": spec.batch_size,
+            "pad": pad,
+            "coalesce_factor": group.coalesce_factor,
+            "occupancy": group.total_columns / spec.num_inputs,
+            "wait_mean_s": float(np.mean(waits)),
+            "wait_max_s": float(np.max(waits)),
+        }
+        self._inflight[task_id] = (group, record, time.perf_counter())
+        return task_id
+
+    def _finalize_pool(self, raw: dict) -> int:
+        """Scatter one collected pool result back to its member jobs.
+
+        The happy path mirrors serial ``_execute``; a degraded result
+        carries per-job outcomes from the worker's own isolation retries
+        (``per_job is None`` means the worker died — every member fails).
+        """
+        group, record, wall0 = self._inflight.pop(raw["task_id"])
+        metrics = get_metrics()
+        done_at = self.clock()
+        merged = raw["outputs"]
+        finished = 0
+        if not raw["degraded"]:
+            for job, start, stop in group.offsets():
+                job.finish(merged[:, start:stop], done_at)
+            finished = len(group.jobs)
+            self._completed += finished
+            self._inputs_done += group.total_columns
+            self._modeled_s += raw["modeled_s"]
+            record["degraded"] = False
+            record["modeled_s"] = raw["modeled_s"]
+            metrics.inc("service.completed", finished)
+        else:
+            self._degraded_groups += 1
+            metrics.inc("service.degraded_groups")
+            get_resilience_log().record(
+                "degrade",
+                site="service",
+                group=group.key[:12],
+                jobs=group.coalesce_factor,
+                reason=raw["cause"] or "",
+            )
+            record["degraded"] = True
+            record["error"] = raw["cause"]
+            outcomes = raw["per_job"]
+            for idx, (job, start, stop) in enumerate(group.offsets()):
+                outcome = (
+                    outcomes[idx]
+                    if outcomes and idx < len(outcomes)
+                    else {"ok": False, "error": raw["cause"]}
+                )
+                if outcome["ok"] and merged is not None:
+                    job.solo_retry = True
+                    job.finish(merged[:, start:stop], done_at)
+                    self._completed += 1
+                    self._inputs_done += job.num_inputs
+                    metrics.inc("service.completed")
+                else:
+                    job.fail(
+                        outcome["error"] or raw["cause"] or "megabatch failed",
+                        done_at,
+                    )
+                    self._failed += 1
+                    metrics.inc("service.failed")
+                finished += 1
+            self._modeled_s += raw["modeled_s"]
+        record["wall_s"] = time.perf_counter() - wall0
+        record["queue_depth"] = self.queue.depth()
+        self._wall_s += record["wall_s"]
+        metrics.inc("service.megabatches")
+        metrics.gauge("service.queue_depth", self.queue.depth())
+        self.events.append(record)
+        return finished
+
     # -- reporting -----------------------------------------------------------
 
     def stats(self) -> dict:
@@ -325,8 +534,27 @@ class BatchSimulationService:
         factors = [e["coalesce_factor"] for e in mega]
         occupancy = [e["occupancy"] for e in mega]
         waits = [e["wait_max_s"] for e in mega]
-        plan_caches = [w.simulator._plans.stats_dict() for w in self.workers]
-        return {
+        if self._pool is not None:
+            worker_summaries = self._pool.worker_summaries()
+            plan_cache = self._pool.plan_cache_totals()
+        else:
+            worker_summaries = [
+                {
+                    "wid": w.wid,
+                    "megabatches": w.megabatches,
+                    "solo_runs": w.solo_runs,
+                    "jobs_done": w.jobs_done,
+                }
+                for w in self.workers
+            ]
+            plan_caches = [
+                w.simulator._plans.stats_dict() for w in self.workers
+            ]
+            plan_cache = {
+                key: sum(pc[key] for pc in plan_caches)
+                for key in ("hits", "disk_hits", "misses", "quarantined")
+            }
+        stats = {
             "submitted": self.queue.admitted,
             "rejected": self.queue.rejected,
             "completed": self._completed,
@@ -349,20 +577,13 @@ class BatchSimulationService:
             "modeled_throughput_inputs_per_s": (
                 self._inputs_done / self._modeled_s if self._modeled_s else 0.0
             ),
-            "workers": [
-                {
-                    "wid": w.wid,
-                    "megabatches": w.megabatches,
-                    "solo_runs": w.solo_runs,
-                    "jobs_done": w.jobs_done,
-                }
-                for w in self.workers
-            ],
-            "plan_cache": {
-                key: sum(pc[key] for pc in plan_caches)
-                for key in ("hits", "disk_hits", "misses", "quarantined")
-            },
+            "parallelism": self.parallelism,
+            "workers": worker_summaries,
+            "plan_cache": plan_cache,
         }
+        if self._pool is not None:
+            stats["pool"] = self._pool.stats()
+        return stats
 
     def write_queue_metrics(self, path) -> int:
         """Write the per-round event stream as JSONL; returns the count."""

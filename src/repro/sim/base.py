@@ -14,9 +14,15 @@ from __future__ import annotations
 import abc
 import os
 import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
+
+try:  # POSIX advisory file locking for the shared disk tier
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None
 
 import numpy as np
 
@@ -36,7 +42,16 @@ PLAN_CACHE_ENV = "REPRO_PLAN_CACHE"
 
 @dataclass
 class BatchSpec:
-    """Describes the input stream without materializing it."""
+    """Describes the input stream without materializing it.
+
+    A run over ``num_batches`` batches of ``batch_size`` random input
+    state vectors each, generated deterministically from ``seed`` — so
+    two simulators given the same spec see bit-identical inputs, which
+    is what makes cross-simulator validation exact.  Example::
+
+        spec = BatchSpec(num_batches=200, batch_size=256)  # the paper's load
+        assert spec.num_inputs == 51200
+    """
 
     num_batches: int
     batch_size: int
@@ -215,6 +230,39 @@ class PlanCache:
             return None
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         return self.cache_dir / f"{key}.npz"
+
+    @contextmanager
+    def build_lock(self, key: str):
+        """Cross-process exclusive section for compiling plan ``key``.
+
+        When several OS processes share one disk tier (the service's
+        process worker pool points every worker at the same ``cache_dir``),
+        each fingerprint must be compiled exactly once fleet-wide: the
+        first worker to miss takes an advisory ``flock`` on
+        ``<cache_dir>/<key>.lock``, builds, and writes the archive; the
+        others block on the lock, re-check the disk tier, and load the
+        winner's archive instead of re-fusing.  Without a disk tier (or on
+        platforms without ``fcntl``) this is a no-op — in-process callers
+        pay nothing.
+        """
+        path = self.disk_path(key)
+        if path is None or fcntl is None:
+            yield
+            return
+        lock_path = path.with_suffix(".lock")
+        try:
+            handle = open(lock_path, "a+")
+        except OSError:
+            yield  # unlockable (read-only dir): fall back to racy writes
+            return
+        try:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            yield
+        finally:
+            try:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+            finally:
+                handle.close()
 
     def disk_entries(self) -> list[Path]:
         """Every plan archive currently in the disk tier.

@@ -79,7 +79,19 @@ def buffer_indices(batch_index: int, kernel_index: int, kernels_per_batch: int) 
 
 
 class BQSimSimulator(BatchSimulator):
-    """GPU-accelerated batch quantum circuit simulation with DDs."""
+    """GPU-accelerated batch quantum circuit simulation with DDs.
+
+    The paper's three-stage pipeline behind one ``run()`` call: BQCS-aware
+    gate fusion, DD-to-ELL conversion (hybrid CPU/GPU route), and
+    task-graph execution over rotating device buffers.  Compiled plans
+    are cached by circuit structure (in memory, and on disk when
+    ``cache_dir`` or ``$REPRO_PLAN_CACHE`` is set), so repeated runs of
+    an equal circuit skip stages 1-2.  Example::
+
+        sim = BQSimSimulator()
+        result = sim.run(make_circuit("ghz", 4), BatchSpec(2, 8))
+        amplitudes = result.output_batch(0)       # (16, 8) complex128
+    """
 
     name = "bqsim"
 
@@ -185,44 +197,73 @@ class BQSimSimulator(BatchSimulator):
         ``"memory"``, ``"disk"``, ``"built"``.  A disk entry saved without
         matrices (model-only run) cannot feed numeric execution, so with
         ``execute=True`` it is treated as a miss and rebuilt.
+
+        Misses build under :meth:`PlanCache.build_lock`, the per-key
+        cross-process lock of the shared disk tier: after acquiring it the
+        disk is re-checked (another worker process may have compiled the
+        same fingerprint while this one waited), so a fleet of pool
+        workers sharing one ``cache_dir`` compiles each plan exactly once.
         """
         key = self._plans.key(circuit, self._cache_extra())
-        prepared = self._plans.peek(key)
+
+        def _usable(entry: dict | None) -> dict | None:
+            """Reject metadata-only entries when numerics are required."""
+            if (
+                entry is not None
+                and execute
+                and entry["ells"] is None
+                and any(g.dd is None for g in entry["plan"].gates)
+            ):
+                return None
+            return entry
+
+        prepared = _usable(self._plans.peek(key))
         source = "memory" if prepared is not None else ""
         if prepared is None:
-            prepared = self._load_compiled(key)
-            if prepared is not None:
-                source = "disk"
-        if (
-            prepared is not None
-            and execute
-            and prepared["ells"] is None
-            and any(g.dd is None for g in prepared["plan"].gates)
-        ):
-            prepared, source = None, ""
-        if prepared is None:
-            prepared = self._build(circuit)
-            source = "built"
+            with self._plans.build_lock(key):
+                # the disk read happens under the lock: a concurrent
+                # process building the same key has either finished (we
+                # load its archive) or never started (we build and save
+                # before releasing) — never half-written bytes
+                prepared = _usable(self._load_compiled(key))
+                if prepared is not None:
+                    source = "disk"
+                else:
+                    prepared = self._build(circuit)
+                    source = "built"
+                    prepared["key"] = key
+                    prepared["circuit_name"] = circuit.name
+                    if execute:
+                        # materialize the matrices before the (locked)
+                        # save: the archive a racer loads must be fully
+                        # executable, or it would reject the entry and
+                        # compile the same fingerprint a second time
+                        prepared["ells"] = self._convert_ells(prepared)
+                    self._save_compiled(prepared)
         self._plans.note_lookup(source)
         prepared["key"] = key
         prepared["circuit_name"] = circuit.name
         self._plans.put(key, prepared)
-        if source == "built":
-            self._save_compiled(prepared)
         return prepared, source
+
+    def _convert_ells(self, prepared: dict) -> list[ELLMatrix]:
+        """Stage-2 numerics: one ELL matrix per fused gate (no caching)."""
+        plan: FusionPlan = prepared["plan"]
+        return [
+            ell_from_dd(
+                fused.dd, plan.num_qubits, max_nzr=fused.cost, tau=self.tau
+            ).ell
+            for fused in plan.gates
+        ]
 
     def _materialize_ells(self, prepared: dict) -> list[ELLMatrix]:
         if prepared["ells"] is None:
-            plan: FusionPlan = prepared["plan"]
-            prepared["ells"] = [
-                ell_from_dd(
-                    fused.dd, plan.num_qubits, max_nzr=fused.cost, tau=self.tau
-                ).ell
-                for fused in plan.gates
-            ]
+            prepared["ells"] = self._convert_ells(prepared)
             # upgrade the disk entry: metadata-only archives become fully
-            # executable once the matrices exist
-            self._save_compiled(prepared)
+            # executable once the matrices exist (locked: pool workers may
+            # race to upgrade the same fingerprint)
+            with self._plans.build_lock(prepared.get("key", "")):
+                self._save_compiled(prepared)
         return prepared["ells"]
 
     # -- disk tier ------------------------------------------------------------

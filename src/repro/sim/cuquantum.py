@@ -59,7 +59,16 @@ PlanProvider = Callable[[DDManager, Circuit], FusionPlan]
 
 
 class CuQuantumSimulator(BatchSimulator):
-    """Dense gate-level batched simulation (cuQuantum model)."""
+    """Dense gate-level batched simulation (cuQuantum model).
+
+    The paper's strongest GPU baseline: every gate is applied as a dense
+    batched matrix multiply with no fusion, so it pays one kernel launch
+    and one full state sweep per gate.  Amplitudes are exact (NumPy);
+    time and power come from the calibrated device model.  Example::
+
+        result = CuQuantumSimulator().run(make_circuit("ghz", 4), BatchSpec(1, 8))
+        assert result.outputs[0].shape == (16, 8)
+    """
 
     name = "cuquantum"
 

@@ -44,7 +44,16 @@ from .base import (
 
 
 class FlatDDSimulator(BatchSimulator):
-    """CPU-parallel DD-based single-input simulation, forked per input."""
+    """CPU-parallel DD-based single-input simulation, forked per input.
+
+    The FlatDD baseline: greedy DD fusion, then each input state is
+    simulated independently on a modeled CPU thread pool — the paper's
+    representative of the one-process-per-input school that BQSim's
+    batching beats.  Example::
+
+        result = FlatDDSimulator().run(make_circuit("qft", 4), BatchSpec(1, 4))
+        assert result.outputs[0].shape == (16, 4)
+    """
 
     name = "flatdd"
 

@@ -33,7 +33,18 @@ from .bqsim import BQSimSimulator
 
 
 class MultiGpuBQSimSimulator(BQSimSimulator):
-    """BQSim with the input stream partitioned over several virtual GPUs."""
+    """BQSim with the input stream partitioned over several virtual GPUs.
+
+    The paper's Section 4.2 scaling discussion, made measurable: batches
+    are split across ``num_devices`` independent device models (plans
+    compile once and are shared), modeled time is the slowest device's
+    timeline, and amplitudes remain exact and bit-identical to the
+    single-GPU run.  Example::
+
+        sim = MultiGpuBQSimSimulator(num_devices=2)
+        result = sim.run(make_circuit("qft", 4), BatchSpec(4, 8))
+        assert len(result.outputs) == 4
+    """
 
     name = "bqsim-multigpu"
 

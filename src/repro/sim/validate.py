@@ -29,6 +29,14 @@ def cross_validate(
 
     Returns the max absolute deviation from the dense reference per
     simulator; raises :class:`SimulationError` if any exceeds ``atol``.
+    This is the paper's "identical state amplitudes" check, applied to
+    every simulator on every run of the test suite.  Example::
+
+        deviations = cross_validate(
+            make_circuit("qft", 4), BatchSpec(1, 8),
+            [BQSimSimulator(), CuQuantumSimulator()],
+        )
+        assert all(dev < 1e-8 for dev in deviations.values())
     """
     if batches is None:
         batches = list(

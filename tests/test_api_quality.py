@@ -9,6 +9,10 @@ import pytest
 import repro
 
 PACKAGES = [
+    "repro",
+    "repro.service",
+    "repro.obs",
+    "repro.resilience",
     "repro.circuit",
     "repro.dd",
     "repro.ell",
@@ -67,6 +71,28 @@ def test_all_lists_are_sorted_for_readability():
         if exported != sorted(exported, key=str.lower):
             unsorted.append(package_name)
     assert not unsorted, unsorted
+
+
+#: the re-exported user-facing API: every class/function here must carry a
+#: one-paragraph docstring *with a usage example* (a ``::`` literal block
+#: or a doctest) — enforced so the docs suite can point at `help()` safely
+EXAMPLE_REQUIRED_PACKAGES = ["repro", "repro.service"]
+
+
+def test_reexported_api_docstrings_include_examples():
+    missing = []
+    for package_name in EXAMPLE_REQUIRED_PACKAGES:
+        package = importlib.import_module(package_name)
+        for name in package.__all__:
+            obj = getattr(package, name)
+            if not (inspect.isfunction(obj) or inspect.isclass(obj)):
+                continue
+            doc = inspect.getdoc(obj) or ""
+            if not doc.strip():
+                missing.append(f"{package_name}.{name} (no docstring)")
+            elif ">>>" not in doc and "::" not in doc:
+                missing.append(f"{package_name}.{name} (no example)")
+    assert not missing, missing
 
 
 def test_package_version():

@@ -151,3 +151,49 @@ def test_submit_one_job(capsys):
     assert "submitted : job-" in out
     assert "status    : done" in out
     assert "3 output state(s)" in out
+
+
+def test_submit_stats_json_matches_simulate_schema(tmp_path, capsys):
+    """``submit --stats-json`` is schema-compatible with ``simulate``'s.
+
+    Regression test: the record must carry the same top-level keys and the
+    same ``stats.plan_cache`` shape, so one consumer script handles both.
+    """
+    import json
+
+    sim_stats = tmp_path / "simulate.json"
+    job_stats = tmp_path / "submit.json"
+    assert main(["simulate", "--family", "ghz", "-n", "5", "--batches", "1",
+                 "--batch-size", "3", "--execute",
+                 "--stats-json", str(sim_stats)]) == 0
+    assert main(["submit", "--family", "ghz", "-n", "5", "--inputs", "3",
+                 "--stats-json", str(job_stats)]) == 0
+    out = capsys.readouterr().out
+    assert f"stats     : wrote {job_stats}" in out
+
+    sim_doc = json.loads(sim_stats.read_text())
+    job_doc = json.loads(job_stats.read_text())
+    shared = {"simulator", "circuit", "num_qubits", "spec", "modeled_time_s",
+              "wall_time_s", "breakdown", "executed", "num_output_batches",
+              "stats"}
+    assert shared <= sim_doc.keys() and shared <= job_doc.keys()
+    assert job_doc["simulator"] == "service"
+    assert job_doc["circuit"] == sim_doc["circuit"] == "ghz_n5"
+    assert job_doc["spec"]["num_inputs"] == 3
+
+    cache = job_doc["stats"]["plan_cache"]
+    assert cache.keys() == sim_doc["stats"]["plan_cache"].keys()
+    assert {"hits", "disk_hits", "misses", "quarantined"} <= cache.keys()
+    assert cache["misses"] >= 1  # the submitted job compiled its plan
+
+    job = job_doc["stats"]["job"]
+    assert job["status"] == "done" and job["job_id"].startswith("job-")
+
+
+def test_submit_process_parallelism(capsys):
+    rc = main(["submit", "--family", "ghz", "-n", "5", "--inputs", "3",
+               "--workers", "2", "--parallelism", "process"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "status    : done" in out
+    assert "3 output state(s)" in out

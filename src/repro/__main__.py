@@ -54,6 +54,7 @@ def _run_simulation(args):
 
     circuit = _circuit_from_args(args)
     bqsim_kwargs = {}
+    engine = getattr(args, "engine", None)
     faults = getattr(args, "faults", None)
     health = getattr(args, "health", None)
     checkpoint_dir = getattr(args, "checkpoint_dir", None)
@@ -65,7 +66,7 @@ def _run_simulation(args):
     max_splits = getattr(args, "max_splits", None)
     if max_splits is not None:
         bqsim_kwargs["max_splits"] = max_splits
-    simulators = make_simulators(**bqsim_kwargs)
+    simulators = make_simulators(engine=engine, **bqsim_kwargs)
     simulator = simulators[args.simulator]
     if faults is not None:
         # scope the plan to the chosen simulator's runs
@@ -91,7 +92,11 @@ def _run_simulation(args):
             spans = tracer.spans_since(mark)
         write_chrome_trace(
             trace_out, spans, timeline=result.timeline,
-            metadata={"circuit": circuit.name, "simulator": result.simulator},
+            metadata={
+                "circuit": circuit.name,
+                "simulator": result.simulator,
+                "engine": result.stats.get("engine", "numpy"),
+            },
         )
     else:
         result = simulator.run(circuit, spec, execute=args.execute,
@@ -175,6 +180,8 @@ def cmd_serve(args) -> int:
         simulator_kwargs["max_splits"] = args.max_splits
     if args.faults is not None:
         simulator_kwargs["faults"] = args.faults
+    if args.engine is not None:
+        simulator_kwargs["engine"] = args.engine
     service = BatchSimulationService(
         num_workers=args.workers,
         max_depth=args.max_depth,
@@ -232,6 +239,8 @@ def cmd_submit(args) -> int:
     simulator_kwargs = {}
     if args.faults is not None:
         simulator_kwargs["faults"] = args.faults
+    if args.engine is not None:
+        simulator_kwargs["engine"] = args.engine
     client = ServiceClient(
         num_workers=args.workers,
         parallelism=args.parallelism,
@@ -343,6 +352,10 @@ def main(argv: list[str] | None = None) -> int:
         parser.add_argument("--health", default=None,
                             choices=["off", "warn", "renormalize", "fail"],
                             help="per-batch numerical health policy")
+        parser.add_argument("--engine", default=None,
+                            choices=["numpy", "fake-gpu", "cupy"],
+                            help="array backend for the numeric kernels "
+                                 "(default: REPRO_ENGINE or numpy)")
         parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
                             help="write batch-boundary checkpoints "
                                  "(bqsim only)")
@@ -389,6 +402,9 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--health", default=None,
                    choices=["off", "warn", "renormalize", "fail"])
     p.add_argument("--max-splits", type=int, default=None)
+    p.add_argument("--engine", default=None,
+                   choices=["numpy", "fake-gpu", "cupy"],
+                   help="array backend for every worker simulator")
     p.add_argument("--queue-metrics", default=None, metavar="PATH",
                    help="write per-round queue metrics as JSONL")
     p.add_argument("--stats-json", default=None, metavar="PATH",
@@ -405,6 +421,8 @@ def main(argv: list[str] | None = None) -> int:
                    help="input states in the job's batch")
     p.add_argument("--priority", type=int, default=0)
     p.add_argument("--faults", default=None, metavar="PLAN")
+    p.add_argument("--engine", default=None,
+                   choices=["numpy", "fake-gpu", "cupy"])
     p.add_argument("--workers", type=int, default=1)
     p.add_argument("--parallelism", default="none",
                    choices=["none", "process"])

@@ -14,6 +14,8 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from ..errors import SimulationError
+from ..kernels.engine import get_engine
+from ..kernels.ops import normalize_states
 
 
 @dataclass(frozen=True)
@@ -66,7 +68,7 @@ def random_batch(
     raw = rng.standard_normal((dim, batch_size)) + 1j * rng.standard_normal(
         (dim, batch_size)
     )
-    raw /= np.linalg.norm(raw, axis=0, keepdims=True)
+    raw = normalize_states(get_engine("numpy"), raw)
     return InputBatch(raw.astype(np.complex128))
 
 
@@ -116,7 +118,7 @@ def perturbed_batch(
             states.shape
         )
         states = states + epsilon * noise
-    states /= np.linalg.norm(states, axis=0, keepdims=True)
+    states = normalize_states(get_engine("numpy"), states)
     return InputBatch(states)
 
 

@@ -29,6 +29,7 @@ from ..dd.export import count_edges
 from ..dd.flat import FlatDD, flatten_matrix_dd
 from ..dd.node import Edge
 from ..errors import ConversionError
+from ..kernels.engine import ArrayEngine, get_engine
 from ..obs import get_metrics, get_tracer
 from .format import ELLMatrix
 
@@ -48,16 +49,16 @@ _FAITHFUL_ROW_LIMIT = 1 << 12
 # CPU-based conversion: memoized bottom-up assembly
 # ---------------------------------------------------------------------------
 
-def _compress(values: np.ndarray, cols: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+def _compress(values, cols, xp=np):
     """Push non-zeros left in every row and trim trailing all-zero columns."""
     if values.shape[1] == 0:
         return values, cols
     zero = values == 0
-    order = np.argsort(zero, axis=1, kind="stable")
-    values = np.take_along_axis(values, order, axis=1)
-    cols = np.take_along_axis(cols, order, axis=1)
+    order = xp.argsort(zero, axis=1, kind="stable")
+    values = xp.take_along_axis(values, order, axis=1)
+    cols = xp.take_along_axis(cols, order, axis=1)
     width = int((~zero).sum(axis=1).max())
-    cols = np.where(values == 0, 0, cols)  # canonical padding: column 0
+    cols = xp.where(values == 0, 0, cols)  # canonical padding: column 0
     return values[:, :width], cols[:, :width]
 
 
@@ -67,7 +68,8 @@ def _assemble_ell(
     node_key,
     node_level,
     node_children,
-) -> tuple[np.ndarray, np.ndarray]:
+    xp=np,
+):
     """Memoized bottom-up (value, column) assembly shared by both the CPU
     converter and the vectorized GPU stand-in.
 
@@ -83,11 +85,11 @@ def _assemble_ell(
     """
     memo: dict = {}
 
-    def rec(node) -> tuple[np.ndarray, np.ndarray]:
+    def rec(node):
         if node is None:
             return (
-                np.ones((1, 1), dtype=np.complex128),
-                np.zeros((1, 1), dtype=np.int64),
+                xp.ones((1, 1), dtype=xp.complex128),
+                xp.zeros((1, 1), dtype=xp.int64),
             )
         key = node_key(node)
         hit = memo.get(key)
@@ -106,18 +108,18 @@ def _assemble_ell(
                 parts_v.append(cv * weight)
                 parts_c.append(cc + col_bit * half)
             if not parts_v:
-                parts_v = [np.zeros((half, 0), dtype=np.complex128)]
-                parts_c = [np.zeros((half, 0), dtype=np.int64)]
+                parts_v = [xp.zeros((half, 0), dtype=xp.complex128)]
+                parts_c = [xp.zeros((half, 0), dtype=xp.int64)]
             halves.append(
-                (np.concatenate(parts_v, axis=1), np.concatenate(parts_c, axis=1))
+                (xp.concatenate(parts_v, axis=1), xp.concatenate(parts_c, axis=1))
             )
         width = max(halves[0][0].shape[1], halves[1][0].shape[1])
-        values = np.zeros((2 * half, width), dtype=np.complex128)
-        cols = np.zeros((2 * half, width), dtype=np.int64)
+        values = xp.zeros((2 * half, width), dtype=xp.complex128)
+        cols = xp.zeros((2 * half, width), dtype=xp.int64)
         for i, (hv, hc) in enumerate(halves):
             values[i * half : (i + 1) * half, : hv.shape[1]] = hv
             cols[i * half : (i + 1) * half, : hc.shape[1]] = hc
-        hit = _compress(values, cols)
+        hit = _compress(values, cols, xp=xp)
         memo[key] = hit
         return hit
 
@@ -125,10 +127,22 @@ def _assemble_ell(
     return values * root_weight, cols
 
 
-def ell_from_dd_cpu(edge: Edge, num_qubits: int) -> ELLMatrix:
-    """CPU-based DD-to-ELL conversion (memoized recursion over nodes)."""
+def ell_from_dd_cpu(
+    edge: Edge,
+    num_qubits: int,
+    engine: "str | ArrayEngine | None" = None,
+) -> ELLMatrix:
+    """CPU-based DD-to-ELL conversion (memoized recursion over nodes).
+
+    Assembly arrays are allocated through ``engine`` (numpy by default —
+    bit-identical to the historical converter); the resulting
+    :class:`ELLMatrix` is always materialized in host memory, since ELL
+    is the host interchange format that :class:`~repro.ell.spmm.GatherPlan`
+    re-uploads per engine.
+    """
     if edge.weight == 0:
         raise ConversionError("cannot convert the zero matrix to ELL")
+    eng = get_engine(engine)
 
     def children(node):
         return [
@@ -141,10 +155,15 @@ def ell_from_dd_cpu(edge: Edge, num_qubits: int) -> ELLMatrix:
         node_key=lambda node: node.nid,
         node_level=lambda node: node.level,
         node_children=children,
+        xp=eng.xp,
     )
     if values.shape[1] == 0:
         raise ConversionError("DD represented the zero matrix")
-    return ELLMatrix(num_qubits, np.ascontiguousarray(values), np.ascontiguousarray(cols))
+    return ELLMatrix(
+        num_qubits,
+        np.ascontiguousarray(eng.to_host(values)),
+        np.ascontiguousarray(eng.to_host(cols)),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -206,7 +225,10 @@ def _kernel_block(
 
 
 def ell_from_flat_gpu(
-    flat: FlatDD, max_nzr: int, execute: str = "auto"
+    flat: FlatDD,
+    max_nzr: int,
+    execute: str = "auto",
+    engine: "str | ArrayEngine | None" = None,
 ) -> ELLMatrix:
     """GPU-kernel DD-to-ELL conversion over the flat edge/node arrays.
 
@@ -219,7 +241,7 @@ def ell_from_flat_gpu(
     if execute not in ("auto", "faithful", "fast"):
         raise ConversionError(f"unknown execute mode {execute!r}")
     if execute == "fast" or (execute == "auto" and rows > _FAITHFUL_ROW_LIMIT):
-        ell = _ell_from_flat_fast(flat)
+        ell = _ell_from_flat_fast(flat, engine=engine)
         return _pad_to(ell, max_nzr)
     values = np.zeros((rows, max_nzr), dtype=np.complex128)
     cols = np.zeros((rows, max_nzr), dtype=np.int64)
@@ -228,9 +250,12 @@ def ell_from_flat_gpu(
     return ELLMatrix(flat.num_qubits, values, cols)
 
 
-def _ell_from_flat_fast(flat: FlatDD) -> ELLMatrix:
+def _ell_from_flat_fast(
+    flat: FlatDD, engine: "str | ArrayEngine | None" = None
+) -> ELLMatrix:
     """Vectorized per-node assembly over the flat arrays (same math as the
     kernel; used as its fast stand-in for large row counts)."""
+    eng = get_engine(engine)
 
     def children(node: int):
         out = []
@@ -251,8 +276,11 @@ def _ell_from_flat_fast(flat: FlatDD) -> ELLMatrix:
         node_key=lambda node: node,
         node_level=lambda node: int(flat.node_level[node]),
         node_children=children,
+        xp=eng.xp,
     )
-    return ELLMatrix(flat.num_qubits, values, cols)
+    return ELLMatrix(
+        flat.num_qubits, eng.to_host(values), eng.to_host(cols)
+    )
 
 
 def _pad_to(ell: ELLMatrix, width: int) -> ELLMatrix:
@@ -289,6 +317,7 @@ def ell_from_dd(
     max_nzr: int | None = None,
     tau: int = DEFAULT_TAU,
     force: str | None = None,
+    engine: "str | ArrayEngine | None" = None,
 ) -> ConversionResult:
     """Hybrid DD-to-ELL conversion (Section 3.2): GPU when the DD has at
     most ``tau`` edges, CPU otherwise.  ``force`` pins the route."""
@@ -299,15 +328,15 @@ def ell_from_dd(
         forced=force is not None,
     ) as span:
         if route == "cpu":
-            ell = ell_from_dd_cpu(edge, num_qubits)
+            ell = ell_from_dd_cpu(edge, num_qubits, engine=engine)
             if max_nzr is not None:
                 ell = _pad_to(ell, max_nzr)
         elif route == "gpu":
             flat = flatten_matrix_dd(edge, num_qubits)
             if max_nzr is None:
-                ell = _ell_from_flat_fast(flat)
+                ell = _ell_from_flat_fast(flat, engine=engine)
             else:
-                ell = ell_from_flat_gpu(flat, max_nzr)
+                ell = ell_from_flat_gpu(flat, max_nzr, engine=engine)
         else:
             raise ConversionError(f"unknown conversion route {route!r}")
         span.set(ell_width=ell.width)

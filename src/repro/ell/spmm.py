@@ -34,6 +34,8 @@ import os
 import numpy as np
 
 from ..errors import SimulationError
+from ..kernels import ops as _kernels
+from ..kernels.engine import ArrayEngine, get_engine
 from ..obs import get_metrics
 from ..resilience.faults import get_fault_injector
 from .format import ELLMatrix
@@ -49,9 +51,8 @@ BACKENDS = ("auto", "csr", "numpy", "loop")
 #: process-wide default backend; ``auto`` picks csr when SciPy is present
 DEFAULT_BACKEND = os.environ.get("REPRO_SPMM_BACKEND", "auto")
 
-#: target element count of one row-block's scratch in the numpy backend
-#: (64k complex128 ~= 1 MiB, small enough to stay cache-resident)
-_BLOCK_ELEMS = 1 << 16
+#: row-block sizing of the numpy backend lives with the kernel itself
+#: (see ``repro.kernels.ops.BLOCK_ELEMS``)
 
 
 def _resolve_backend(backend: str | None) -> str:
@@ -88,6 +89,7 @@ class GatherPlan:
         "cols",
         "flat_cols",
         "_csr",
+        "_engine_arrays",
     )
 
     def __init__(self, num_qubits: int, values: np.ndarray, cols: np.ndarray):
@@ -102,6 +104,9 @@ class GatherPlan:
         self.cols = cols
         self.flat_cols = np.ascontiguousarray(cols.ravel())
         self._csr = None
+        # engine name -> (values, cols, flat_cols) in that engine's space;
+        # host engines alias the originals, device engines hold one upload
+        self._engine_arrays: dict[str, tuple] = {}
 
     @classmethod
     def from_ell(cls, ell: ELLMatrix) -> "GatherPlan":
@@ -138,13 +143,35 @@ class GatherPlan:
 
     # -- application ---------------------------------------------------------
 
+    def engine_arrays(self, engine: ArrayEngine) -> tuple:
+        """``(values, cols, flat_cols)`` in ``engine``'s array space.
+
+        Host engines alias the plan's own arrays (no copy); device
+        engines upload once and reuse the cached copies for every batch.
+        """
+        arrays = self._engine_arrays.get(engine.name)
+        if arrays is None:
+            arrays = (
+                engine.asarray(self.values),
+                engine.asarray(self.cols),
+                engine.asarray(self.flat_cols),
+            )
+            self._engine_arrays[engine.name] = arrays
+        return arrays
+
     def apply(
         self,
-        states: np.ndarray,
-        out: np.ndarray | None = None,
+        states,
+        out=None,
         backend: str | None = None,
+        engine: "str | ArrayEngine | None" = None,
     ) -> np.ndarray:
-        """Multiply the planned matrix by a ``(2^n, batch)`` state block."""
+        """Multiply the planned matrix by a ``(2^n, batch)`` state block.
+
+        ``backend`` picks the algorithm (csr/numpy/loop), ``engine`` the
+        array space it runs in; the csr backend needs host memory and
+        silently falls back to the blocked kernel on real-device engines.
+        """
         if states.shape[0] != self.num_rows:
             raise SimulationError(
                 f"state dim {states.shape[0]} != ELL rows {self.num_rows}"
@@ -154,30 +181,35 @@ class GatherPlan:
                 raise SimulationError("ell_spmm cannot run in place")
             if out.shape != states.shape:
                 raise SimulationError("output buffer shape mismatch")
+        eng = get_engine(engine)
+        values, cols, flat_cols = self.engine_arrays(eng)
         injector = get_fault_injector()
         if self.is_width_one:
             get_metrics().inc("spmm.backend.width1")
-            result = self.values * states[self.flat_cols, :]
+            result = _kernels.ell_gather_width1(eng, values, flat_cols, states)
         else:
             mode = _resolve_backend(backend)
+            if mode == "csr" and not eng.host_memory:
+                mode = "numpy"  # scipy CSR cannot consume device arrays
             if injector is not None and injector.check(f"spmm.{mode}"):
                 raise SimulationError(f"injected spMM backend fault ({mode})")
             get_metrics().inc(f"spmm.backend.{mode}")
             if mode == "csr":
                 result = self._csr_matrix() @ states
             elif mode == "numpy":
-                result = self._apply_blocked(states)
+                result = _kernels.ell_gather_spmm(eng, values, cols, states)
             else:
-                result = ell_spmm_loop(self.to_ell(), states)
+                result = _kernels.ell_gather_slots(
+                    eng, values, cols, states, eng.xp.zeros_like(states)
+                )
         if injector is not None and injector.check("bitflip"):
             # every branch above produced a fresh array, so the corruption
             # never reaches the caller's inputs; the device-level output
             # check turns the NaN into a healed retry
-            result.flat[injector.draw_index("bitflip", result.size)] = np.nan
+            eng.poison(result, injector.draw_index("bitflip", result.size))
         if out is None:
             return result
-        np.copyto(out, result)
-        return out
+        return _kernels.copy_into(eng, out, result)
 
     def _csr_matrix(self):
         """CSR mirror, keeping padded slots as explicit zeros so the
@@ -189,25 +221,6 @@ class GatherPlan:
                 shape=(self.num_rows, self.num_rows),
             )
         return self._csr
-
-    def _apply_blocked(self, states: np.ndarray) -> np.ndarray:
-        """Cache-blocked gather + multiply-accumulate.
-
-        Processes row blocks small enough that the per-block temporaries
-        stay cache-resident; performs the identical operation sequence as
-        the per-slot loop, so the result is bit-identical to it.
-        """
-        batch = states.shape[1] if states.ndim == 2 else 1
-        block = max(16, min(self.num_rows, _BLOCK_ELEMS // max(batch, 1)))
-        out = np.empty_like(states)
-        values, cols = self.values, self.cols
-        for r0 in range(0, self.num_rows, block):
-            r1 = min(r0 + block, self.num_rows)
-            acc = np.zeros((r1 - r0,) + states.shape[1:], dtype=states.dtype)
-            for k in range(self.width):
-                acc += values[r0:r1, k : k + 1] * states[cols[r0:r1, k], :]
-            out[r0:r1] = acc
-        return out
 
 
 def gather_plan(ell: ELLMatrix) -> GatherPlan:
@@ -251,6 +264,7 @@ def ell_spmm(
     states: np.ndarray,
     out: np.ndarray | None = None,
     backend: str | None = None,
+    engine: "str | ArrayEngine | None" = None,
 ) -> np.ndarray:
     """Multiply an ELL gate matrix by a ``(2^n, batch)`` state block.
 
@@ -258,11 +272,14 @@ def ell_spmm(
     memoized on first use) or a prebuilt :class:`GatherPlan`.
     """
     plan = gather_plan(ell) if isinstance(ell, ELLMatrix) else ell
-    return plan.apply(states, out=out, backend=backend)
+    return plan.apply(states, out=out, backend=backend, engine=engine)
 
 
 def ell_spmm_loop(
-    ell: ELLMatrix, states: np.ndarray, out: np.ndarray | None = None
+    ell: ELLMatrix,
+    states: np.ndarray,
+    out: np.ndarray | None = None,
+    engine: "str | ArrayEngine | None" = None,
 ) -> np.ndarray:
     """Reference per-slot loop kernel (the original implementation).
 
@@ -274,17 +291,17 @@ def ell_spmm_loop(
         raise SimulationError(
             f"state dim {states.shape[0]} != ELL rows {ell.num_rows}"
         )
+    eng = get_engine(engine)
     if out is None:
-        out = np.zeros_like(states)
+        out = eng.xp.zeros_like(states)
     elif out.shape != states.shape:
         raise SimulationError("output buffer shape mismatch")
     else:
         if out is states:
             raise SimulationError("ell_spmm cannot run in place")
-        out[:] = 0
-    for k in range(ell.width):
-        out += ell.values[:, k : k + 1] * states[ell.cols[:, k], :]
-    return out
+    plan = gather_plan(ell) if isinstance(ell, ELLMatrix) else ell
+    values, cols, _ = plan.engine_arrays(eng)
+    return _kernels.ell_gather_slots(eng, values, cols, states, out)
 
 
 def spmm_macs(ell: ELLMatrix, batch_size: int) -> int:

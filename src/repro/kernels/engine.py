@@ -1,0 +1,259 @@
+"""Swappable array-backend engines (the ``xp`` namespace).
+
+Every numeric hot path in the package — ELL spMM gathers, dense gate
+applies, buffer rotation, statevector init/normalize — runs through an
+:class:`ArrayEngine` instead of calling ``numpy`` directly, so the whole
+execution layer can be retargeted at runtime (polyadicQML's *manyq*
+simulator pioneered this shape for SIMD-batched parametric circuits):
+
+* ``"numpy"`` — the default host engine.  Kernels perform exactly the
+  same operations, in the same order, as the pre-engine direct-NumPy
+  code, so results are **bit-identical** to the historical outputs.
+* ``"fake-gpu"`` — a deterministic NumPy-backed stand-in for a real
+  device, used in CI where no GPU exists.  It models the device
+  boundary (every host<->device transfer makes a copy and is counted)
+  and accumulates ELL slots in the reverse order — the kind of
+  floating-point reassociation a real GPU's scheduling introduces — so
+  results agree with the numpy engine only within tolerance, which is
+  precisely what engine-parity tests must be robust to.
+* ``"cupy"`` — the real-GPU engine.  Available only when CuPy is
+  importable; selecting it without CuPy raises a typed error.
+
+Selection order: an explicit ``engine=`` argument wins, then the process
+default installed by :func:`set_default_engine` / :func:`use_engine`,
+then the ``REPRO_ENGINE`` environment variable, then ``"numpy"``.
+:func:`cpu` and :func:`gpu` mirror manyq's ``circuit.cpu()`` /
+``circuit.gpu()`` runtime switch.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+
+import numpy
+
+from ..errors import SimulationError
+
+#: environment variable naming the process-default engine
+ENGINE_ENV = "REPRO_ENGINE"
+
+#: engine names accepted by :func:`get_engine`
+ENGINE_NAMES = ("numpy", "fake-gpu", "cupy")
+
+
+class EngineUnavailableError(SimulationError):
+    """Requested engine's backing library is not importable."""
+
+
+class ArrayEngine:
+    """One array backend: a namespace plus the host/device boundary.
+
+    Attributes:
+        name: registry name (``numpy``, ``fake-gpu``, ``cupy``).
+        xp: the array namespace kernels compute with.
+        is_device: True when arrays live in a (modeled or real) device
+            space and host<->engine transfers are meaningful copies.
+    """
+
+    name = "abstract"
+    is_device = False
+    #: True when engine arrays live in host memory (SciPy/NumPy can
+    #: consume them directly); False for real device backends
+    host_memory = True
+
+    def __init__(self) -> None:
+        self.xp = numpy
+
+    # -- data movement ------------------------------------------------------
+
+    def asarray(self, array):
+        """View ``array`` in this engine's space (no copy when possible)."""
+        return self.xp.asarray(array)
+
+    def from_host(self, array):
+        """Fresh engine-space copy of a host array (an H2D transfer)."""
+        return self.xp.array(array, copy=True)
+
+    def to_host(self, array) -> numpy.ndarray:
+        """Host view of an engine array (no copy when already on host)."""
+        return numpy.asarray(array)
+
+    def to_host_copy(self, array) -> numpy.ndarray:
+        """Fresh host copy of an engine array (a D2H transfer)."""
+        return numpy.array(self.to_host(array), copy=True)
+
+    def synchronize(self) -> None:
+        """Block until queued device work is complete (no-op on host)."""
+
+    # -- kernel-shaping knobs ------------------------------------------------
+
+    def slot_order(self, width: int) -> range:
+        """Order ELL slots are accumulated in by the gather kernels.
+
+        The numpy engine accumulates slot 0 first — the exact order of the
+        reference loop, preserving bit-identity.  Device-flavored engines
+        may reassociate (see :class:`FakeGpuEngine`).
+        """
+        return range(width)
+
+    def poison(self, array, flat_index: int) -> None:
+        """Write a NaN at ``flat_index`` (fault-injection hook)."""
+        array.flat[flat_index] = float("nan")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ArrayEngine {self.name}>"
+
+
+class NumpyEngine(ArrayEngine):
+    """The default host engine: plain NumPy, bit-identical to history."""
+
+    name = "numpy"
+
+
+class FakeGpuEngine(ArrayEngine):
+    """Deterministic NumPy-backed device stand-in for CI.
+
+    Behaves like a GPU engine at the API boundary — transfers copy, and
+    kernels are free to reassociate floating point — while remaining
+    fully deterministic, so tests can pin its outputs.  The reversed
+    slot order makes its spMM results differ from the numpy engine in
+    the last few ULPs, which keeps parity tests honest about tolerance.
+    """
+
+    name = "fake-gpu"
+    is_device = True
+
+    def asarray(self, array):
+        # a "device" array is still host memory; no copy needed
+        return self.xp.asarray(array)
+
+    def slot_order(self, width: int) -> range:
+        return range(width - 1, -1, -1)
+
+
+class CupyEngine(ArrayEngine):
+    """Real-GPU engine backed by CuPy (optional dependency)."""
+
+    name = "cupy"
+    is_device = True
+    host_memory = False
+
+    def __init__(self) -> None:
+        try:
+            import cupy
+        except ImportError as exc:  # pragma: no cover - no cupy in CI
+            raise EngineUnavailableError(
+                "engine 'cupy' requires CuPy (pip install cupy-cuda12x); "
+                "use 'numpy' or 'fake-gpu' instead"
+            ) from exc
+        self.xp = cupy
+
+    def to_host(self, array) -> numpy.ndarray:  # pragma: no cover - no cupy
+        if isinstance(array, numpy.ndarray):
+            return array
+        return self.xp.asnumpy(array)
+
+    def synchronize(self) -> None:  # pragma: no cover - no cupy
+        self.xp.cuda.get_current_stream().synchronize()
+
+    def poison(self, array, flat_index: int) -> None:  # pragma: no cover
+        array.reshape(-1)[flat_index] = float("nan")
+
+
+_FACTORIES = {
+    "numpy": NumpyEngine,
+    "fake-gpu": FakeGpuEngine,
+    "cupy": CupyEngine,
+}
+
+_lock = threading.Lock()
+_instances: dict[str, ArrayEngine] = {}
+_default_name: str | None = None
+
+
+def available_engines() -> tuple[str, ...]:
+    """All engine names this build knows about (cupy may still fail)."""
+    return ENGINE_NAMES
+
+
+def engine_available(name: str) -> bool:
+    """True when ``name`` can actually be instantiated on this machine."""
+    if name not in _FACTORIES:
+        return False
+    try:
+        get_engine(name)
+    except EngineUnavailableError:
+        return False
+    return True
+
+
+def get_engine(engine: "str | ArrayEngine | None" = None) -> ArrayEngine:
+    """Resolve an engine argument to a live :class:`ArrayEngine`.
+
+    ``engine`` may be an engine instance (returned as-is), a registry
+    name, or ``None`` — which picks the process default: whatever
+    :func:`set_default_engine` installed, else ``$REPRO_ENGINE``, else
+    ``"numpy"``.
+    """
+    if isinstance(engine, ArrayEngine):
+        return engine
+    name = engine
+    if name is None:
+        name = _default_name or os.environ.get(ENGINE_ENV) or "numpy"
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        raise SimulationError(
+            f"unknown array engine {name!r}; expected one of {ENGINE_NAMES}"
+        )
+    with _lock:
+        instance = _instances.get(name)
+        if instance is None:
+            instance = factory()  # may raise EngineUnavailableError
+            _instances[name] = instance
+    return instance
+
+
+def set_default_engine(engine: "str | ArrayEngine | None") -> "str | None":
+    """Install the process-default engine; returns the previous default.
+
+    ``None`` restores environment/``numpy`` resolution.
+    """
+    global _default_name
+    previous = _default_name
+    _default_name = None if engine is None else get_engine(engine).name
+    return previous
+
+
+@contextmanager
+def use_engine(engine: "str | ArrayEngine"):
+    """Scope the process-default engine to a ``with`` block."""
+    previous = set_default_engine(engine)
+    try:
+        yield get_engine(None)
+    finally:
+        set_default_engine(previous)
+
+
+def cpu() -> ArrayEngine:
+    """Switch the process default to the numpy engine (manyq's ``cpu()``)."""
+    set_default_engine("numpy")
+    return get_engine(None)
+
+
+def gpu(allow_fake: bool = False) -> ArrayEngine:
+    """Switch the process default to a GPU engine (manyq's ``gpu()``).
+
+    Prefers the real CuPy engine; with ``allow_fake=True`` it falls back
+    to the deterministic ``fake-gpu`` engine when CuPy is missing, which
+    is the CI-friendly way to exercise the device-flavored code paths.
+    """
+    try:
+        engine = get_engine("cupy")
+    except EngineUnavailableError:
+        if not allow_fake:
+            raise
+        engine = get_engine("fake-gpu")
+    set_default_engine(engine)
+    return engine

@@ -1,0 +1,68 @@
+"""The named-kernel registry.
+
+Every numeric hot-path primitive is registered here under a stable name;
+calls resolve their engine and feed per-backend counters into the global
+metrics registry as ``kernel.<name>.<backend>.calls`` — so a metrics
+snapshot (``--metrics-out``, ``stats["metrics"]``) attributes every
+gather, apply, and rotation to the array backend that executed it.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable
+
+from ..errors import SimulationError
+from ..obs import get_metrics
+from .engine import ArrayEngine, get_engine
+
+#: kernel name -> wrapped callable taking (engine, *args, **kwargs)
+_KERNELS: dict[str, Callable] = {}
+
+
+def kernel(name: str) -> Callable:
+    """Register a kernel under ``name``.
+
+    The wrapped function's first argument is an engine designator (an
+    :class:`~repro.kernels.engine.ArrayEngine`, a name, or ``None`` for
+    the process default); resolution and call counting happen here so
+    every kernel body receives a live engine and every invocation is
+    attributed to a backend.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(engine, *args, **kwargs):
+            resolved = (
+                engine if isinstance(engine, ArrayEngine) else get_engine(engine)
+            )
+            get_metrics().inc(f"kernel.{name}.{resolved.name}.calls")
+            return fn(resolved, *args, **kwargs)
+
+        wrapper.kernel_name = name
+        if name in _KERNELS:
+            raise SimulationError(f"kernel {name!r} registered twice")
+        _KERNELS[name] = wrapper
+        return wrapper
+
+    return decorate
+
+
+def kernel_names() -> tuple[str, ...]:
+    """All registered kernel names, sorted."""
+    return tuple(sorted(_KERNELS))
+
+
+def get_kernel(name: str) -> Callable:
+    """Look up a registered kernel by name."""
+    try:
+        return _KERNELS[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown kernel {name!r}; registered: {kernel_names()}"
+        ) from None
+
+
+def call(name: str, engine, *args, **kwargs):
+    """Invoke kernel ``name`` on ``engine`` (dynamic dispatch helper)."""
+    return get_kernel(name)(engine, *args, **kwargs)

@@ -37,6 +37,8 @@ from ..fusion.bqcs import bqcs_fusion, no_fusion_plan
 from ..fusion.plan import FusionPlan
 from ..gpu.device import VirtualGPU
 from ..gpu.power import PowerReport, cpu_power_from_utilization, gpu_power_from_work
+from ..kernels import ops as _kernels
+from ..kernels.engine import ArrayEngine, get_engine
 from ..gpu.spec import (
     COMPLEX_BYTES,
     CpuSpec,
@@ -112,8 +114,12 @@ class BQSimSimulator(BatchSimulator):
         checkpoint_dir: str | Path | None = None,
         checkpoint_every: int = 1,
         max_splits: int = 0,
+        engine: "str | ArrayEngine | None" = None,
     ):
         self.gpu = gpu or GpuSpec()
+        #: array-engine designator; resolved per run so ``REPRO_ENGINE``
+        #: and :func:`repro.kernels.set_default_engine` changes apply
+        self.engine = engine
         self.cpu = cpu or CpuSpec()
         self.tau = tau
         self.fusion = fusion
@@ -383,6 +389,7 @@ class BQSimSimulator(BatchSimulator):
     ) -> SimulationResult:
         wall_start = time.perf_counter()
         n = circuit.num_qubits
+        eng = get_engine(self.engine)
         obs = RunObservation()
         timer = StageTimer(stages=CANONICAL_STAGES)
 
@@ -473,6 +480,7 @@ class BQSimSimulator(BatchSimulator):
                     skip=skip,
                     ladder=ladder,
                     on_batch=on_batch if execute else None,
+                    engine=eng,
                 )
                 timeline = device.run()
                 if outputs is not None and resumed:
@@ -514,6 +522,7 @@ class BQSimSimulator(BatchSimulator):
             wall_time=time.perf_counter() - wall_start,
             stats=obs.finalize(
                 {
+                    "engine": eng.name,
                     "fused_gates": len(plan),
                     "total_cost": plan.total_cost,
                     "macs": plan.macs(spec.num_inputs),
@@ -548,6 +557,7 @@ class BQSimSimulator(BatchSimulator):
         skip: int = 0,
         ladder: BackendLadder | None = None,
         on_batch=None,
+        engine: "ArrayEngine | None" = None,
     ):
         """Build and numerically execute the task graph, splitting batches
         on memory pressure.
@@ -565,6 +575,7 @@ class BQSimSimulator(BatchSimulator):
                 mode="graph" if self.task_graph else "stream",
                 retry=self.retry,
                 seed=spec.seed,
+                engine=engine if engine is not None else self.engine,
             )
             work = {"macs": 0.0, "bytes": 0.0}
             try:
@@ -735,10 +746,13 @@ class BQSimSimulator(BatchSimulator):
                             ell=ell, src_buf=src_buf, dst_buf=dst_buf
                         ):
                             states = src_buf.require()
+                            eng = device.engine
                             if ladder is not None:
-                                dst_buf.array = ladder.apply(ell, states)
+                                dst_buf.array = ladder.apply(
+                                    ell, states, engine=eng
+                                )
                             else:
-                                dst_buf.array = ell_spmm(ell, states)
+                                dst_buf.array = ell_spmm(ell, states, engine=eng)
 
                         handle = device.kernel(
                             f"k{ik}:{tag}",
@@ -783,12 +797,12 @@ class BQSimSimulator(BatchSimulator):
                 jb += 1
 
             if executing:
-                merged = parts[0] if len(parts) == 1 else np.hstack(parts)
+                merged = _kernels.batch_merge(device.engine, parts)
                 if on_batch is not None:
                     merged = on_batch(ib, merged)
                 outputs.append(merged)
                 if snapshots is not None:
                     snapshots.append(
-                        [s[0] if len(s) == 1 else np.hstack(s) for s in ksnaps]
+                        [_kernels.batch_merge(device.engine, s) for s in ksnaps]
                     )
         return outputs, snapshots

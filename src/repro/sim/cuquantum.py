@@ -37,6 +37,7 @@ from ..gpu.spec import (
     dense_kernel_bytes,
     state_block_bytes,
 )
+from ..kernels.engine import ArrayEngine, get_engine
 from ..obs import CANONICAL_STAGES
 from ..profile import StageTimer
 from ..resilience import (
@@ -81,6 +82,7 @@ class CuQuantumSimulator(BatchSimulator):
         retry: RetryPolicy | None = None,
         faults: FaultPlan | str | None = None,
         health: HealthPolicy | str | None = "warn",
+        engine: "str | ArrayEngine | None" = None,
     ):
         self.gpu = gpu or GpuSpec()
         self.cpu = cpu or CpuSpec()
@@ -91,6 +93,7 @@ class CuQuantumSimulator(BatchSimulator):
         self.retry = retry
         self.faults = faults
         self.health = HealthPolicy.coerce(health)
+        self.engine = engine
 
     def _gate_support(self, circuit: Circuit, indices: Sequence[int]) -> int:
         qubits: set[int] = set()
@@ -117,6 +120,7 @@ class CuQuantumSimulator(BatchSimulator):
     ) -> SimulationResult:
         wall_start = time.perf_counter()
         n = circuit.num_qubits
+        eng = get_engine(self.engine)
         obs = RunObservation()
         timer = StageTimer(stages=CANONICAL_STAGES)
 
@@ -163,6 +167,7 @@ class CuQuantumSimulator(BatchSimulator):
                     wall_time=time.perf_counter() - wall_start,
                     stats=obs.finalize(
                         {
+                            "engine": eng.name,
                             "failed": "dense fused gates exceed device memory",
                             "matrix_bytes": matrix_bytes,
                             "plan": plan,
@@ -188,7 +193,11 @@ class CuQuantumSimulator(BatchSimulator):
 
             with timer.time("execute") as span:
                 device = VirtualGPU(
-                    self.gpu, mode="stream", retry=self.retry, seed=spec.seed
+                    self.gpu,
+                    mode="stream",
+                    retry=self.retry,
+                    seed=spec.seed,
+                    engine=eng,
                 )
                 ladder = BackendLadder() if execute else None
                 rows = 1 << n
@@ -223,7 +232,9 @@ class CuQuantumSimulator(BatchSimulator):
                             def body(ell=ell, buffer=buffer, cell=[]):
                                 if not cell:
                                     cell.append(buffer.require())
-                                buffer.array = ladder.apply(ell, cell[0])
+                                buffer.array = ladder.apply(
+                                    ell, cell[0], engine=device.engine
+                                )
 
                             prev = device.kernel(
                                 f"k{ik}:b{ib}",
@@ -269,6 +280,7 @@ class CuQuantumSimulator(BatchSimulator):
             wall_time=time.perf_counter() - wall_start,
             stats=obs.finalize(
                 {
+                    "engine": eng.name,
                     "plan": plan,
                     "macs": sum(
                         (1 << k) * rows * spec.num_inputs for k in supports

@@ -22,6 +22,7 @@ from ..ell.spmm import build_apply_plans
 from ..fusion.greedy import flatdd_fusion
 from ..gpu.power import PowerReport, cpu_power_from_utilization
 from ..gpu.spec import CpuSpec, GpuSpec
+from ..kernels.engine import ArrayEngine, get_engine
 from ..obs import CANONICAL_STAGES
 from ..profile import StageTimer
 from ..resilience import (
@@ -64,6 +65,7 @@ class FlatDDSimulator(BatchSimulator):
         retry: RetryPolicy | None = None,
         faults: FaultPlan | str | None = None,
         health: HealthPolicy | str | None = "warn",
+        engine: "str | ArrayEngine | None" = None,
     ):
         self.cpu = cpu or CpuSpec()
         self.gpu = gpu or GpuSpec()  # unused; kept for a uniform constructor
@@ -71,6 +73,7 @@ class FlatDDSimulator(BatchSimulator):
         self.retry = retry
         self.faults = faults
         self.health = HealthPolicy.coerce(health)
+        self.engine = engine
 
     def run(
         self,
@@ -91,6 +94,7 @@ class FlatDDSimulator(BatchSimulator):
     ) -> SimulationResult:
         wall_start = time.perf_counter()
         n = circuit.num_qubits
+        eng = get_engine(self.engine)
         obs = RunObservation()
         timer = StageTimer(stages=CANONICAL_STAGES)
 
@@ -136,13 +140,17 @@ class FlatDDSimulator(BatchSimulator):
                     session = RetrySession(self.retry, seed=spec.seed)
                     outputs = []
                     for ib, batch in enumerate(batches):
-                        states = batch.states
+                        states = (
+                            eng.from_host(batch.states)
+                            if eng.is_device
+                            else batch.states
+                        )
                         for apply_plan in apply_plans:
                             states = apply_with_recovery(
-                                ladder, apply_plan, states, session
+                                ladder, apply_plan, states, session, engine=eng
                             )
                         states = check_state_block(
-                            states, self.health,
+                            eng.to_host(states), self.health,
                             label=f"{circuit.name} batch {ib}",
                         )
                         outputs.append(states)
@@ -166,6 +174,7 @@ class FlatDDSimulator(BatchSimulator):
             wall_time=time.perf_counter() - wall_start,
             stats=obs.finalize(
                 {
+                    "engine": eng.name,
                     "plan": plan,
                     "macs": plan.macs(spec.num_inputs),
                     "work_per_input": work_per_input,

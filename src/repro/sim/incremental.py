@@ -48,6 +48,7 @@ class IncrementalSession:
             gpu=base.gpu, cpu=base.cpu, tau=base.tau, fusion=base.fusion,
             use_ell=base.use_ell, task_graph=base.task_graph,
             max_fused_cost=base.max_fused_cost, snapshots=True,
+            engine=base.engine,
         )
         self.circuit = Circuit(circuit.num_qubits, list(circuit.gates),
                                name=circuit.name)
@@ -101,6 +102,7 @@ class IncrementalSession:
             fusion=self._sim.fusion, use_ell=self._sim.use_ell,
             task_graph=self._sim.task_graph,
             max_fused_cost=self._sim.max_fused_cost, snapshots=True,
+            engine=self._sim.engine,
         )
         spec = BatchSpec(len(suffix_inputs), suffix_inputs[0].batch_size)
         result = suffix_sim.run(suffix, spec, batches=suffix_inputs)

@@ -25,6 +25,7 @@ from ..errors import CheckpointError, SimulationError
 from ..gpu.device import VirtualGPU
 from ..gpu.power import PowerReport, cpu_power_from_utilization, gpu_power_from_work
 from ..gpu.spec import CpuSpec, GpuSpec, ell_kernel_bytes, state_block_bytes
+from ..kernels.engine import get_engine
 from ..obs import CANONICAL_STAGES
 from ..profile import StageTimer
 from ..resilience import BackendLadder, check_state_block, fault_injection
@@ -78,6 +79,7 @@ class MultiGpuBQSimSimulator(BQSimSimulator):
     ) -> SimulationResult:
         wall_start = time.perf_counter()
         n = circuit.num_qubits
+        eng = get_engine(self.engine)
         obs = RunObservation()
         timer = StageTimer(stages=CANONICAL_STAGES)
 
@@ -140,6 +142,7 @@ class MultiGpuBQSimSimulator(BQSimSimulator):
                             mode="graph" if self.task_graph else "stream",
                             retry=self.retry,
                             seed=spec.seed + device_index,
+                            engine=eng,
                         )
                         shard_spec = BatchSpec(len(shard), spec.batch_size, spec.seed)
                         shard_batches = (
@@ -199,6 +202,7 @@ class MultiGpuBQSimSimulator(BQSimSimulator):
             wall_time=time.perf_counter() - wall_start,
             stats=obs.finalize(
                 {
+                    "engine": eng.name,
                     "fused_gates": len(plan),
                     "total_cost": plan.total_cost,
                     "macs": plan.macs(spec.num_inputs),

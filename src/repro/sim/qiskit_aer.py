@@ -21,6 +21,7 @@ from ..ell.spmm import build_apply_plans
 from ..fusion.array_fusion import aer_fusion
 from ..gpu.power import PowerReport, cpu_power_from_utilization, gpu_power_from_work
 from ..gpu.spec import COMPLEX_BYTES, CpuSpec, GpuSpec
+from ..kernels.engine import ArrayEngine, get_engine
 from ..obs import CANONICAL_STAGES
 from ..profile import StageTimer
 from ..resilience import (
@@ -64,6 +65,7 @@ class QiskitAerSimulator(BatchSimulator):
         retry: RetryPolicy | None = None,
         faults: FaultPlan | str | None = None,
         health: HealthPolicy | str | None = "warn",
+        engine: "str | ArrayEngine | None" = None,
     ):
         self.gpu = gpu or GpuSpec()
         self.cpu = cpu or CpuSpec()
@@ -72,6 +74,7 @@ class QiskitAerSimulator(BatchSimulator):
         self.retry = retry
         self.faults = faults
         self.health = HealthPolicy.coerce(health)
+        self.engine = engine
 
     def run(
         self,
@@ -93,6 +96,7 @@ class QiskitAerSimulator(BatchSimulator):
         wall_start = time.perf_counter()
         n = circuit.num_qubits
         rows = 1 << n
+        eng = get_engine(self.engine)
         obs = RunObservation()
         timer = StageTimer(stages=CANONICAL_STAGES)
 
@@ -159,13 +163,17 @@ class QiskitAerSimulator(BatchSimulator):
                     session = RetrySession(self.retry, seed=spec.seed)
                     outputs = []
                     for ib, batch in enumerate(batches):
-                        states = batch.states
+                        states = (
+                            eng.from_host(batch.states)
+                            if eng.is_device
+                            else batch.states
+                        )
                         for apply_plan in apply_plans:
                             states = apply_with_recovery(
-                                ladder, apply_plan, states, session
+                                ladder, apply_plan, states, session, engine=eng
                             )
                         states = check_state_block(
-                            states, self.health,
+                            eng.to_host(states), self.health,
                             label=f"{circuit.name} batch {ib}",
                         )
                         outputs.append(states)
@@ -194,6 +202,7 @@ class QiskitAerSimulator(BatchSimulator):
             wall_time=time.perf_counter() - wall_start,
             stats=obs.finalize(
                 {
+                    "engine": eng.name,
                     "plan": plan,
                     "macs": plan.macs(num_inputs),
                     "host_per_input": host_per_input,

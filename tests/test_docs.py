@@ -45,7 +45,13 @@ def doc_pages():
 
 def test_docs_exist():
     names = {page.name for page in doc_pages()}
-    assert {"index.md", "quickstart.md", "operations.md", "architecture.md"} <= names
+    assert {
+        "index.md",
+        "quickstart.md",
+        "operations.md",
+        "architecture.md",
+        "kernels.md",
+    } <= names
 
 
 def test_quickstart_python_blocks_execute_in_order():

@@ -1,0 +1,154 @@
+"""Tests for parameter-batched SIMD execution (ParamBatch)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, random_batch
+from repro.errors import SimulationError
+from repro.kernels import ParamBatch, structural_fingerprint
+from repro.sim.statevector import simulate_batch
+from repro.vqa import Ansatz
+
+
+def _bound_circuits(num_qubits=3, reps=2, K=5, seed=0):
+    ansatz = Ansatz(num_qubits=num_qubits, reps=reps)
+    rng = np.random.default_rng(seed)
+    rows = [ansatz.random_parameters(rng) for _ in range(K)]
+    return ansatz, rows, [ansatz.bind(row) for row in rows]
+
+
+# ---------------------------------------------------------------------------
+# structural fingerprint
+# ---------------------------------------------------------------------------
+
+def test_structural_fingerprint_ignores_parameter_values():
+    _, _, circuits = _bound_circuits(K=3)
+    keys = {structural_fingerprint(c) for c in circuits}
+    assert len(keys) == 1
+    # but the full fingerprint (which hashes values) differs
+    assert len({c.fingerprint() for c in circuits}) == 3
+
+
+def test_structural_fingerprint_sees_structure():
+    a = Circuit(2).h(0).cx(0, 1)
+    b = Circuit(2).h(1).cx(0, 1)
+    c = Circuit(2).h(0).cx(1, 0)
+    keys = {structural_fingerprint(x) for x in (a, b, c)}
+    assert len(keys) == 3
+
+
+def test_mixed_structures_rejected():
+    a = Circuit(2).h(0)
+    b = Circuit(2).x(0)
+    with pytest.raises(SimulationError, match="structural"):
+        ParamBatch([a, b])
+
+
+def test_empty_batch_rejected():
+    with pytest.raises(SimulationError, match="at least one"):
+        ParamBatch([])
+
+
+# ---------------------------------------------------------------------------
+# execution: batched == serial == reference
+# ---------------------------------------------------------------------------
+
+def test_run_bit_identical_to_run_serial_on_numpy():
+    _, _, circuits = _bound_circuits(K=5)
+    pb = ParamBatch(circuits, engine="numpy")
+    batched = pb.run()
+    serial = pb.run_serial()
+    assert batched.shape == (5, 8, 1)
+    np.testing.assert_array_equal(batched, serial)
+
+
+def test_run_matches_statevector_reference():
+    _, _, circuits = _bound_circuits(K=4)
+    batch = random_batch(3, 6, rng=11)
+    pb = ParamBatch(circuits, engine="numpy")
+    out = pb.run(batch)
+    assert out.shape == (4, 8, 6)
+    for k, circuit in enumerate(circuits):
+        reference = simulate_batch(circuit, batch, engine="numpy")
+        np.testing.assert_array_equal(out[k], reference)
+
+
+def test_run_handles_controlled_and_default_state():
+    circuits = [
+        Circuit(2).h(0).cp(theta, 0, 1).cx(1, 0) for theta in (0.3, 1.1, 2.7)
+    ]
+    pb = ParamBatch(circuits)
+    out = pb.run()
+    for k, circuit in enumerate(circuits):
+        reference = circuit.to_matrix()[:, 0].reshape(4, 1)
+        np.testing.assert_allclose(out[k], reference, atol=1e-12)
+
+
+def test_run_accepts_raw_state_array():
+    _, _, circuits = _bound_circuits(num_qubits=2, K=2)
+    state = np.zeros(4, dtype=np.complex128)
+    state[3] = 1.0
+    out = ParamBatch(circuits).run(state)
+    assert out.shape == (2, 4, 1)
+    for k, circuit in enumerate(circuits):
+        expected = circuit.to_matrix() @ state.reshape(4, 1)
+        np.testing.assert_allclose(out[k], expected, atol=1e-12)
+
+
+def test_run_rejects_wrong_dimension():
+    _, _, circuits = _bound_circuits(num_qubits=3, K=2)
+    with pytest.raises(SimulationError, match="dim"):
+        ParamBatch(circuits).run(np.zeros((4, 1), dtype=np.complex128))
+
+
+def test_fake_gpu_engine_matches_numpy_within_tolerance():
+    _, _, circuits = _bound_circuits(K=4)
+    batch = random_batch(3, 5, rng=3)
+    pb = ParamBatch(circuits)
+    host = pb.run(batch, engine="numpy")
+    device = pb.run(batch, engine="fake-gpu")
+    np.testing.assert_allclose(device, host, atol=1e-12)
+
+
+def test_engine_argument_wins_over_constructor():
+    _, _, circuits = _bound_circuits(K=2)
+    pb = ParamBatch(circuits, engine="fake-gpu")
+    out = pb.run(engine="numpy")
+    np.testing.assert_array_equal(out, pb.run_serial(engine="numpy"))
+
+
+def test_from_ansatz_convenience():
+    ansatz, rows, circuits = _bound_circuits(K=3)
+    pb = ParamBatch.from_ansatz(ansatz, rows)
+    assert pb.num_sets == 3
+    assert pb.num_gates == len(circuits[0].gates)
+    np.testing.assert_array_equal(pb.run(), ParamBatch(circuits).run())
+
+
+# ---------------------------------------------------------------------------
+# the schedule model
+# ---------------------------------------------------------------------------
+
+def test_modeled_times_launch_counts_and_speedup():
+    ansatz, rows, _ = _bound_circuits(K=64)
+    pb = ParamBatch.from_ansatz(ansatz, rows)
+    model = pb.modeled_times()
+    assert model["num_sets"] == 64
+    assert model["serial_kernels"] == 64 * pb.num_gates
+    assert model["batched_kernels"] == pb.num_gates
+    assert model["serial_s"] > model["batched_s"] > 0
+    # the acceptance bar: K >= 64 parameter sets amortize launch
+    # overhead at least 3x on the calibrated device model
+    assert model["speedup"] >= 3.0
+
+
+def test_modeled_speedup_grows_with_k():
+    ansatz = Ansatz(num_qubits=4, reps=2)
+    rng = np.random.default_rng(0)
+    speedups = []
+    for K in (2, 16, 128):
+        rows = [ansatz.random_parameters(rng) for _ in range(K)]
+        speedups.append(ParamBatch.from_ansatz(ansatz, rows).modeled_times()["speedup"])
+    assert speedups[0] < speedups[1] < speedups[2]

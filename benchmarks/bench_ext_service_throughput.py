@@ -12,11 +12,18 @@ Asserts:
 * coalescing actually happened (mean coalesce factor > 1, reported);
 * coalesced modeled time beats solo modeled time (speedup > 1);
 * both modes produce bit-identical amplitudes for every job.
+
+The coalesced run's ``stats["slo"]`` block (per-priority latency and
+queue-age percentiles, deadline/degradation rates) is written to
+``BENCH_service_slo.json`` next to this module, so the serving layer's
+SLO trajectory is machine-readable across PRs.
 """
 
+import json
 import os
 import tempfile
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -24,6 +31,9 @@ from conftest import run_once
 
 from repro.circuit.generators import make_circuit
 from repro.service import BatchSimulationService
+
+#: machine-readable SLO summary of the coalesced run, refreshed per run
+SLO_JSON = Path(__file__).parent / "BENCH_service_slo.json"
 
 FAMILIES = ("qft", "ghz", "vqe")
 NUM_QUBITS = 6
@@ -54,6 +64,19 @@ def service_throughput() -> dict:
         assert a is not None and np.array_equal(a, b)
     stats_c = coalesced.stats()
     stats_s = solo.stats()
+    SLO_JSON.write_text(json.dumps(
+        {
+            "bench": "service_throughput",
+            "jobs": len(ids_c),
+            "coalesce_factor_mean": stats_c["coalesce_factor_mean"],
+            "speedup_vs_solo": (
+                stats_s["modeled_time_s"] / stats_c["modeled_time_s"]
+            ),
+            "slo": stats_c["slo"],
+            "slo_solo": stats_s["slo"],
+        },
+        indent=2,
+    ) + "\n")
     return {
         "jobs": len(ids_c),
         "coalesce_factor_mean": stats_c["coalesce_factor_mean"],

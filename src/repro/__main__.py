@@ -7,6 +7,10 @@ Subcommands::
                               [--batches N] [--batch-size B] [--execute]
                               [--trace-out trace.json] [--metrics-out m.jsonl]
     python -m repro trace     --family qft -n 10 --out trace.json
+    python -m repro trace     --serve --workers 2 --parallelism process
+                              --out service.json   # merged cross-process trace
+    python -m repro metrics   --in metrics.jsonl [--out metrics.prom]
+    python -m repro status    --stats stats.json  # SLO snapshot table
     python -m repro fuse      --family qnn -n 10      # show the fusion plan
     python -m repro check     --qasm A.qasm --against B.qasm
     python -m repro bench ... # alias of python -m repro.bench
@@ -218,6 +222,23 @@ def cmd_serve(args) -> int:
     print(f"throughput: {stats['inputs_done']} inputs in "
           f"{stats['modeled_time_s'] * 1e3:.3f} ms modeled "
           f"({stats['modeled_throughput_inputs_per_s']:.0f} inputs/s)")
+    slo = stats.get("slo", {})
+    lat = slo.get("latency_s", {})
+    print(f"slo       : latency p50 {lat.get('p50', 0.0) * 1e3:.3f} ms "
+          f"p95 {lat.get('p95', 0.0) * 1e3:.3f} ms "
+          f"p99 {lat.get('p99', 0.0) * 1e3:.3f} ms, "
+          f"deadline misses {slo.get('deadline_misses', 0)}"
+          f"/{slo.get('deadline_jobs', 0)}, "
+          f"{slo.get('unaccounted_jobs', 0)} unaccounted")
+    if args.lifecycle_out:
+        count = service.write_lifecycle(args.lifecycle_out)
+        print(f"lifecycle : wrote {count} events to {args.lifecycle_out}")
+    if args.prom_out:
+        from .obs import get_metrics
+        from .obs.prom import write_prometheus
+
+        write_prometheus(args.prom_out, get_metrics().snapshot())
+        print(f"prom      : wrote {args.prom_out}")
     if args.queue_metrics:
         count = service.write_queue_metrics(args.queue_metrics)
         print(f"metrics   : wrote {count} queue events to {args.queue_metrics}")
@@ -269,13 +290,75 @@ def cmd_submit(args) -> int:
                 json.dump(record, fh, indent=2)
                 fh.write("\n")
             print(f"stats     : wrote {args.stats_json}")
+        if args.prom_out:
+            from .obs import get_metrics
+            from .obs.prom import write_prometheus
+
+            write_prometheus(args.prom_out, get_metrics().snapshot())
+            print(f"prom      : wrote {args.prom_out}")
     finally:
         client.close()
     return 0
 
 
+def _trace_serve(args) -> int:
+    """Trace a coalesced service workload into one merged Perfetto file.
+
+    Runs the scripted saturation workload under tracing; in process mode
+    every worker's spans are absorbed back into the parent tracer on
+    their own ``pool-worker-N`` tracks, and the service/pool spans carry
+    job-id attributes, so one job's lifecycle correlates across scheduler
+    and worker processes in a single timeline.
+    """
+    from .obs import tracing
+    from .obs.export import write_chrome_trace
+    from .service import BatchSimulationService, saturation_workload
+
+    families = [f.strip() for f in args.families.split(",") if f.strip()]
+    with tracing() as tracer:
+        mark = tracer.mark()
+        service = BatchSimulationService(
+            num_workers=args.workers, parallelism=args.parallelism
+        )
+        try:
+            stats = saturation_workload(
+                service,
+                families,
+                num_qubits=args.num_qubits,
+                num_jobs=args.jobs,
+                seed=args.seed,
+            )
+        finally:
+            service.close()
+        spans = tracer.spans_since(mark)
+    job_spans = [
+        s for s in spans if "job_ids" in s.attrs or "job" in s.attrs
+    ]
+    write_chrome_trace(
+        args.out,
+        spans,
+        metadata={
+            "mode": "service",
+            "parallelism": args.parallelism,
+            "workers": args.workers,
+        },
+    )
+    threads = sorted({s.thread for s in spans})
+    workload = stats["workload"]
+    print(f"workload  : {workload['jobs_submitted']} jobs, "
+          f"{stats['megabatches']} mega-batches, "
+          f"parallelism={args.parallelism}, {args.workers} worker(s)")
+    print(f"spans     : {len(spans)} recorded on {len(threads)} track(s): "
+          f"{', '.join(threads)}")
+    print(f"job spans : {len(job_spans)} carry job-id attributes")
+    print(f"trace     : wrote {args.out} (open in https://ui.perfetto.dev)")
+    return 0
+
+
 def cmd_trace(args) -> int:
     """Run a circuit with tracing on and write a Chrome/Perfetto trace."""
+    if args.serve:
+        return _trace_serve(args)
     args.trace_out = args.out
     circuit, spec, result, spans = _run_simulation(args)
     stages = [s for s in spans if s.attrs.get("category") == "stage"]
@@ -293,6 +376,84 @@ def cmd_trace(args) -> int:
     print(f"trace     : wrote {args.out} (open in https://ui.perfetto.dev)")
     if getattr(args, "metrics_out", None):
         print(f"metrics   : wrote {args.metrics_out}")
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    """Render a metrics snapshot as Prometheus exposition text.
+
+    ``--in`` converts a metrics JSONL file (``--metrics-out`` output);
+    without it the live process-global registry is rendered (useful only
+    in-process, so ``--in`` is the common path).
+    """
+    import json
+
+    from .obs import get_metrics
+    from .obs.prom import prometheus_text
+
+    if args.input:
+        snapshots = []
+        with open(args.input, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    record = json.loads(line)
+                    snapshots.append(record.get("metrics", record))
+        if not snapshots:
+            raise SystemExit(f"no metrics records in {args.input}")
+        try:
+            snapshot = snapshots[args.index]
+        except IndexError:
+            raise SystemExit(
+                f"--index {args.index} out of range "
+                f"({len(snapshots)} record(s) in {args.input})"
+            ) from None
+    else:
+        snapshot = get_metrics().snapshot()
+    text = prometheus_text(snapshot, prefix=args.prefix)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"prom      : wrote {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _fmt_quantiles(block: dict) -> str:
+    return (f"p50 {block.get('p50', 0.0) * 1e3:9.3f}  "
+            f"p95 {block.get('p95', 0.0) * 1e3:9.3f}  "
+            f"p99 {block.get('p99', 0.0) * 1e3:9.3f}  "
+            f"max {block.get('max', 0.0) * 1e3:9.3f}")
+
+
+def cmd_status(args) -> int:
+    """Print the SLO snapshot from a ``--stats-json`` file.
+
+    Accepts both ``repro serve`` output (``slo`` at the top level) and
+    ``repro submit``/``simulate`` output (``stats.slo``).
+    """
+    import json
+
+    with open(args.stats, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    slo = doc.get("slo") or doc.get("stats", {}).get("slo")
+    if slo is None:
+        raise SystemExit(f"{args.stats} has no 'slo' block")
+    print(f"jobs      : {slo['submitted']} submitted, {slo['done']} done, "
+          f"{slo['failed']} failed, {slo['rejected']} rejected, "
+          f"{slo['cancelled']} cancelled"
+          + (f", {slo['unaccounted_jobs']} unaccounted"
+             if "unaccounted_jobs" in slo else ""))
+    print(f"latency ms: {_fmt_quantiles(slo['latency_s'])}")
+    print(f"queue   ms: {_fmt_quantiles(slo['queue_age_s'])}")
+    print(f"deadlines : {slo['deadline_misses']}/{slo['deadline_jobs']} "
+          f"missed (rate {slo['deadline_miss_rate']:.3f})")
+    print(f"degraded  : {slo['solo_retries']} solo retries "
+          f"(rate {slo['degraded_rate']:.3f})")
+    for priority, cls in sorted(slo.get("priorities", {}).items()):
+        print(f"  priority {priority}: {cls['jobs']} job(s), "
+              f"latency ms {_fmt_quantiles(cls['latency_s'])}")
     return 0
 
 
@@ -409,6 +570,11 @@ def main(argv: list[str] | None = None) -> int:
                    help="write per-round queue metrics as JSONL")
     p.add_argument("--stats-json", default=None, metavar="PATH",
                    help="write the service summary stats as JSON")
+    p.add_argument("--lifecycle-out", default=None, metavar="PATH",
+                   help="write per-job lifecycle events as JSONL")
+    p.add_argument("--prom-out", default=None, metavar="PATH",
+                   help="write the metrics registry in Prometheus "
+                        "exposition text format")
     p.add_argument("--strict", action="store_true",
                    help="exit non-zero if any job failed")
     p.set_defaults(fn=cmd_serve)
@@ -429,6 +595,9 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--stats-json", default=None, metavar="PATH",
                    help="write job + service stats as JSON (same schema "
                         "as 'repro simulate --stats-json')")
+    p.add_argument("--prom-out", default=None, metavar="PATH",
+                   help="write the metrics registry in Prometheus "
+                        "exposition text format")
     p.set_defaults(fn=cmd_submit)
 
     p = sub.add_parser(
@@ -438,7 +607,43 @@ def main(argv: list[str] | None = None) -> int:
     _add_sim_args(p)
     p.add_argument("--out", default="trace.json", metavar="PATH",
                    help="trace file to write (default: trace.json)")
+    p.add_argument("--serve", action="store_true",
+                   help="trace a coalesced service workload instead of a "
+                        "single simulation (merges worker-process spans "
+                        "into one correlated timeline)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="service workers for --serve (default: 2)")
+    p.add_argument("--jobs", type=int, default=8,
+                   help="jobs to submit for --serve (default: 8)")
+    p.add_argument("--parallelism", default="none",
+                   choices=["none", "process"],
+                   help="service execution mode for --serve")
+    p.add_argument("--families", default="qft,ghz",
+                   help="circuit families for the --serve workload")
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "metrics",
+        help="render a metrics snapshot as Prometheus exposition text",
+    )
+    p.add_argument("--in", dest="input", default=None, metavar="PATH",
+                   help="metrics JSONL file (--metrics-out output); "
+                        "default: the live in-process registry")
+    p.add_argument("--index", type=int, default=-1,
+                   help="which JSONL record to render (default: last)")
+    p.add_argument("--prefix", default="repro_",
+                   help="metric-name prefix (default: repro_)")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write to PATH instead of stdout")
+    p.set_defaults(fn=cmd_metrics)
+
+    p = sub.add_parser(
+        "status", help="print the SLO snapshot from a --stats-json file"
+    )
+    p.add_argument("--stats", required=True, metavar="PATH",
+                   help="stats JSON written by 'repro serve/submit "
+                        "--stats-json'")
+    p.set_defaults(fn=cmd_status)
 
     p = sub.add_parser("fuse", help="show the BQCS-aware fusion plan")
     _add_circuit_args(p)

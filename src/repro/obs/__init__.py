@@ -6,7 +6,16 @@ The subsystem every perf experiment reports through:
   default tracer (disabled by default; near-zero cost), and the
   ``tracing()`` context manager that turns it on for a block;
 * :mod:`repro.obs.metrics` — an always-on registry of counters, gauges,
-  and histograms fed from the fusion/conversion/spMM/caching hot paths;
+  and quantile histograms (log-spaced buckets, p50/p95/p99, labeled
+  families) fed from the fusion/conversion/spMM/caching hot paths;
+* :mod:`repro.obs.lifecycle` — the structured per-job lifecycle event log
+  the serving layer emits (submitted → … → done/failed), with an
+  unaccounted-jobs audit;
+* :mod:`repro.obs.slo` — :class:`SLOTracker`, folding lifecycle events
+  into per-priority latency/queue-age percentiles, deadline-miss and
+  degradation rates (the ``stats["slo"]`` block);
+* :mod:`repro.obs.prom` — Prometheus text-format export of any metrics
+  snapshot plus the minimal parser the CI scrape job validates with;
 * :mod:`repro.obs.export` — Chrome-trace JSON (Perfetto-loadable; host
   spans and modeled GPU engines as separate tracks) and metrics JSONL.
 
@@ -20,7 +29,24 @@ breakdowns comparable across simulators:
 * ``execute`` — stage-3 task-graph construction, kernels, and scheduling.
 """
 
-from .metrics import Metrics, get_metrics, set_metrics
+from .metrics import (
+    BUCKET_BOUNDS,
+    Histogram,
+    Metrics,
+    get_metrics,
+    labeled,
+    set_metrics,
+    split_labels,
+)
+from .lifecycle import (
+    JobLifecycleLog,
+    LIFECYCLE_STAGES,
+    TERMINAL_EVENTS,
+    get_lifecycle_log,
+    set_lifecycle_log,
+)
+from .prom import parse_prometheus_text, prometheus_text, write_prometheus
+from .slo import SLOTracker
 from .tracer import Span, Tracer, get_tracer, set_tracer, tracing
 from .export import (
     chrome_trace,
@@ -67,18 +93,30 @@ def canonical_breakdown(breakdown: dict) -> dict:
 
 
 __all__ = [
+    "BUCKET_BOUNDS",
     "canonical_breakdown",
     "CANONICAL_STAGES",
     "chrome_trace",
+    "get_lifecycle_log",
     "get_metrics",
     "get_tracer",
+    "Histogram",
+    "JobLifecycleLog",
+    "labeled",
+    "LIFECYCLE_STAGES",
     "Metrics",
     "metrics_record",
+    "parse_prometheus_text",
+    "prometheus_text",
+    "set_lifecycle_log",
     "set_metrics",
     "set_tracer",
     "simulation_stats_record",
+    "SLOTracker",
     "Span",
     "spans_to_events",
+    "split_labels",
+    "TERMINAL_EVENTS",
     "timeline_to_events",
     "trace_track_names",
     "Tracer",
@@ -86,4 +124,5 @@ __all__ = [
     "validate_chrome_trace",
     "write_chrome_trace",
     "write_metrics_jsonl",
+    "write_prometheus",
 ]

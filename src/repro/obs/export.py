@@ -264,7 +264,8 @@ def service_job_stats_record(job, service) -> dict:
     ``modeled_time_s``, ``stats`` …) with ``stats.plan_cache`` always
     present.  Service-only detail lands under ``stats.service`` (the
     :meth:`~repro.service.workers.BatchSimulationService.stats` summary)
-    and ``stats.job`` (per-job lifecycle).
+    plus ``stats.slo`` (per-priority latency/queue-age percentiles,
+    deadline and degradation rates) and ``stats.job`` (per-job lifecycle).
     """
     svc = service.stats()
     executed = job.result is not None
@@ -286,6 +287,7 @@ def service_job_stats_record(job, service) -> dict:
             "num_output_batches": 1 if executed else 0,
             "stats": {
                 "plan_cache": svc["plan_cache"],
+                "slo": svc["slo"],
                 "service": svc,
                 "job": {
                     "job_id": job.job_id,

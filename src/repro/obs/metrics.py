@@ -1,4 +1,4 @@
-"""Pipeline metrics: counters, gauges, and histograms.
+"""Pipeline metrics: counters, gauges, and quantile histograms.
 
 A :class:`Metrics` registry accumulates named measurements from the hot
 paths of every pipeline layer:
@@ -7,8 +7,20 @@ paths of every pipeline layer:
   routes, spMM backend choices, plan-cache hits/misses, task submissions;
 * **gauges** (last value wins) — sizes and configuration of the most
   recent run;
-* **histograms** (count/sum/min/max) — per-gate distributions such as DD
-  edges, ELL width, and padding ratio.
+* **histograms** (:class:`Histogram`) — per-gate and per-job
+  distributions such as DD edges, ELL width, padding ratio, and service
+  job latency.  Every histogram keeps count/sum/min/max *and* fixed
+  log-spaced buckets, so :meth:`Histogram.quantile` can report p50/p95/p99
+  without retaining samples.
+
+Metric names may carry **labels** in the canonical Prometheus-like form
+``name{key="value",...}`` (keys sorted); :func:`labeled` builds such a
+name and :func:`split_labels` parses it back.  All three instruments also
+accept labels as keyword arguments::
+
+    metrics.observe("service.job.latency_s", 0.012, priority="2")
+
+records into the family member ``service.job.latency_s{priority="2"}``.
 
 The registry is thread-safe and cheap (one dict update under a lock per
 event), so instrumentation stays on permanently; per-run attribution uses
@@ -19,71 +31,274 @@ the process-global registry to a single simulation.
 
 from __future__ import annotations
 
+import math
 import threading
+from bisect import bisect_left
 
+# ---------------------------------------------------------------------------
+# fixed log-spaced histogram buckets
+# ---------------------------------------------------------------------------
+
+#: upper bounds of the fixed histogram buckets: four buckets per decade
+#: from 1e-9 to 1e9 (covers sub-ns latencies up to giga-scale counts);
+#: one implicit +Inf overflow bucket follows the last bound
+BUCKET_BOUNDS: tuple[float, ...] = tuple(
+    10.0 ** (k / 4.0) for k in range(-36, 37)
+)
+
+#: canonical string form of each bucket's upper bound, "+Inf" last —
+#: the keys of ``Histogram.to_dict()["buckets"]`` and of the Prometheus
+#: ``le=`` label
+BUCKET_LABELS: tuple[str, ...] = tuple(
+    f"{bound:.6g}" for bound in BUCKET_BOUNDS
+) + ("+Inf",)
+
+_LABEL_OF_BOUND = dict(zip(BUCKET_LABELS, BUCKET_BOUNDS))
+
+
+def bucket_index(value: float) -> int:
+    """Index of the bucket whose upper bound first covers ``value``.
+
+    Values at or below the smallest bound land in bucket 0; values above
+    the largest bound land in the +Inf overflow bucket (the last index).
+    Example::
+
+        assert bucket_index(0.0) == 0
+        assert BUCKET_BOUNDS[bucket_index(0.5)] >= 0.5
+    """
+    return bisect_left(BUCKET_BOUNDS, value)
+
+
+class Histogram:
+    """Count/sum/min/max plus fixed log-spaced quantile buckets.
+
+    One instance summarizes an unbounded sample stream in O(buckets)
+    memory.  Quantiles interpolate linearly inside the covering bucket
+    and are clamped to the observed min/max, so they are exact at the
+    extremes and bucket-accurate (within ~78%, one quarter-decade) in
+    between.  Example::
+
+        hist = Histogram()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(v)
+        assert hist.quantile(0.0) == 1.0 and hist.quantile(1.0) == 4.0
+        assert hist.quantile(0.5) <= hist.quantile(0.99)
+    """
+
+    __slots__ = ("count", "sum", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        #: per-bucket sample counts; index ``len(BUCKET_BOUNDS)`` is +Inf
+        self.buckets = [0] * (len(BUCKET_BOUNDS) + 1)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.buckets[bucket_index(value)] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (``0 <= q <= 1``) of the observed samples.
+
+        Monotone in ``q`` by construction (so p50 <= p95 <= p99 always
+        holds), exact at q=0/q=1, bucket-interpolated in between.
+        Returns 0.0 for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for index, weight in enumerate(self.buckets):
+            if weight == 0:
+                continue
+            cumulative += weight
+            if cumulative >= target:
+                lower = BUCKET_BOUNDS[index - 1] if index > 0 else 0.0
+                upper = (
+                    BUCKET_BOUNDS[index]
+                    if index < len(BUCKET_BOUNDS)
+                    else self.max
+                )
+                fraction = (target - (cumulative - weight)) / weight
+                estimate = lower + (upper - lower) * fraction
+                return min(max(estimate, self.min), self.max)
+        return self.max  # pragma: no cover - count>0 always hits a bucket
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    def copy(self) -> "Histogram":
+        other = Histogram()
+        other.count = self.count
+        other.sum = self.sum
+        other.min = self.min
+        other.max = self.max
+        other.buckets = list(self.buckets)
+        return other
+
+    def to_dict(self) -> dict:
+        """JSON-safe summary (deep copy — mutating it cannot touch the
+        histogram): count/sum/min/max/mean, p50/p95/p99, and the non-empty
+        buckets keyed by their canonical upper-bound label."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "buckets": {
+                BUCKET_LABELS[i]: n
+                for i, n in enumerate(self.buckets)
+                if n
+            },
+        }
+
+
+# ---------------------------------------------------------------------------
+# labeled metric families
+# ---------------------------------------------------------------------------
+
+def labeled(name: str, **labels) -> str:
+    """Canonical labeled metric name: ``name{key="value",...}``.
+
+    Keys are sorted so the same label set always produces the same
+    member name.  With no labels the bare name is returned.  Example::
+
+        assert labeled("jobs", priority=2) == 'jobs{priority="2"}'
+        assert labeled("jobs") == "jobs"
+    """
+    if not labels:
+        return name
+    inner = ",".join(
+        f'{key}="{labels[key]}"' for key in sorted(labels)
+    )
+    return f"{name}{{{inner}}}"
+
+
+def split_labels(name: str) -> tuple[str, dict[str, str]]:
+    """Parse a canonical labeled name back into ``(family, labels)``.
+
+    The inverse of :func:`labeled`::
+
+        assert split_labels('jobs{priority="2"}') == ("jobs", {"priority": "2"})
+        assert split_labels("jobs") == ("jobs", {})
+    """
+    if not name.endswith("}") or "{" not in name:
+        return name, {}
+    family, _, inner = name.partition("{")
+    labels: dict[str, str] = {}
+    for part in inner[:-1].split(","):
+        if not part:
+            continue
+        key, _, value = part.partition("=")
+        labels[key] = value.strip('"')
+    return family, labels
+
+
+# ---------------------------------------------------------------------------
+# the registry
+# ---------------------------------------------------------------------------
 
 class Metrics:
-    """Thread-safe registry of counters, gauges, and histograms."""
+    """Thread-safe registry of counters, gauges, and quantile histograms."""
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: dict[str, float] = {}
         self._gauges: dict[str, float] = {}
-        # histogram name -> [count, sum, min, max]
-        self._hists: dict[str, list[float]] = {}
+        self._hists: dict[str, Histogram] = {}
 
     # -- instruments --------------------------------------------------------
 
-    def inc(self, name: str, value: float = 1) -> None:
+    def inc(self, name: str, value: float = 1, **labels) -> None:
         """Add ``value`` to the counter ``name`` (creating it at 0)."""
+        if labels:
+            name = labeled(name, **labels)
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + value
 
-    def gauge(self, name: str, value: float) -> None:
+    def gauge(self, name: str, value: float, **labels) -> None:
         """Set the gauge ``name`` to ``value``."""
+        if labels:
+            name = labeled(name, **labels)
         with self._lock:
             self._gauges[name] = value
 
-    def observe(self, name: str, value: float) -> None:
+    def observe(self, name: str, value: float, **labels) -> None:
         """Record one sample into the histogram ``name``."""
+        if labels:
+            name = labeled(name, **labels)
         with self._lock:
             hist = self._hists.get(name)
             if hist is None:
-                self._hists[name] = [1, value, value, value]
-            else:
-                hist[0] += 1
-                hist[1] += value
-                hist[2] = min(hist[2], value)
-                hist[3] = max(hist[3], value)
+                hist = self._hists[name] = Histogram()
+            hist.observe(value)
 
     # -- retrieval ----------------------------------------------------------
 
-    @staticmethod
-    def _hist_dict(hist: list[float]) -> dict:
-        count, total, lo, hi = hist
-        return {
-            "count": count,
-            "sum": total,
-            "min": lo,
-            "max": hi,
-            "mean": total / count if count else 0.0,
-        }
-
     def snapshot(self) -> dict:
-        """Full copy of the registry state (JSON-safe)."""
+        """Full deep copy of the registry state (JSON-safe).
+
+        Callers may freely mutate the returned dict — including the
+        nested histogram bucket maps — without affecting the live
+        registry.
+        """
         with self._lock:
             return {
                 "counters": dict(self._counters),
                 "gauges": dict(self._gauges),
                 "histograms": {
-                    name: self._hist_dict(hist)
+                    name: hist.to_dict()
                     for name, hist in self._hists.items()
                 },
             }
 
-    def counter(self, name: str) -> float:
+    def counter(self, name: str, **labels) -> float:
+        if labels:
+            name = labeled(name, **labels)
         with self._lock:
             return self._counters.get(name, 0)
+
+    def quantile(self, name: str, q: float, **labels) -> float:
+        """The ``q``-quantile of the histogram ``name`` (0.0 if absent)."""
+        if labels:
+            name = labeled(name, **labels)
+        with self._lock:
+            hist = self._hists.get(name)
+            return hist.quantile(q) if hist is not None else 0.0
+
+    def histogram(self, name: str, **labels) -> Histogram | None:
+        """A deep copy of the named histogram (None if never observed)."""
+        if labels:
+            name = labeled(name, **labels)
+        with self._lock:
+            hist = self._hists.get(name)
+            return hist.copy() if hist is not None else None
 
     def mark(self) -> dict:
         """Opaque marker for :meth:`delta` (a snapshot of monotonic state)."""
@@ -91,7 +306,15 @@ class Metrics:
 
     def delta(self, mark: dict) -> dict:
         """Changes since ``mark``: counter diffs (non-zero only), current
-        gauges, and histogram count/sum/mean diffs (min/max are whole-run)."""
+        gauges, and histogram diffs scoped to the marked window.
+
+        Histogram ``count``/``sum``/``mean``/``buckets`` are exact window
+        diffs.  ``min``/``max`` are **window-accurate to bucket
+        resolution**: when the whole-run extreme moved during the window
+        the exact value is reported, otherwise the bounds of the lowest
+        and highest buckets that grew — samples from before the mark can
+        never leak into a delta's min/max (regression-tested).
+        """
         now = self.snapshot()
         before_c = mark.get("counters", {})
         counters = {
@@ -102,23 +325,56 @@ class Metrics:
         before_h = mark.get("histograms", {})
         histograms = {}
         for name, hist in now["histograms"].items():
-            prior = before_h.get(name, {"count": 0, "sum": 0.0})
-            dcount = hist["count"] - prior["count"]
+            prior = before_h.get(name)
+            dbuckets = {
+                label: count - (prior or {}).get("buckets", {}).get(label, 0)
+                for label, count in hist["buckets"].items()
+                if count != (prior or {}).get("buckets", {}).get(label, 0)
+            }
+            dcount = hist["count"] - (prior or {"count": 0})["count"]
             if dcount <= 0:
                 continue
-            dsum = hist["sum"] - prior["sum"]
+            dsum = hist["sum"] - (prior or {"sum": 0.0})["sum"]
             histograms[name] = {
                 "count": dcount,
                 "sum": dsum,
                 "mean": dsum / dcount,
-                "min": hist["min"],
-                "max": hist["max"],
+                "min": self._window_min(hist, prior, dbuckets),
+                "max": self._window_max(hist, prior, dbuckets),
+                "buckets": dbuckets,
             }
         return {
             "counters": counters,
             "gauges": now["gauges"],
             "histograms": histograms,
         }
+
+    @staticmethod
+    def _window_min(hist: dict, prior: dict | None, dbuckets: dict) -> float:
+        """Lower bound on the smallest sample in the delta window."""
+        if prior is None or hist["min"] < prior["min"]:
+            return hist["min"]  # the window itself set the whole-run min
+        bounds = sorted(
+            _LABEL_OF_BOUND.get(label, math.inf) for label in dbuckets
+        )
+        if not bounds:
+            return hist["min"]
+        lowest = bounds[0]
+        index = bisect_left(BUCKET_BOUNDS, lowest)
+        return BUCKET_BOUNDS[index - 1] if index > 0 else 0.0
+
+    @staticmethod
+    def _window_max(hist: dict, prior: dict | None, dbuckets: dict) -> float:
+        """Upper bound on the largest sample in the delta window."""
+        if prior is None or hist["max"] > prior["max"]:
+            return hist["max"]  # the window itself set the whole-run max
+        bounds = [
+            _LABEL_OF_BOUND.get(label, math.inf) for label in dbuckets
+        ]
+        if not bounds:
+            return hist["max"]
+        highest = max(bounds)
+        return min(highest, hist["max"])
 
     def reset(self) -> None:
         with self._lock:

@@ -1,0 +1,187 @@
+"""Prometheus text-format export of a :class:`~repro.obs.metrics.Metrics`
+snapshot.
+
+:func:`prometheus_text` renders counters, gauges, and quantile histograms
+in the Prometheus exposition format (text version 0.0.4): counters and
+gauges as single samples, histograms as cumulative ``_bucket{le="..."}``
+series plus ``_sum``/``_count`` — the shape ``histogram_quantile()``
+consumes.  Labeled metric families (``name{priority="2"}``) become real
+Prometheus labels.
+
+:func:`parse_prometheus_text` is the deliberately minimal inverse used by
+the tests and the CI ``slo-smoke`` job: it either returns the parsed
+samples or raises :class:`ValueError` on the first malformed line, so a
+broken exporter cannot scrape clean.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from pathlib import Path
+
+from .metrics import BUCKET_LABELS, split_labels
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r"\s+(?P<value>[^\s]+)$"
+)
+_LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"')
+
+
+def _sanitize(name: str) -> str:
+    """A valid Prometheus metric name: dots and dashes become
+    underscores."""
+    return _NAME_OK.sub("_", name)
+
+
+def _fmt(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    return repr(float(value))
+
+
+def _labels_text(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_sanitize(key)}="{labels[key]}"' for key in sorted(labels)
+    )
+    return f"{{{inner}}}"
+
+
+def prometheus_text(snapshot: dict, prefix: str = "repro_") -> str:
+    """Render a metrics snapshot as Prometheus exposition text.
+
+    ``snapshot`` is :meth:`Metrics.snapshot` output.  Family ``# TYPE``
+    headers are emitted once per family; histogram buckets are cumulative
+    and always end with the mandatory ``le="+Inf"`` sample.  Example::
+
+        text = prometheus_text(get_metrics().snapshot())
+        assert text == "" or text.endswith("\\n")
+    """
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def header(family: str, kind: str) -> None:
+        if family not in typed:
+            typed.add(family)
+            lines.append(f"# TYPE {family} {kind}")
+
+    for kind, section in (("counter", "counters"), ("gauge", "gauges")):
+        for name in sorted(snapshot.get(section, {})):
+            family, labels = split_labels(name)
+            family = prefix + _sanitize(family)
+            header(family, kind)
+            lines.append(
+                f"{family}{_labels_text(labels)} "
+                f"{_fmt(snapshot[section][name])}"
+            )
+
+    for name in sorted(snapshot.get("histograms", {})):
+        hist = snapshot["histograms"][name]
+        family, labels = split_labels(name)
+        family = prefix + _sanitize(family)
+        header(family, "histogram")
+        cumulative = 0
+        buckets = hist.get("buckets", {})
+        for label in BUCKET_LABELS:
+            if label == "+Inf":
+                continue
+            count = buckets.get(label, 0)
+            if not count:
+                continue
+            cumulative += count
+            le = dict(labels, le=label)
+            lines.append(
+                f"{family}_bucket{_labels_text(le)} {cumulative}"
+            )
+        le = dict(labels, le="+Inf")
+        lines.append(f"{family}_bucket{_labels_text(le)} {hist['count']}")
+        lines.append(
+            f"{family}_sum{_labels_text(labels)} {_fmt(hist['sum'])}"
+        )
+        lines.append(
+            f"{family}_count{_labels_text(labels)} {hist['count']}"
+        )
+
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(path, snapshot: dict, prefix: str = "repro_") -> Path:
+    """Serialize :func:`prometheus_text` to ``path`` and return it."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(prometheus_text(snapshot, prefix=prefix))
+    return path
+
+
+def parse_prometheus_text(text: str) -> dict:
+    """Minimal strict parser for the exposition format.
+
+    Returns ``{"samples": {name: [(labels, value), ...]}, "types":
+    {name: kind}}``; raises :class:`ValueError` on the first malformed
+    line, on a sample preceding its family's ``# TYPE``, or on a
+    histogram whose cumulative buckets decrease.  Example::
+
+        doc = parse_prometheus_text('# TYPE a counter\\na 1.0\\n')
+        assert doc["samples"]["a"] == [({}, 1.0)]
+    """
+    samples: dict[str, list] = {}
+    types: dict[str, str] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                if parts[3] not in ("counter", "gauge", "histogram",
+                                    "summary", "untyped"):
+                    raise ValueError(
+                        f"line {lineno}: unknown metric type {parts[3]!r}"
+                    )
+                types[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        name = match.group("name")
+        labels = dict(_LABEL_PAIR.findall(match.group("labels") or ""))
+        raw = match.group("value")
+        try:
+            value = float(raw.replace("+Inf", "inf").replace("-Inf", "-inf"))
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: non-numeric value {raw!r}"
+            ) from None
+        family = re.sub(r"_(bucket|sum|count)$", "", name)
+        if family not in types and name not in types:
+            raise ValueError(
+                f"line {lineno}: sample {name!r} precedes its # TYPE line"
+            )
+        samples.setdefault(name, []).append((labels, value))
+
+    for name, entries in samples.items():
+        if not name.endswith("_bucket"):
+            continue
+        by_series: dict[tuple, list] = {}
+        for labels, value in entries:
+            key = tuple(sorted(
+                (k, v) for k, v in labels.items() if k != "le"
+            ))
+            by_series.setdefault(key, []).append(
+                (float(labels["le"].replace("+Inf", "inf")), value)
+            )
+        for key, buckets in by_series.items():
+            ordered = sorted(buckets)
+            values = [v for _, v in ordered]
+            if values != sorted(values):
+                raise ValueError(
+                    f"{name}{dict(key)}: cumulative buckets decrease"
+                )
+    return {"samples": samples, "types": types}

@@ -1,0 +1,204 @@
+"""Service-level-objective tracking over job lifecycle events.
+
+An :class:`SLOTracker` subscribes to a
+:class:`~repro.obs.lifecycle.JobLifecycleLog` and folds the event stream
+into the numbers an operator alarms on:
+
+* **per-priority latency and queue-age percentiles** — p50/p95/p99 from
+  :class:`~repro.obs.metrics.Histogram` quantile buckets, one pair of
+  histograms per priority class plus an overall pair;
+* **deadline-miss rate** — terminal events whose job finished after its
+  absolute deadline, over all deadline-carrying jobs;
+* **degradation rate** — jobs that completed only via the per-job
+  isolation fallback (``solo_retry``), over all terminal jobs;
+* **flow counters** — submitted / rejected / done / failed / cancelled.
+
+Every observation is mirrored into the process-global metrics registry as
+labeled families (``service.job.latency_s{priority="2"}`` …), so the
+Prometheus exporter (:mod:`repro.obs.prom`) scrapes the same data the
+:meth:`SLOTracker.summary` block reports through ``stats["slo"]``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from .lifecycle import JobLifecycleLog
+from .metrics import Histogram, get_metrics
+
+
+def _percentile_dict(hist: Histogram) -> dict:
+    """JSON-safe percentile summary of one histogram."""
+    return {
+        "count": hist.count,
+        "mean": hist.mean,
+        "p50": hist.p50,
+        "p95": hist.p95,
+        "p99": hist.p99,
+        "max": hist.max if hist.count else 0.0,
+    }
+
+
+class _PriorityClass:
+    """Per-priority accumulation: two histograms plus outcome counters."""
+
+    __slots__ = (
+        "latency", "queue_age", "done", "failed", "deadline_jobs",
+        "deadline_misses", "solo_retries",
+    )
+
+    def __init__(self) -> None:
+        self.latency = Histogram()
+        self.queue_age = Histogram()
+        self.done = 0
+        self.failed = 0
+        self.deadline_jobs = 0
+        self.deadline_misses = 0
+        self.solo_retries = 0
+
+    def to_dict(self) -> dict:
+        terminal = self.done + self.failed
+        return {
+            "jobs": terminal,
+            "done": self.done,
+            "failed": self.failed,
+            "latency_s": _percentile_dict(self.latency),
+            "queue_age_s": _percentile_dict(self.queue_age),
+            "deadline_jobs": self.deadline_jobs,
+            "deadline_misses": self.deadline_misses,
+            "deadline_miss_rate": (
+                self.deadline_misses / self.deadline_jobs
+                if self.deadline_jobs else 0.0
+            ),
+            "solo_retries": self.solo_retries,
+            "degraded_rate": (
+                self.solo_retries / terminal if terminal else 0.0
+            ),
+        }
+
+
+class SLOTracker:
+    """Folds lifecycle events into per-priority SLO aggregates.
+
+    Attach to a log with :meth:`attach` (or feed events directly through
+    :meth:`ingest`); read the result with :meth:`summary` — the
+    ``stats["slo"]`` block of
+    :meth:`~repro.service.workers.BatchSimulationService.stats`.
+    Example::
+
+        log = JobLifecycleLog()
+        slo = SLOTracker().attach(log)
+        log.emit("submitted", "job-0-a", priority=1)
+        log.emit("done", "job-0-a", priority=1,
+                 latency_s=0.2, queue_age_s=0.1)
+        assert slo.summary()["priorities"]["1"]["jobs"] == 1
+    """
+
+    def __init__(self, metric_prefix: str = "service.job") -> None:
+        self._lock = threading.Lock()
+        self._prefix = metric_prefix
+        self._classes: dict[str, _PriorityClass] = {}
+        self._overall = _PriorityClass()
+        self.submitted = 0
+        self.rejected = 0
+        self.cancelled = 0
+
+    def attach(self, log: JobLifecycleLog) -> "SLOTracker":
+        """Subscribe to ``log`` (chainable)."""
+        log.subscribe(self.ingest)
+        return self
+
+    # -- folding -------------------------------------------------------------
+
+    def _class(self, priority) -> _PriorityClass:
+        key = str(priority)
+        cls = self._classes.get(key)
+        if cls is None:
+            cls = self._classes[key] = _PriorityClass()
+        return cls
+
+    def ingest(self, event: dict) -> None:
+        """Fold one lifecycle event (unknown stages are ignored)."""
+        stage = event.get("event")
+        if stage == "submitted":
+            with self._lock:
+                self.submitted += 1
+            return
+        if stage == "rejected":
+            with self._lock:
+                self.rejected += 1
+            return
+        if stage == "cancelled":
+            with self._lock:
+                self.cancelled += 1
+            return
+        if stage not in ("done", "failed"):
+            return
+        priority = event.get("priority", 0)
+        latency = event.get("latency_s")
+        queue_age = event.get("queue_age_s")
+        had_deadline = event.get("deadline") is not None
+        missed = bool(event.get("deadline_miss"))
+        solo = bool(event.get("solo_retry"))
+        with self._lock:
+            for cls in (self._class(priority), self._overall):
+                if stage == "done":
+                    cls.done += 1
+                else:
+                    cls.failed += 1
+                if latency is not None:
+                    cls.latency.observe(latency)
+                if queue_age is not None:
+                    cls.queue_age.observe(queue_age)
+                if had_deadline:
+                    cls.deadline_jobs += 1
+                    cls.deadline_misses += missed
+                cls.solo_retries += solo
+        # mirror into the global registry as labeled families so the
+        # Prometheus exporter scrapes the same distributions
+        metrics = get_metrics()
+        label = str(priority)
+        if latency is not None:
+            metrics.observe(
+                f"{self._prefix}.latency_s", latency, priority=label
+            )
+        if queue_age is not None:
+            metrics.observe(
+                f"{self._prefix}.queue_age_s", queue_age, priority=label
+            )
+        metrics.inc(
+            f"{self._prefix}.terminal", priority=label, outcome=stage
+        )
+        if missed:
+            metrics.inc(f"{self._prefix}.deadline_miss", priority=label)
+
+    # -- reporting -----------------------------------------------------------
+
+    def summary(self) -> dict:
+        """The JSON-safe ``stats["slo"]`` block.
+
+        Per-priority and overall latency/queue-age percentiles, deadline
+        and degradation rates, and the submitted/rejected/terminal flow
+        counts.
+        """
+        with self._lock:
+            overall = self._overall.to_dict()
+            priorities = {
+                key: cls.to_dict()
+                for key, cls in sorted(self._classes.items())
+            }
+            return {
+                "submitted": self.submitted,
+                "rejected": self.rejected,
+                "cancelled": self.cancelled,
+                "done": self._overall.done,
+                "failed": self._overall.failed,
+                "latency_s": overall["latency_s"],
+                "queue_age_s": overall["queue_age_s"],
+                "deadline_jobs": overall["deadline_jobs"],
+                "deadline_misses": overall["deadline_misses"],
+                "deadline_miss_rate": overall["deadline_miss_rate"],
+                "solo_retries": overall["solo_retries"],
+                "degraded_rate": overall["degraded_rate"],
+                "priorities": priorities,
+            }

@@ -27,6 +27,7 @@ from ..circuit import InputBatch
 from ..errors import ServiceError
 from ..gpu.spec import GpuSpec, state_block_bytes
 from ..obs import get_metrics
+from ..obs.lifecycle import JobLifecycleLog, get_lifecycle_log
 from ..sim.base import BatchSpec
 from ..sim.bqsim import NUM_BUFFERS
 from .jobs import Job, JobStatus
@@ -120,6 +121,7 @@ class Coalescer:
         gpu: GpuSpec,
         max_columns: int = DEFAULT_MAX_COLUMNS,
         max_jobs: int | None = None,
+        lifecycle: JobLifecycleLog | None = None,
     ) -> None:
         if max_columns < 1:
             raise ServiceError("max_columns must be >= 1")
@@ -127,6 +129,10 @@ class Coalescer:
         self.max_columns = max_columns
         #: optional cap on jobs per group (None = column budget decides)
         self.max_jobs = max_jobs
+        # explicit None test: an empty log is falsy (it defines __len__)
+        self.lifecycle = (
+            lifecycle if lifecycle is not None else get_lifecycle_log()
+        )
 
     # -- grouping ------------------------------------------------------------
 
@@ -156,6 +162,14 @@ class Coalescer:
         metrics = get_metrics()
         metrics.observe("service.coalesce_factor", group.coalesce_factor)
         metrics.observe("service.megabatch_columns", group.total_columns)
+        for job in group.jobs:
+            self.lifecycle.emit(
+                "coalesced", job.job_id,
+                priority=job.priority,
+                group_key=group.key[:12],
+                coalesce_factor=group.coalesce_factor,
+                columns=group.total_columns,
+            )
         return group
 
     # -- packing -------------------------------------------------------------

@@ -42,6 +42,7 @@ import os
 import shutil
 import tempfile
 import time
+from contextlib import nullcontext
 from multiprocessing import shared_memory
 
 import numpy as np
@@ -85,6 +86,11 @@ def _receive_array(desc) -> np.ndarray:
         seg.close()
 
 
+def _span(tracer, name: str, **attrs):
+    """A tracer span when tracing is on, a no-op context otherwise."""
+    return tracer.span(name, **attrs) if tracer is not None else nullcontext()
+
+
 def _run_task(sim, wid: int, task: dict) -> dict:
     """Execute one dispatched mega-batch inside a worker process.
 
@@ -101,6 +107,7 @@ def _run_task(sim, wid: int, task: dict) -> dict:
     spec = BatchSpec(*task["spec"])
     total = task["total_columns"]
     job_columns = task["job_columns"]
+    job_ids = task.get("job_ids") or []
     width = spec.batch_size
     batches = [
         InputBatch(mega[:, i * width : (i + 1) * width])
@@ -115,23 +122,35 @@ def _run_task(sim, wid: int, task: dict) -> dict:
     solo_runs = 0
     try:
         try:
-            result = sim.run(
-                task["circuit"], spec, batches=batches, execute=True
-            )
+            with _span(
+                tracer, "pool.megabatch",
+                worker=wid,
+                jobs=len(job_columns),
+                job_ids=list(job_ids),
+                columns=total,
+            ):
+                result = sim.run(
+                    task["circuit"], spec, batches=batches, execute=True
+                )
         except ReproError as exc:
             degraded = True
             cause = str(exc)
             merged = np.zeros((mega.shape[0], total), dtype=np.complex128)
             offset = 0
-            for cols in job_columns:
+            for idx, cols in enumerate(job_columns):
                 solo_batch = InputBatch(mega[:, offset : offset + cols])
+                jid = job_ids[idx] if idx < len(job_ids) else ""
                 try:
-                    solo = sim.run(
-                        task["circuit"],
-                        BatchSpec(num_batches=1, batch_size=cols, seed=0),
-                        batches=[solo_batch],
-                        execute=True,
-                    )
+                    with _span(
+                        tracer, "pool.solo",
+                        worker=wid, job=jid, columns=cols,
+                    ):
+                        solo = sim.run(
+                            task["circuit"],
+                            BatchSpec(num_batches=1, batch_size=cols, seed=0),
+                            batches=[solo_batch],
+                            execute=True,
+                        )
                 except ReproError as solo_exc:
                     per_job.append({"ok": False, "error": str(solo_exc)})
                 else:
@@ -368,14 +387,17 @@ class ProcessWorkerPool:
         total_columns: int,
         job_columns: list[int],
         trace: bool | None = None,
+        job_ids: list[str] | None = None,
     ) -> tuple[int, int]:
         """Dispatch one packed mega-block to an idle worker.
 
         ``mega`` is the padded ``(2**n, spec.num_inputs)`` block the serial
         path would execute; ``job_columns`` are the unpadded per-job column
-        counts (summing to ``total_columns``).  Returns ``(task_id, wid)``.
-        Raises :class:`ServiceError` when no worker is idle — callers poll
-        first.
+        counts (summing to ``total_columns``); ``job_ids`` (optional, same
+        order) are stamped onto the worker's ``pool.megabatch``/``pool.solo``
+        spans so a merged trace correlates one job across processes.
+        Returns ``(task_id, wid)``.  Raises :class:`ServiceError` when no
+        worker is idle — callers poll first.
         """
         self.start()
         if not self._idle:
@@ -404,6 +426,7 @@ class ProcessWorkerPool:
             "out_shm": out_shm,
             "total_columns": total_columns,
             "job_columns": list(job_columns),
+            "job_ids": list(job_ids or []),
             "trace": bool(trace),
         }
         self._pending[task_id] = {

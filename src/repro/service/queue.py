@@ -17,6 +17,7 @@ import time
 
 from ..errors import AdmissionError, ServiceError
 from ..obs import get_metrics
+from ..obs.lifecycle import JobLifecycleLog, get_lifecycle_log
 from .jobs import Job, JobStatus
 
 #: default admission bound, sized so a saturation script must shed load
@@ -41,11 +42,16 @@ class JobQueue:
         self,
         max_depth: int = DEFAULT_MAX_DEPTH,
         clock=time.monotonic,
+        lifecycle: JobLifecycleLog | None = None,
     ) -> None:
         if max_depth < 1:
             raise ServiceError("queue depth bound must be >= 1")
         self.max_depth = max_depth
         self.clock = clock
+        # explicit None test: an empty log is falsy (it defines __len__)
+        self.lifecycle = (
+            lifecycle if lifecycle is not None else get_lifecycle_log()
+        )
         self._lock = threading.Lock()
         self._jobs: dict[str, Job] = {}  # insertion-ordered (submit order)
         #: admission accounting
@@ -65,13 +71,23 @@ class JobQueue:
         with self._lock:
             if len(self._jobs) >= self.max_depth:
                 self.rejected += 1
-                metrics.inc("service.rejected")
-                raise AdmissionError(
-                    f"queue is at its depth bound ({self.max_depth}); "
-                    f"job {job.job_id} rejected",
-                    depth=len(self._jobs),
-                    max_depth=self.max_depth,
-                )
+                depth = len(self._jobs)
+            else:
+                depth = -1
+        if depth >= 0:
+            metrics.inc("service.rejected")
+            self.lifecycle.emit(
+                "rejected", job.job_id, t=self.clock(),
+                priority=job.priority, queue_depth=depth,
+                max_depth=self.max_depth,
+            )
+            raise AdmissionError(
+                f"queue is at its depth bound ({self.max_depth}); "
+                f"job {job.job_id} rejected",
+                depth=depth,
+                max_depth=self.max_depth,
+            )
+        with self._lock:
             job.submitted_at = self.clock()
             job.transition(JobStatus.QUEUED)
             self._jobs[job.job_id] = job
@@ -79,6 +95,10 @@ class JobQueue:
             depth = len(self._jobs)
         metrics.inc("service.submitted")
         metrics.gauge("service.queue_depth", depth)
+        self.lifecycle.emit(
+            "admitted", job.job_id, t=job.submitted_at,
+            priority=job.priority, queue_depth=depth,
+        )
         return job
 
     # -- inspection ----------------------------------------------------------
@@ -122,6 +142,11 @@ class JobQueue:
                 self._jobs[job.job_id] = job
             depth = len(self._jobs)
         get_metrics().gauge("service.queue_depth", depth)
+        now = self.clock()
+        for job in jobs:
+            self.lifecycle.emit(
+                "requeued", job.job_id, t=now, priority=job.priority,
+            )
 
     def cancel(self, job_id: str) -> Job:
         """Cancel a queued job; raises for unknown or already-taken ids."""
@@ -137,4 +162,8 @@ class JobQueue:
         metrics = get_metrics()
         metrics.inc("service.cancelled")
         metrics.gauge("service.queue_depth", depth)
+        self.lifecycle.emit(
+            "cancelled", job.job_id, t=job.finished_at,
+            priority=job.priority, queue_age_s=job.wait_time(job.finished_at),
+        )
         return job

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import ServiceError
+from ..obs.lifecycle import JobLifecycleLog, get_lifecycle_log
 from .jobs import Job
 
 
@@ -73,8 +74,16 @@ class FairScheduler:
         ranked = scheduler.select(queue.jobs(), now=time.monotonic())
     """
 
-    def __init__(self, policy: SchedulerPolicy | None = None) -> None:
+    def __init__(
+        self,
+        policy: SchedulerPolicy | None = None,
+        lifecycle: JobLifecycleLog | None = None,
+    ) -> None:
         self.policy = policy or SchedulerPolicy()
+        # explicit None test: an empty log is falsy (it defines __len__)
+        self.lifecycle = (
+            lifecycle if lifecycle is not None else get_lifecycle_log()
+        )
         #: dispatch accounting, surfaced in service stats
         self.rounds = 0
 
@@ -110,4 +119,13 @@ class FairScheduler:
         if not jobs:
             return None
         self.rounds += 1
-        return min(jobs, key=lambda job: self.sort_key(job, now))
+        head = min(jobs, key=lambda job: self.sort_key(job, now))
+        self.lifecycle.emit(
+            "scheduled", head.job_id, t=now,
+            priority=head.priority,
+            effective_priority=self.effective_priority(head, now),
+            urgent=self.is_urgent(head, now),
+            queue_age_s=max(0.0, now - head.submitted_at),
+            round=self.rounds,
+        )
+        return head

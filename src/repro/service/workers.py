@@ -38,6 +38,8 @@ from ..ell.persist import plan_fingerprint
 from ..errors import ReproError, ServiceError
 from ..gpu.spec import GpuSpec
 from ..obs import get_metrics, get_tracer
+from ..obs.lifecycle import JobLifecycleLog
+from ..obs.slo import SLOTracker
 from ..resilience import get_resilience_log
 from ..sim.base import BatchSpec
 from ..sim.bqsim import BQSimSimulator
@@ -151,10 +153,17 @@ class BatchSimulationService:
                 Worker(i, BQSimSimulator(**kwargs)) for i in range(num_workers)
             ]
             self._template = self.workers[0].simulator
-        self.queue = JobQueue(max_depth=max_depth, clock=clock)
-        self.scheduler = FairScheduler(policy)
+        #: private per-service lifecycle log + SLO fold (concurrent services
+        #: never mix their jobs); shared with queue/scheduler/coalescer
+        self.lifecycle = JobLifecycleLog(clock=clock)
+        self.slo = SLOTracker().attach(self.lifecycle)
+        self.queue = JobQueue(
+            max_depth=max_depth, clock=clock, lifecycle=self.lifecycle
+        )
+        self.scheduler = FairScheduler(policy, lifecycle=self.lifecycle)
         self.coalescer = Coalescer(
-            self.gpu, max_columns=max_columns, max_jobs=max_jobs_per_batch
+            self.gpu, max_columns=max_columns, max_jobs=max_jobs_per_batch,
+            lifecycle=self.lifecycle,
         )
         #: every job ever admitted, by id (terminal jobs stay addressable)
         self.jobs: dict[str, Job] = {}
@@ -200,6 +209,11 @@ class BatchSimulationService:
             priority=priority, deadline=deadline, options=options,
         )
         job.group_key = self._group_key(circuit, job.options)
+        self.lifecycle.emit(
+            "submitted", job.job_id, t=self.clock(),
+            priority=priority, circuit=circuit.name,
+            inputs=job.num_inputs, deadline=deadline,
+        )
         with get_tracer().span(
             "service.submit",
             job=job.job_id,
@@ -282,6 +296,54 @@ class BatchSimulationService:
 
     # -- execution -----------------------------------------------------------
 
+    def _emit_terminal(
+        self,
+        job: Job,
+        *,
+        worker: int | None = None,
+        wall_s: float | None = None,
+        modeled_s: float | None = None,
+    ) -> None:
+        """One ``done``/``failed`` lifecycle event carrying everything the
+        :class:`~repro.obs.slo.SLOTracker` folds: latency, queue age,
+        deadline verdict, degradation flag, and run durations."""
+        stage = "done" if job.status is JobStatus.DONE else "failed"
+        latency = (
+            job.finished_at - job.submitted_at
+            if job.finished_at is not None else None
+        )
+        missed = (
+            job.deadline is not None
+            and job.finished_at is not None
+            and job.finished_at > job.deadline
+        )
+        self.lifecycle.emit(
+            stage, job.job_id, t=job.finished_at,
+            priority=job.priority,
+            latency_s=latency,
+            queue_age_s=job.wait_time(),
+            deadline=job.deadline,
+            deadline_miss=missed,
+            solo_retry=job.solo_retry,
+            attempts=job.attempts,
+            worker=worker,
+            wall_s=wall_s,
+            modeled_s=modeled_s,
+            error=job.error,
+        )
+
+    def _emit_executing(
+        self, group: CoalescedGroup, now: float, worker: int
+    ) -> None:
+        for job in group.jobs:
+            self.lifecycle.emit(
+                "executing", job.job_id, t=now,
+                priority=job.priority,
+                worker=worker,
+                queue_age_s=job.wait_time(),
+                coalesce_factor=group.coalesce_factor,
+            )
+
     def _execute(self, worker: Worker, group: CoalescedGroup) -> int:
         now = self.clock()
         metrics = get_metrics()
@@ -291,6 +353,7 @@ class BatchSimulationService:
             job.started_at = now
             job.attempts += 1
             metrics.observe("service.wait_s", job.wait_time())
+        self._emit_executing(group, now, worker.wid)
         spec, batches, pad = self.coalescer.mega_batches(group)
         record = {
             "event": "megabatch",
@@ -316,6 +379,7 @@ class BatchSimulationService:
                 group=group.key[:12],
                 circuit=group.circuit.name,
                 jobs=group.coalesce_factor,
+                job_ids=[job.job_id for job in group.jobs],
                 columns=group.total_columns,
                 worker=worker.wid,
             ):
@@ -327,8 +391,13 @@ class BatchSimulationService:
         else:
             per_job = Coalescer.scatter(group, result.outputs)
             done_at = self.clock()
+            wall_s = time.perf_counter() - wall0
             for job in group.jobs:
                 job.finish(per_job[job.job_id], done_at)
+                self._emit_terminal(
+                    job, worker=worker.wid, wall_s=wall_s,
+                    modeled_s=result.modeled_time,
+                )
             finished = len(group.jobs)
             worker.jobs_done += finished
             self._completed += finished
@@ -366,6 +435,7 @@ class BatchSimulationService:
         )
         finished = 0
         for job in group.jobs:
+            solo0 = time.perf_counter()
             try:
                 with get_tracer().span(
                     "service.solo_retry", job=job.job_id, worker=worker.wid
@@ -375,6 +445,10 @@ class BatchSimulationService:
                 job.fail(str(exc), self.clock())
                 self._failed += 1
                 metrics.inc("service.failed")
+                self._emit_terminal(
+                    job, worker=worker.wid,
+                    wall_s=time.perf_counter() - solo0,
+                )
             else:
                 job.solo_retry = True
                 job.finish(result.outputs[0], self.clock())
@@ -383,6 +457,11 @@ class BatchSimulationService:
                 self._inputs_done += job.num_inputs
                 self._modeled_s += result.modeled_time
                 metrics.inc("service.completed")
+                self._emit_terminal(
+                    job, worker=worker.wid,
+                    wall_s=time.perf_counter() - solo0,
+                    modeled_s=result.modeled_time,
+                )
             finished += 1
         return finished
 
@@ -434,6 +513,7 @@ class BatchSimulationService:
             group=group.key[:12],
             circuit=group.circuit.name,
             jobs=group.coalesce_factor,
+            job_ids=[job.job_id for job in group.jobs],
             columns=group.total_columns,
         ):
             task_id, wid = pool.submit(
@@ -442,7 +522,9 @@ class BatchSimulationService:
                 mega,
                 group.total_columns,
                 [job.num_inputs for job in group.jobs],
+                job_ids=[job.job_id for job in group.jobs],
             )
+        self._emit_executing(group, now, wid)
         record = {
             "event": "megabatch",
             "t": now,
@@ -474,9 +556,14 @@ class BatchSimulationService:
         done_at = self.clock()
         merged = raw["outputs"]
         finished = 0
+        wall_s = time.perf_counter() - wall0
         if not raw["degraded"]:
             for job, start, stop in group.offsets():
                 job.finish(merged[:, start:stop], done_at)
+                self._emit_terminal(
+                    job, worker=raw["wid"], wall_s=wall_s,
+                    modeled_s=raw["modeled_s"],
+                )
             finished = len(group.jobs)
             self._completed += finished
             self._inputs_done += group.total_columns
@@ -516,6 +603,7 @@ class BatchSimulationService:
                     )
                     self._failed += 1
                     metrics.inc("service.failed")
+                self._emit_terminal(job, worker=raw["wid"], wall_s=wall_s)
                 finished += 1
             self._modeled_s += raw["modeled_s"]
         record["wall_s"] = time.perf_counter() - wall0
@@ -581,6 +669,9 @@ class BatchSimulationService:
             "workers": worker_summaries,
             "plan_cache": plan_cache,
         }
+        slo = self.slo.summary()
+        slo["unaccounted_jobs"] = len(self.lifecycle.unaccounted())
+        stats["slo"] = slo
         if self._pool is not None:
             stats["pool"] = self._pool.stats()
         return stats
@@ -593,3 +684,7 @@ class BatchSimulationService:
             for event in self.events:
                 fh.write(json.dumps(event) + "\n")
         return len(self.events)
+
+    def write_lifecycle(self, path) -> int:
+        """Write the per-job lifecycle event log as JSONL; returns count."""
+        return self.lifecycle.write_jsonl(path)

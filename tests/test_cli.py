@@ -189,6 +189,11 @@ def test_submit_stats_json_matches_simulate_schema(tmp_path, capsys):
     job = job_doc["stats"]["job"]
     assert job["status"] == "done" and job["job_id"].startswith("job-")
 
+    slo = job_doc["stats"]["slo"]
+    assert slo["done"] == 1 and slo["unaccounted_jobs"] == 0
+    assert slo["latency_s"]["p50"] <= slo["latency_s"]["p99"]
+    assert "queue_age_s" in slo and "priorities" in slo
+
 
 def test_submit_process_parallelism(capsys):
     rc = main(["submit", "--family", "ghz", "-n", "5", "--inputs", "3",
@@ -197,3 +202,98 @@ def test_submit_process_parallelism(capsys):
     assert rc == 0
     assert "status    : done" in out
     assert "3 output state(s)" in out
+
+
+def test_serve_slo_prom_and_lifecycle_outputs(tmp_path, capsys):
+    """``serve`` can scrape its registry to Prometheus text and dump the
+    per-job lifecycle log; both artifacts parse and agree on job counts."""
+    import json
+
+    from repro.obs import parse_prometheus_text
+
+    prom = tmp_path / "serve.prom"
+    lifecycle = tmp_path / "lifecycle.jsonl"
+    stats = tmp_path / "serve.json"
+    rc = main(["serve", "--families", "ghz", "-n", "5", "--jobs", "6",
+               "--seed", "5", "--prom-out", str(prom),
+               "--lifecycle-out", str(lifecycle), "--stats-json", str(stats)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "slo       : latency p50" in out
+    assert f"prom      : wrote {prom}" in out
+
+    doc = parse_prometheus_text(prom.read_text())
+    assert doc["types"]["repro_service_job_latency_s"] == "histogram"
+    done = sum(
+        v for labels, v in doc["samples"]["repro_service_job_terminal"]
+        if labels.get("outcome") == "done"
+    )
+    slo = json.loads(stats.read_text())["slo"]
+    assert done >= slo["done"] >= 1  # registry is global, file is this run
+    assert slo["unaccounted_jobs"] == 0
+
+    events = [json.loads(l) for l in lifecycle.read_text().splitlines()]
+    submitted = {e["job"] for e in events if e["event"] == "submitted"}
+    terminal = {e["job"] for e in events
+                if e["event"] in ("done", "failed", "cancelled", "rejected")}
+    assert len(submitted) == 6 and submitted == terminal
+
+
+def test_status_command_renders_slo(tmp_path, capsys):
+    stats = tmp_path / "serve.json"
+    assert main(["serve", "--families", "qft", "-n", "5", "--jobs", "4",
+                 "--seed", "9", "--stats-json", str(stats)]) == 0
+    capsys.readouterr()
+    rc = main(["status", "--stats", str(stats)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "jobs      :" in out and "4 submitted" in out
+    assert "latency ms:" in out and "p50" in out and "p99" in out
+    assert "deadlines :" in out and "degraded  :" in out
+    assert "priority" in out  # per-priority breakdown rows
+
+
+def test_status_command_rejects_file_without_slo(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{}")
+    with pytest.raises(SystemExit, match="no 'slo' block"):
+        main(["status", "--stats", str(bad)])
+
+
+def test_metrics_command_converts_jsonl(tmp_path, capsys):
+    """``metrics --in`` turns a ``--metrics-out`` JSONL file into
+    Prometheus exposition text without needing the live registry."""
+    from repro.obs import parse_prometheus_text
+
+    jsonl = tmp_path / "metrics.jsonl"
+    prom = tmp_path / "metrics.prom"
+    assert main(["simulate", "--family", "ghz", "-n", "5", "--batches", "1",
+                 "--batch-size", "4", "--execute",
+                 "--metrics-out", str(jsonl)]) == 0
+    capsys.readouterr()
+    rc = main(["metrics", "--in", str(jsonl), "--out", str(prom)])
+    assert rc == 0
+    assert f"prom      : wrote {prom}" in capsys.readouterr().out
+    doc = parse_prometheus_text(prom.read_text())
+    assert doc["samples"]  # non-empty and well-formed
+    with pytest.raises(SystemExit, match="out of range"):
+        main(["metrics", "--in", str(jsonl), "--index", "99"])
+
+
+def test_trace_serve_merged_timeline(tmp_path, capsys):
+    import json
+
+    trace = tmp_path / "serve-trace.json"
+    rc = main(["trace", "--serve", "--families", "ghz", "-n", "5",
+               "--jobs", "4", "--workers", "2", "--seed", "7",
+               "--out", str(trace)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "job spans :" in out and "carry job-id attributes" in out
+    doc = json.loads(trace.read_text())
+    events = doc["traceEvents"]
+    names = {e.get("name") for e in events}
+    assert "service.megabatch" in names
+    job_spans = [e for e in events
+                 if e.get("args", {}).get("job_ids")]
+    assert job_spans  # correlation attrs survive the chrome-trace export

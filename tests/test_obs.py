@@ -8,12 +8,15 @@ from repro.circuit.generators import make_circuit
 from repro.gpu.engine import Task, Timeline
 from repro.obs import (
     CANONICAL_STAGES,
+    Histogram,
     Metrics,
     Tracer,
     canonical_breakdown,
     chrome_trace,
     get_metrics,
     get_tracer,
+    labeled,
+    split_labels,
     trace_track_names,
     tracing,
     validate_chrome_trace,
@@ -121,6 +124,98 @@ def test_metrics_delta_scopes_one_run():
     assert delta["histograms"]["h"]["sum"] == pytest.approx(2.0)
     # nothing happened since: delta is empty
     assert m.delta(m.mark())["counters"] == {}
+
+
+def test_histogram_quantiles_are_monotone_and_accurate():
+    hist = Histogram()
+    for i in range(1, 101):  # uniform 0.01 .. 1.00
+        hist.observe(i / 100.0)
+    assert hist.p50 == pytest.approx(0.5, rel=0.15)
+    assert hist.p95 == pytest.approx(0.95, rel=0.15)
+    assert hist.p99 == pytest.approx(0.99, rel=0.15)
+    assert hist.p50 <= hist.p95 <= hist.p99  # monotone by construction
+    assert hist.quantile(0.0) == pytest.approx(hist.min)
+    assert hist.quantile(1.0) == pytest.approx(hist.max)
+
+
+def test_labeled_metric_families():
+    m = Metrics()
+    m.inc("jobs", priority="2", tenant="a")
+    m.inc("jobs", tenant="a", priority="2")  # key order is canonical
+    m.inc("jobs", priority="0")
+    m.observe("lat", 0.5, stage="execute")
+    snap = m.snapshot()
+    assert snap["counters"][labeled("jobs", priority="2", tenant="a")] == 2
+    assert snap["counters"][labeled("jobs", priority="0")] == 1
+    family, labels = split_labels('jobs{priority="2",tenant="a"}')
+    assert family == "jobs" and labels == {"priority": "2", "tenant": "a"}
+    assert labeled("lat", stage="execute") in snap["histograms"]
+
+
+def test_snapshot_returns_deep_copies():
+    """Mutating a returned snapshot must not corrupt the live registry."""
+    m = Metrics()
+    m.inc("c", 5)
+    m.gauge("g", 1.0)
+    m.observe("h", 2.0)
+    snap = m.snapshot()
+    snap["counters"]["c"] = 999
+    snap["gauges"]["g"] = 999
+    snap["histograms"]["h"]["count"] = 999
+    snap["histograms"]["h"]["buckets"]["tampered"] = 7
+    fresh = m.snapshot()
+    assert fresh["counters"]["c"] == 5
+    assert fresh["gauges"]["g"] == 1.0
+    assert fresh["histograms"]["h"]["count"] == 1
+    assert "tampered" not in fresh["histograms"]["h"]["buckets"]
+
+
+def test_delta_histogram_min_max_are_window_scoped():
+    """Regression: delta min/max must reflect the window, not the whole
+    run — a pre-mark extreme (100.0) must not leak into the delta."""
+    m = Metrics()
+    m.observe("h", 100.0)
+    mark = m.mark()
+    for v in (1.0, 5.0, 3.0):
+        m.observe("h", v)
+    win = m.delta(mark)["histograms"]["h"]
+    assert win["count"] == 3
+    assert win["sum"] == pytest.approx(9.0)
+    # bounds are bucket-resolution accurate: max must exclude 100.0
+    assert win["max"] < 10.0
+    assert 0.0 < win["min"] <= 1.0 + 1e-9
+    # the whole-run min moved during the window -> delta min is exact
+    assert win["min"] == pytest.approx(1.0)
+
+
+def test_metrics_thread_hammer_exact_totals():
+    """Concurrent inc/observe from many threads lose no updates."""
+    import threading
+
+    m = Metrics()
+    threads_n, per_thread = 8, 500
+
+    def work(tid: int) -> None:
+        for i in range(per_thread):
+            m.inc("total")
+            m.inc("byid", tid=str(tid))
+            m.observe("vals", float(i % 10 + 1))
+
+    threads = [
+        threading.Thread(target=work, args=(t,)) for t in range(threads_n)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    snap = m.snapshot()
+    expect = threads_n * per_thread
+    assert snap["counters"]["total"] == expect
+    for tid in range(threads_n):
+        assert snap["counters"][labeled("byid", tid=str(tid))] == per_thread
+    hist = snap["histograms"]["vals"]
+    assert hist["count"] == expect
+    assert hist["sum"] == pytest.approx(threads_n * per_thread * 5.5)
 
 
 # ---------------------------------------------------------------------------

@@ -228,3 +228,64 @@ def test_pool_metrics_emitted():
     counters = delta.get("counters", delta)
     assert counters.get("service.pool.dispatched", 0) >= 1
     assert counters.get("service.pool.completed", 0) >= 1
+
+
+def test_pool_worker_metrics_merge_without_double_counting():
+    """N workers' tallies fold into exact totals: every job and mega-batch
+    is counted exactly once no matter which process ran it."""
+    from repro.obs import get_metrics, labeled
+
+    metrics = get_metrics()
+    mark = metrics.mark()
+    pairs = _mixed_plan_workload(num_qubits=4, seed=11)
+    results, stats = _run_service(
+        pairs, num_workers=3, parallelism="process"
+    )
+    assert all(r is not None for r in results)
+    delta = metrics.delta(mark)["counters"]
+    # pool counters: one dispatch and one completion per mega-batch
+    assert delta["service.pool.dispatched"] == stats["megabatches"]
+    assert delta["service.pool.completed"] == stats["megabatches"]
+    assert delta["service.completed"] == len(pairs)
+    # per-worker tallies sum to the fleet totals, not a multiple
+    summaries = stats["workers"]
+    assert sum(w["jobs_done"] for w in summaries) == len(pairs)
+    assert sum(w["megabatches"] for w in summaries) == stats["megabatches"]
+    # SLO mirror: terminal events counted once per job across priorities
+    done = sum(
+        count for name, count in delta.items()
+        if name.startswith("service.job.terminal") and '"done"' in name
+    )
+    assert done == len(pairs)
+    slo = stats["slo"]
+    assert slo["done"] == len(pairs) and slo["unaccounted_jobs"] == 0
+
+
+def test_pool_spans_carry_job_ids_for_correlation():
+    """One job's id appears on both the parent dispatch span and the
+    worker-process mega-batch span after absorption — the property that
+    makes a merged Perfetto timeline correlatable."""
+    pairs = _mixed_plan_workload(num_qubits=4, seed=13)[:3]
+    service = BatchSimulationService(num_workers=2, parallelism="process")
+    with tracing() as tracer:
+        try:
+            jobs = [service.submit(c, b) for c, b in pairs]
+            service.drain()
+        finally:
+            service.close()
+        spans = tracer.spans()
+    dispatch = [s for s in spans if s.name == "service.dispatch"]
+    megabatch = [s for s in spans if s.name == "pool.megabatch"]
+    assert dispatch and megabatch
+    assert all(s.thread.startswith("pool-worker-") for s in megabatch)
+    for job in jobs:
+        parent_hits = [
+            s for s in dispatch if job.job_id in s.attrs.get("job_ids", [])
+        ]
+        worker_hits = [
+            s for s in megabatch if job.job_id in s.attrs.get("job_ids", [])
+        ]
+        assert parent_hits and worker_hits, job.job_id
+        assert all(
+            s.thread != worker_hits[0].thread for s in parent_hits
+        )  # genuinely cross-process tracks

@@ -1,0 +1,260 @@
+"""Tests for SLO telemetry: lifecycle log, SLOTracker, Prometheus export,
+and the service wiring that feeds them."""
+
+import json
+
+import pytest
+
+from repro.circuit.generators import make_circuit
+from repro.errors import AdmissionError
+from repro.obs import (
+    JobLifecycleLog,
+    LIFECYCLE_STAGES,
+    SLOTracker,
+    get_metrics,
+    parse_prometheus_text,
+    prometheus_text,
+    write_prometheus,
+)
+from repro.service import BatchSimulationService
+
+
+# ---------------------------------------------------------------------------
+# lifecycle log
+# ---------------------------------------------------------------------------
+
+def test_lifecycle_log_records_and_filters():
+    log = JobLifecycleLog(clock=lambda: 1.5)
+    log.emit("submitted", "job-0-a", priority=1)
+    log.emit("admitted", "job-0-a", queue_depth=1)
+    log.emit("submitted", "job-1-b")
+    log.emit("done", "job-0-a", latency_s=0.2)
+    assert len(log) == 4
+    assert [e["event"] for e in log.events("job-0-a")] == [
+        "submitted", "admitted", "done",
+    ]
+    assert [e["job"] for e in log.events(stage="submitted")] == [
+        "job-0-a", "job-1-b",
+    ]
+    assert log.events("job-0-a")[0]["t"] == 1.5
+
+
+def test_lifecycle_log_rejects_unknown_stage():
+    log = JobLifecycleLog()
+    with pytest.raises(ValueError, match="unknown lifecycle stage"):
+        log.emit("teleported", "job-0-a")
+
+
+def test_lifecycle_unaccounted_tracks_lost_jobs():
+    log = JobLifecycleLog()
+    log.emit("submitted", "job-0-a")
+    log.emit("submitted", "job-1-b")
+    log.emit("submitted", "job-2-c")
+    log.emit("done", "job-0-a")
+    log.emit("rejected", "job-2-c")  # left at the edge: accounted for
+    assert log.unaccounted() == ["job-1-b"]
+    log.emit("failed", "job-1-b")
+    assert log.unaccounted() == []
+
+
+def test_lifecycle_listeners_and_jsonl(tmp_path):
+    log = JobLifecycleLog()
+    seen = []
+    log.subscribe(seen.append)
+    log.emit("submitted", "job-0-a", priority=2)
+    log.emit("done", "job-0-a", latency_s=0.1)
+    assert [e["event"] for e in seen] == ["submitted", "done"]
+    path = tmp_path / "lifecycle.jsonl"
+    assert log.write_jsonl(path) == 2
+    lines = [json.loads(l) for l in path.read_text().splitlines()]
+    assert lines[0]["priority"] == 2 and lines[1]["latency_s"] == 0.1
+
+
+# ---------------------------------------------------------------------------
+# SLOTracker
+# ---------------------------------------------------------------------------
+
+def _terminal(log, jid, *, stage="done", priority=0, latency=0.1,
+              queue_age=0.05, deadline=None, miss=False, solo=False):
+    log.emit(stage, jid, priority=priority, latency_s=latency,
+             queue_age_s=queue_age, deadline=deadline, deadline_miss=miss,
+             solo_retry=solo)
+
+
+def test_slo_tracker_folds_per_priority():
+    log = JobLifecycleLog()
+    slo = SLOTracker().attach(log)
+    for i in range(10):
+        jid = f"job-{i}-x"
+        log.emit("submitted", jid, priority=i % 2)
+        _terminal(log, jid, priority=i % 2, latency=0.01 * (i + 1))
+    summary = slo.summary()
+    assert summary["submitted"] == 10 and summary["done"] == 10
+    assert set(summary["priorities"]) == {"0", "1"}
+    assert summary["priorities"]["0"]["jobs"] == 5
+    lat = summary["latency_s"]
+    assert lat["count"] == 10
+    assert lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["max"]
+
+
+def test_slo_tracker_deadline_and_degradation_rates():
+    log = JobLifecycleLog()
+    slo = SLOTracker().attach(log)
+    _terminal(log, "a", deadline=1.0, miss=True)
+    _terminal(log, "b", deadline=1.0, miss=False)
+    _terminal(log, "c", solo=True)
+    _terminal(log, "d", stage="failed")
+    summary = slo.summary()
+    assert summary["deadline_jobs"] == 2 and summary["deadline_misses"] == 1
+    assert summary["deadline_miss_rate"] == pytest.approx(0.5)
+    assert summary["solo_retries"] == 1
+    assert summary["degraded_rate"] == pytest.approx(0.25)
+    assert summary["done"] == 3 and summary["failed"] == 1
+
+
+def test_slo_tracker_mirrors_labeled_metrics():
+    log = JobLifecycleLog()
+    SLOTracker(metric_prefix="t.job").attach(log)
+    mark = get_metrics().mark()
+    _terminal(log, "a", priority=3)
+    delta = get_metrics().delta(mark)
+    assert delta["counters"]['t.job.terminal{outcome="done",priority="3"}'] == 1
+    assert 't.job.latency_s{priority="3"}' in delta["histograms"]
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text format
+# ---------------------------------------------------------------------------
+
+def test_prometheus_roundtrip(tmp_path):
+    from repro.obs import Metrics
+
+    m = Metrics()
+    m.inc("service.completed", 7)
+    m.gauge("service.queue_depth", 3)
+    for v in (0.01, 0.1, 1.0):
+        m.observe("service.job.latency_s", v, priority="1")
+    path = write_prometheus(tmp_path / "m.prom", m.snapshot())
+    doc = parse_prometheus_text(path.read_text())
+    assert doc["types"]["repro_service_completed"] == "counter"
+    assert doc["samples"]["repro_service_completed"] == [({}, 7.0)]
+    assert doc["types"]["repro_service_job_latency_s"] == "histogram"
+    buckets = doc["samples"]["repro_service_job_latency_s_bucket"]
+    inf = [v for labels, v in buckets if labels["le"] == "+Inf"]
+    assert inf == [3.0]
+    (labels, count) = doc["samples"]["repro_service_job_latency_s_count"][0]
+    assert labels == {"priority": "1"} and count == 3.0
+
+
+def test_prometheus_parser_rejects_malformed():
+    with pytest.raises(ValueError, match="malformed"):
+        parse_prometheus_text("# TYPE a counter\na 1.0 extra junk here\n")
+    with pytest.raises(ValueError, match="precedes"):
+        parse_prometheus_text("orphan_sample 1.0\n")
+    with pytest.raises(ValueError, match="non-numeric"):
+        parse_prometheus_text("# TYPE a counter\na banana\n")
+
+
+def test_prometheus_histogram_buckets_are_cumulative():
+    from repro.obs import Metrics
+
+    m = Metrics()
+    for v in (0.001, 0.01, 0.01, 10.0):
+        m.observe("h", v)
+    text = prometheus_text(m.snapshot())
+    doc = parse_prometheus_text(text)  # raises if buckets ever decrease
+    buckets = doc["samples"]["repro_h_bucket"]
+    values = [v for _, v in buckets]
+    assert values == sorted(values) and values[-1] == 4.0
+
+
+# ---------------------------------------------------------------------------
+# service integration
+# ---------------------------------------------------------------------------
+
+def test_service_stats_slo_block_coalesced_run():
+    service = BatchSimulationService(num_workers=2)
+    for i in range(12):
+        service.submit(make_circuit("ghz", 4), num_inputs=4, priority=i % 3,
+                       deadline=1e12 if i % 4 == 0 else None)
+    service.drain()
+    slo = service.stats()["slo"]
+    assert slo["done"] == 12 and slo["failed"] == 0
+    assert slo["unaccounted_jobs"] == 0
+    assert sorted(slo["priorities"]) == ["0", "1", "2"]
+    for block in (slo["latency_s"], slo["queue_age_s"]):
+        assert block["count"] == 12
+        assert block["p50"] <= block["p95"] <= block["p99"]
+    assert slo["deadline_jobs"] == 3 and slo["deadline_misses"] == 0
+    # stats mean coalescing happened, so jobs shared mega-batches
+    assert service.stats()["coalesce_factor_max"] > 1
+
+
+def test_service_lifecycle_full_chain_and_isolation():
+    """Each job walks the full stage chain; two services never mix logs."""
+    a = BatchSimulationService()
+    b = BatchSimulationService()
+    job = a.submit(make_circuit("ghz", 4), num_inputs=2)
+    a.drain()
+    stages = [e["event"] for e in a.lifecycle.events(job.job_id)]
+    assert stages[0] == "submitted" and stages[-1] == "done"
+    assert {"admitted", "scheduled", "coalesced", "executing"} <= set(stages)
+    assert all(s in LIFECYCLE_STAGES for s in stages)
+    done = a.lifecycle.events(job.job_id, stage="done")[0]
+    assert done["latency_s"] > 0 and done["queue_age_s"] >= 0
+    assert done["wall_s"] > 0 and done["modeled_s"] > 0
+    assert b.lifecycle.events() == []  # isolation
+
+
+def test_service_lifecycle_rejected_and_cancelled():
+    service = BatchSimulationService(max_depth=1)
+    kept = service.submit(make_circuit("ghz", 4), num_inputs=2)
+    with pytest.raises(AdmissionError):
+        service.submit(make_circuit("ghz", 4), num_inputs=3)
+    service.cancel(kept.job_id)
+    events = {e["event"] for e in service.lifecycle.events()}
+    assert {"submitted", "admitted", "rejected", "cancelled"} <= events
+    slo = service.stats()["slo"]
+    assert slo["rejected"] == 1 and slo["cancelled"] == 1
+    assert slo["unaccounted_jobs"] == 0
+
+
+def test_service_degraded_jobs_emit_failed_and_solo(tmp_path):
+    """A poisoned mega-batch degrades; the SLO block records the split."""
+    import numpy as np
+
+    from repro.circuit.inputs import InputBatch, random_batch
+
+    service = BatchSimulationService(simulator_kwargs={"health": "fail"})
+    circuit = make_circuit("qft", 5)
+    good = service.submit(circuit, random_batch(5, 2, 1))
+    poison = service.submit(
+        circuit, InputBatch(np.full((32, 2), np.nan, dtype=np.complex128))
+    )
+    service.drain()
+    slo = service.stats()["slo"]
+    assert slo["done"] == 1 and slo["failed"] == 1
+    assert slo["solo_retries"] == 1 and slo["degraded_rate"] == 0.5
+    assert slo["unaccounted_jobs"] == 0
+    done = service.lifecycle.events(good.job_id, stage="done")[0]
+    failed = service.lifecycle.events(poison.job_id, stage="failed")[0]
+    assert done["solo_retry"] is True
+    assert "non-finite" in failed["error"]
+    path = tmp_path / "lifecycle.jsonl"
+    count = service.write_lifecycle(path)
+    assert count == len(service.lifecycle.events()) > 0
+
+
+def test_service_slo_in_prometheus_export(tmp_path):
+    service = BatchSimulationService()
+    for i in range(4):
+        service.submit(make_circuit("ghz", 4), num_inputs=2, priority=i % 2)
+    service.drain()
+    path = write_prometheus(tmp_path / "svc.prom", get_metrics().snapshot())
+    doc = parse_prometheus_text(path.read_text())
+    terminal = doc["samples"]["repro_service_job_terminal"]
+    done = sum(
+        v for labels, v in terminal if labels.get("outcome") == "done"
+    )
+    assert done >= 4  # global registry: at least this service's jobs
+    assert "repro_service_job_latency_s_bucket" in doc["samples"]

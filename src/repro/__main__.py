@@ -186,11 +186,23 @@ def cmd_serve(args) -> int:
         simulator_kwargs["faults"] = args.faults
     if args.engine is not None:
         simulator_kwargs["engine"] = args.engine
+    service_kwargs = {}
+    if args.max_deliveries is not None:
+        service_kwargs["max_deliveries"] = args.max_deliveries
+    if args.max_restarts is not None:
+        service_kwargs["max_restarts"] = args.max_restarts
+    if args.timeout is not None:
+        service_kwargs["default_timeout_s"] = args.timeout
+    if args.chaos is not None:
+        from .testing.chaos_pool import ChaosSchedule
+
+        service_kwargs["chaos"] = ChaosSchedule.parse(args.chaos)
     service = BatchSimulationService(
         num_workers=args.workers,
         max_depth=args.max_depth,
         simulator_kwargs=simulator_kwargs,
         parallelism=args.parallelism,
+        **service_kwargs,
     )
     families = [f.strip() for f in args.families.split(",") if f.strip()]
     try:
@@ -203,7 +215,11 @@ def cmd_serve(args) -> int:
             max_inputs=args.max_inputs,
         )
     finally:
-        service.close()
+        service.close(drain=args.drain)
+        # close() may cancel stragglers: re-snapshot the final accounting
+        stats.update(
+            {k: v for k, v in service.stats().items() if k != "workload"}
+        )
     workload = stats["workload"]
     print(f"workload  : {workload['jobs_submitted']} jobs "
           f"({workload['jobs_shed']} shed) over {','.join(workload['families'])} "
@@ -219,6 +235,14 @@ def cmd_serve(args) -> int:
           f"occupancy {stats['occupancy_mean']:.2f}")
     print(f"latency   : max wait {stats['wait_max_s'] * 1e3:.3f} ms, "
           f"{stats['degraded_groups']} degraded group(s)")
+    if "pool" in stats:
+        pool = stats["pool"]
+        print(f"failure   : {pool['crashes']} crash(es) "
+              f"({pool['timeouts']} timeout), "
+              f"{pool['restarts']}/{pool['max_restarts']} restart(s), "
+              f"{stats.get('requeued', 0)} redelivered, "
+              f"{stats.get('quarantined', 0)} quarantined, "
+              f"{pool['leaked_segments']} leaked shm segment(s)")
     print(f"throughput: {stats['inputs_done']} inputs in "
           f"{stats['modeled_time_s'] * 1e3:.3f} ms modeled "
           f"({stats['modeled_throughput_inputs_per_s']:.0f} inputs/s)")
@@ -269,7 +293,8 @@ def cmd_submit(args) -> int:
     )
     try:
         job_id = client.submit(
-            circuit, num_inputs=args.inputs, priority=args.priority
+            circuit, num_inputs=args.inputs, priority=args.priority,
+            timeout_s=args.timeout, max_deliveries=args.max_deliveries,
         )
         print(f"submitted : {job_id} ({circuit.name}, {args.inputs} "
               f"input(s), priority {args.priority})")
@@ -566,6 +591,21 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--engine", default=None,
                    choices=["numpy", "fake-gpu", "cupy"],
                    help="array backend for every worker simulator")
+    p.add_argument("--timeout", type=float, default=None, metavar="S",
+                   help="default per-job execution deadline in seconds "
+                        "(process mode: hung workers are killed)")
+    p.add_argument("--max-deliveries", type=int, default=None, metavar="N",
+                   help="deliveries before a crash-looping job is "
+                        "quarantined (default: 3)")
+    p.add_argument("--max-restarts", type=int, default=None, metavar="N",
+                   help="pool-wide worker restart budget (default: 8)")
+    p.add_argument("--chaos", default=None, metavar="SPEC",
+                   help="chaos schedule for the worker pool, e.g. "
+                        "'kill=2,hang@after=5' (kill/hang pool task N; "
+                        "'@after' fires after the simulator ran)")
+    p.add_argument("--drain", action="store_true",
+                   help="graceful close: finish in-flight work instead of "
+                        "cancelling it")
     p.add_argument("--queue-metrics", default=None, metavar="PATH",
                    help="write per-round queue metrics as JSONL")
     p.add_argument("--stats-json", default=None, metavar="PATH",
@@ -586,6 +626,12 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--inputs", type=int, default=4,
                    help="input states in the job's batch")
     p.add_argument("--priority", type=int, default=0)
+    p.add_argument("--timeout", type=float, default=None, metavar="S",
+                   help="per-job execution deadline in seconds "
+                        "(process mode: a hung worker is killed)")
+    p.add_argument("--max-deliveries", type=int, default=None, metavar="N",
+                   help="deliveries before the job is quarantined "
+                        "(default: service setting, 3)")
     p.add_argument("--faults", default=None, metavar="PLAN")
     p.add_argument("--engine", default=None,
                    choices=["numpy", "fake-gpu", "cupy"])

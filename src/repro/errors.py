@@ -97,3 +97,18 @@ class AdmissionError(ServiceError):
         self.depth = depth
         self.max_depth = max_depth
         super().__init__(message)
+
+
+class JobNotCancellable(ServiceError):
+    """A cancel targeted a job that is no longer synchronously cancellable.
+
+    Carries the job id and the status that made the cancel impossible —
+    an in-flight (taken) job can only be cancelled asynchronously through
+    :meth:`~repro.service.workers.BatchSimulationService.cancel`, and a
+    terminal job not at all.
+    """
+
+    def __init__(self, message: str, job_id: str = "", status: str = ""):
+        self.job_id = job_id
+        self.status = status
+        super().__init__(message)

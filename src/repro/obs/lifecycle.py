@@ -3,7 +3,8 @@
 Every service job emits one JSON-safe event per lifecycle stage::
 
     submitted -> admitted -> scheduled -> coalesced -> executing
-              -> done | failed | cancelled        (requeued, rejected)
+              -> done | failed | cancelled | quarantined
+                 (requeued, rejected, cancel_requested, worker_restart)
 
 Each event carries the job id, the emitting stage, a service-clock
 timestamp, and stage-specific fields (queue age, worker id, wall and
@@ -30,7 +31,8 @@ import time
 from pathlib import Path
 
 #: every lifecycle stage, in nominal order (rejected/requeued are
-#: branches; the last three are terminal)
+#: branches, ``worker_restart`` is a fleet event stamped with a pseudo
+#: ``worker-<wid>`` id; the last four are terminal)
 LIFECYCLE_STAGES = (
     "submitted",
     "rejected",
@@ -39,13 +41,16 @@ LIFECYCLE_STAGES = (
     "coalesced",
     "requeued",
     "executing",
+    "cancel_requested",
+    "worker_restart",
     "done",
     "failed",
     "cancelled",
+    "quarantined",
 )
 
 #: stages after which a job emits no further events
-TERMINAL_EVENTS = frozenset({"done", "failed", "cancelled"})
+TERMINAL_EVENTS = frozenset({"done", "failed", "cancelled", "quarantined"})
 
 
 class JobLifecycleLog:

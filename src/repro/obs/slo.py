@@ -11,7 +11,9 @@ into the numbers an operator alarms on:
   absolute deadline, over all deadline-carrying jobs;
 * **degradation rate** — jobs that completed only via the per-job
   isolation fallback (``solo_retry``), over all terminal jobs;
-* **flow counters** — submitted / rejected / done / failed / cancelled.
+* **flow counters** — submitted / rejected / done / failed / cancelled /
+  requeued / quarantined (quarantined jobs count in a dedicated failure
+  bucket and never feed the latency histograms).
 
 Every observation is mirrored into the process-global metrics registry as
 labeled families (``service.job.latency_s{priority="2"}`` …), so the
@@ -40,11 +42,17 @@ def _percentile_dict(hist: Histogram) -> dict:
 
 
 class _PriorityClass:
-    """Per-priority accumulation: two histograms plus outcome counters."""
+    """Per-priority accumulation: two histograms plus outcome counters.
+
+    Quarantined jobs land only in the ``quarantined`` counter — they are
+    a *fleet-safety* outcome (the job kept crashing workers), so their
+    wall time never feeds the latency/queue-age histograms and cannot
+    skew the p99 an operator alarms on.
+    """
 
     __slots__ = (
-        "latency", "queue_age", "done", "failed", "deadline_jobs",
-        "deadline_misses", "solo_retries",
+        "latency", "queue_age", "done", "failed", "quarantined",
+        "deadline_jobs", "deadline_misses", "solo_retries",
     )
 
     def __init__(self) -> None:
@@ -52,6 +60,7 @@ class _PriorityClass:
         self.queue_age = Histogram()
         self.done = 0
         self.failed = 0
+        self.quarantined = 0
         self.deadline_jobs = 0
         self.deadline_misses = 0
         self.solo_retries = 0
@@ -62,6 +71,7 @@ class _PriorityClass:
             "jobs": terminal,
             "done": self.done,
             "failed": self.failed,
+            "quarantined": self.quarantined,
             "latency_s": _percentile_dict(self.latency),
             "queue_age_s": _percentile_dict(self.queue_age),
             "deadline_jobs": self.deadline_jobs,
@@ -102,6 +112,7 @@ class SLOTracker:
         self.submitted = 0
         self.rejected = 0
         self.cancelled = 0
+        self.requeued = 0
 
     def attach(self, log: JobLifecycleLog) -> "SLOTracker":
         """Subscribe to ``log`` (chainable)."""
@@ -131,6 +142,26 @@ class SLOTracker:
         if stage == "cancelled":
             with self._lock:
                 self.cancelled += 1
+            return
+        if stage == "requeued":
+            with self._lock:
+                self.requeued += 1
+            get_metrics().inc("service.requeued")
+            return
+        if stage == "quarantined":
+            # dedicated failure bucket: counted, never fed into the
+            # latency histograms (a poison job's wall time is not a
+            # latency sample — it is a fleet-safety event)
+            priority = event.get("priority", 0)
+            with self._lock:
+                self._class(priority).quarantined += 1
+                self._overall.quarantined += 1
+            metrics = get_metrics()
+            metrics.inc("service.quarantined")
+            metrics.inc(
+                f"{self._prefix}.terminal",
+                priority=str(priority), outcome="quarantined",
+            )
             return
         if stage not in ("done", "failed"):
             return
@@ -191,8 +222,10 @@ class SLOTracker:
                 "submitted": self.submitted,
                 "rejected": self.rejected,
                 "cancelled": self.cancelled,
+                "requeued": self.requeued,
                 "done": self._overall.done,
                 "failed": self._overall.failed,
+                "quarantined": self._overall.quarantined,
                 "latency_s": overall["latency_s"],
                 "queue_age_s": overall["queue_age_s"],
                 "deadline_jobs": overall["deadline_jobs"],

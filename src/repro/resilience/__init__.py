@@ -23,6 +23,7 @@ corruption without losing completed work.  This package supplies:
 from .checkpoint import (
     Checkpoint,
     CheckpointManager,
+    find_checkpoints,
     load_checkpoint,
     save_checkpoint,
 )
@@ -54,6 +55,7 @@ __all__ = [
     "FaultPlan",
     "FAULTS_ENV",
     "FaultSpec",
+    "find_checkpoints",
     "get_fault_injector",
     "get_resilience_log",
     "HEALTH_MODES",

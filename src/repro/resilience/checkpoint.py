@@ -105,6 +105,27 @@ def load_checkpoint(path: str | Path) -> Checkpoint:
         )
 
 
+def find_checkpoints(
+    directory: str | Path, num_batches: int, batch_size: int, seed: int
+) -> list[Path]:
+    """Checkpoint archives in ``directory`` matching one batch spec.
+
+    The serving layer uses this on *redelivery*: a mega-batch whose
+    worker crashed mid-run may have left a batch-boundary checkpoint in
+    the shared checkpoint directory, and the respawned worker can resume
+    it instead of recomputing finished batches.  The plan key is not
+    known to the parent, so candidates are matched on the spec portion of
+    the file name and validated (plan fingerprint included) by
+    ``run(resume=...)`` itself — a mismatch is a typed
+    :class:`~repro.errors.CheckpointError`, not a wrong answer.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    pattern = f"*-{num_batches}x{batch_size}-s{seed}.ckpt.npz"
+    return sorted(directory.glob(pattern))
+
+
 class CheckpointManager:
     """Owns the checkpoint file of one (plan, batch-spec) combination."""
 

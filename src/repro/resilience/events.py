@@ -26,6 +26,9 @@ _SUMMARY_KINDS = {
     "quarantines": "quarantine",
     "checkpoints": "checkpoint",
     "renormalizations": "renormalize",
+    # serving-layer fault handling (the process worker pool records these)
+    "worker_restarts": "worker_restart",
+    "redeliveries": "redelivery",
 }
 
 

@@ -46,6 +46,10 @@ class RetrySession:
         self.policy = policy or RetryPolicy()
         self._rng = np.random.default_rng([int(seed) & 0xFFFFFFFF, 0x52545259])
         self.retries = 0
+        #: cumulative modeled backoff granted so far — callers that price
+        #: retries into a timeline (or a pool restart budget report) read
+        #: this instead of re-summing their own events
+        self.backoff_total = 0.0
 
     def next_backoff(self, site: str, attempt: int, error=None) -> float | None:
         """Decide whether to retry after failed attempt ``attempt`` (1-based).
@@ -65,6 +69,7 @@ class RetrySession:
             return None
         self.retries += 1
         backoff = policy.backoff(attempt, self._rng)
+        self.backoff_total += backoff
         get_resilience_log().record(
             "retry", site=site, attempt=attempt, backoff_s=round(backoff, 9)
         )

@@ -11,8 +11,10 @@ one-process-per-input Qiskit Aer baseline the paper beats.
 Five parts, one per module:
 
 * :mod:`repro.service.jobs` — the job model and its strict
-  ``PENDING → QUEUED → COALESCED → RUNNING → DONE/FAILED/CANCELLED``
-  lifecycle, with durable content-addressed ids;
+  ``PENDING → QUEUED → COALESCED → RUNNING →
+  DONE/FAILED/CANCELLED/QUARANTINED`` lifecycle (including the
+  ``RUNNING → QUEUED`` at-least-once redelivery edge), with durable
+  content-addressed ids;
 * :mod:`repro.service.queue` — bounded admission with typed
   :class:`~repro.errors.AdmissionError` backpressure;
 * :mod:`repro.service.scheduler` — weighted-fair priority aging (no
@@ -22,10 +24,12 @@ Five parts, one per module:
 * :mod:`repro.service.workers` — the worker pool (one simulator + plan
   cache per worker) and the service orchestrator, with per-mega-batch
   resilience and per-job-isolation degradation;
-* :mod:`repro.service.pool` — the spawn-safe process worker pool behind
-  ``parallelism="process"``: N OS processes executing mega-batches
-  concurrently, shared-memory state shipping, one shared on-disk plan
-  cache with compile-once file locking;
+* :mod:`repro.service.pool` — the spawn-safe, *supervised* process
+  worker pool behind ``parallelism="process"``: N OS processes executing
+  mega-batches concurrently, shared-memory state shipping with a
+  leak-audited segment set, one shared on-disk plan cache with
+  compile-once file locking, and crash/hang supervision (dead workers
+  reaped and respawned under a restart budget, overdue tasks killed);
 * :mod:`repro.service.client` — the synchronous submit/result API and
   the scripted saturation workload behind ``repro serve``.
 """
@@ -33,17 +37,23 @@ Five parts, one per module:
 from .coalesce import CoalescedGroup, Coalescer, column_budget
 from .client import ServiceClient, saturation_workload
 from .jobs import Job, JobStatus, TERMINAL_STATES, make_job
-from .pool import DEFAULT_SHM_THRESHOLD, ProcessWorkerPool
+from .pool import (
+    DEFAULT_MAX_RESTARTS,
+    DEFAULT_SHM_THRESHOLD,
+    ProcessWorkerPool,
+)
 from .queue import DEFAULT_MAX_DEPTH, JobQueue
 from .scheduler import FairScheduler, SchedulerPolicy
-from .workers import BatchSimulationService, Worker
+from .workers import DEFAULT_MAX_DELIVERIES, BatchSimulationService, Worker
 
 __all__ = [
     "BatchSimulationService",
     "CoalescedGroup",
     "Coalescer",
     "column_budget",
+    "DEFAULT_MAX_DELIVERIES",
     "DEFAULT_MAX_DEPTH",
+    "DEFAULT_MAX_RESTARTS",
     "DEFAULT_SHM_THRESHOLD",
     "FairScheduler",
     "Job",

@@ -60,13 +60,21 @@ class ServiceClient:
         num_inputs: int = 1,
         priority: int = 0,
         deadline: float | None = None,
+        timeout_s: float | None = None,
+        max_deliveries: int | None = None,
         options: tuple = (),
     ) -> str:
-        """Enqueue a job and return its durable id (non-blocking)."""
+        """Enqueue a job and return its durable id (non-blocking).
+
+        ``timeout_s`` bounds execution once dispatched (process mode: a
+        hung worker is killed and the job fails with timeout evidence);
+        ``max_deliveries`` overrides the service's redelivery budget.
+        """
         job = self.service.submit(
             circuit, batch,
             num_inputs=num_inputs, priority=priority,
-            deadline=deadline, options=options,
+            deadline=deadline, timeout_s=timeout_s,
+            max_deliveries=max_deliveries, options=options,
         )
         return job.job_id
 
@@ -105,6 +113,16 @@ class ServiceClient:
         )
 
     def cancel(self, job_id: str) -> Job:
+        """Cancel a job (see :meth:`BatchSimulationService.cancel`).
+
+        Queued jobs return CANCELLED immediately; an in-flight job comes
+        back still RUNNING with ``cancel_requested`` set and transitions
+        to CANCELLED when its mega-batch lands — no
+        :class:`~repro.errors.JobNotCancellable` leaks to callers of this
+        wrapper (going straight at :meth:`JobQueue.cancel` does raise
+        it).  Unknown or already-terminal ids raise
+        :class:`~repro.errors.ServiceError`.
+        """
         return self.service.cancel(job_id)
 
     def stats(self) -> dict:

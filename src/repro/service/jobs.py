@@ -5,13 +5,22 @@ batch of input states, and scheduling attributes (priority, deadline,
 coalescing options).  Jobs move through a strict lifecycle::
 
     PENDING -> QUEUED -> COALESCED -> RUNNING -> DONE
+                  ^          |           |
+                  +----------+-----------+  (requeue / redelivery)
                   |          |           |
                   +----------+-----------+---> FAILED / CANCELLED
+                                         |
+                                         +---> QUARANTINED
 
 ``PENDING`` is the freshly constructed job before admission; ``QUEUED``
 means admitted and waiting; ``COALESCED`` means grouped into a mega-batch
 awaiting a worker; ``RUNNING`` covers the single simulator call that
-executes the group; the three terminal states never transition again.
+executes the group; the four terminal states never transition again.
+``RUNNING -> QUEUED`` is the at-least-once *redelivery* edge — a job whose
+worker process died is returned to the queue with its ``delivery_count``
+intact, and a job that exhausts ``max_deliveries`` is moved to
+``QUARANTINED`` (a terminal poison state carrying the per-delivery crash
+``evidence``) instead of cycling the fleet forever.
 Illegal transitions raise :class:`~repro.errors.ServiceError`, so a bug in
 the scheduler or worker pool surfaces as a typed error instead of a job
 silently stuck in the wrong state.
@@ -39,8 +48,9 @@ class JobStatus(str, Enum):
 
     String-valued so statuses serialize naturally into stats JSON and
     queue-metrics records.  Legal transitions are enforced by
-    :meth:`Job.transition`; ``DONE``/``FAILED``/``CANCELLED`` are
-    terminal (see :data:`TERMINAL_STATES`).  Example::
+    :meth:`Job.transition`; ``DONE``/``FAILED``/``CANCELLED``/
+    ``QUARANTINED`` are terminal (see :data:`TERMINAL_STATES`).
+    Example::
 
         assert JobStatus.DONE.value == "done"
         assert JobStatus.DONE in TERMINAL_STATES
@@ -53,30 +63,39 @@ class JobStatus(str, Enum):
     DONE = "done"
     FAILED = "failed"
     CANCELLED = "cancelled"
+    QUARANTINED = "quarantined"
 
 
 #: states a job never leaves
 TERMINAL_STATES = frozenset(
-    {JobStatus.DONE, JobStatus.FAILED, JobStatus.CANCELLED}
+    {JobStatus.DONE, JobStatus.FAILED, JobStatus.CANCELLED,
+     JobStatus.QUARANTINED}
 )
 
-#: legal lifecycle edges (see the module docstring diagram)
+#: legal lifecycle edges (see the module docstring diagram);
+#: RUNNING -> QUEUED is redelivery after a worker death, RUNNING ->
+#: CANCELLED is an honoured in-flight cancel, RUNNING/QUEUED ->
+#: QUARANTINED is the poison exit after ``max_deliveries`` crashes
 _TRANSITIONS: dict[JobStatus, frozenset[JobStatus]] = {
     JobStatus.PENDING: frozenset(
         {JobStatus.QUEUED, JobStatus.FAILED, JobStatus.CANCELLED}
     ),
     JobStatus.QUEUED: frozenset(
         {JobStatus.COALESCED, JobStatus.RUNNING, JobStatus.FAILED,
-         JobStatus.CANCELLED}
+         JobStatus.CANCELLED, JobStatus.QUARANTINED}
     ),
     JobStatus.COALESCED: frozenset(
         {JobStatus.RUNNING, JobStatus.QUEUED, JobStatus.FAILED,
          JobStatus.CANCELLED}
     ),
-    JobStatus.RUNNING: frozenset({JobStatus.DONE, JobStatus.FAILED}),
+    JobStatus.RUNNING: frozenset(
+        {JobStatus.DONE, JobStatus.FAILED, JobStatus.QUEUED,
+         JobStatus.CANCELLED, JobStatus.QUARANTINED}
+    ),
     JobStatus.DONE: frozenset(),
     JobStatus.FAILED: frozenset(),
     JobStatus.CANCELLED: frozenset(),
+    JobStatus.QUARANTINED: frozenset(),
 }
 
 
@@ -115,6 +134,8 @@ class Job:
     batch: InputBatch
     priority: int = 0
     deadline: float | None = None  # absolute service-clock time
+    timeout_s: float | None = None  # execution deadline once dispatched
+    max_deliveries: int | None = None  # None = the service's default
     options: tuple = ()  # extra coalescing compatibility settings
     status: JobStatus = JobStatus.PENDING
     submitted_at: float = 0.0  # set at admission
@@ -122,10 +143,15 @@ class Job:
     finished_at: float | None = None
     group_key: str = ""  # plan fingerprint, set at admission
     attempts: int = 0  # mega-batch runs this job took part in
+    delivery_count: int = 0  # times handed to a worker process
+    cancel_requested: bool = False  # async cancel of an in-flight job
     solo_retry: bool = False  # finished via per-job isolation fallback
     error: str | None = None
     result: np.ndarray | None = None
     history: list[str] = field(default_factory=list)
+    #: one JSON-safe record per crash/timeout this job witnessed — the
+    #: triage payload a quarantined job carries out of the system
+    evidence: list[dict] = field(default_factory=list)
 
     # -- inspection ----------------------------------------------------------
 
@@ -173,6 +199,17 @@ class Job:
         self.finished_at = at
         return self
 
+    def quarantine(self, error: str, at: float) -> "Job":
+        """Terminal poison exit: too many crashed deliveries.
+
+        The job keeps its accumulated ``evidence`` (one record per crash)
+        so an operator can triage what kept killing workers.
+        """
+        self.transition(JobStatus.QUARANTINED)
+        self.error = error
+        self.finished_at = at
+        return self
+
     def describe(self) -> dict:
         """JSON-safe summary (no amplitudes) for logs and CLI output."""
         return {
@@ -185,9 +222,12 @@ class Job:
             "deadline": self.deadline,
             "group_key": self.group_key[:12],
             "attempts": self.attempts,
+            "delivery_count": self.delivery_count,
+            "timeout_s": self.timeout_s,
             "solo_retry": self.solo_retry,
             "wait_s": self.wait_time(),
             "error": self.error,
+            "evidence": list(self.evidence),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
@@ -203,6 +243,8 @@ def make_job(
     batch: InputBatch,
     priority: int = 0,
     deadline: float | None = None,
+    timeout_s: float | None = None,
+    max_deliveries: int | None = None,
     options: tuple = (),
 ) -> Job:
     """Construct a PENDING job with a durable content-addressed id.
@@ -222,6 +264,10 @@ def make_job(
         )
     if batch.batch_size < 1:
         raise ServiceError("job needs at least one input state")
+    if timeout_s is not None and timeout_s <= 0:
+        raise ServiceError("timeout_s must be > 0 when given")
+    if max_deliveries is not None and max_deliveries < 1:
+        raise ServiceError("max_deliveries must be >= 1 when given")
     return Job(
         job_id=job_id_for(seq, circuit, batch),
         seq=seq,
@@ -229,5 +275,7 @@ def make_job(
         batch=batch,
         priority=priority,
         deadline=deadline,
+        timeout_s=timeout_s,
+        max_deliveries=max_deliveries,
         options=tuple(options),
     )

@@ -30,8 +30,24 @@ State vectors cross the process boundary via
 :mod:`multiprocessing.shared_memory` once they exceed
 :data:`DEFAULT_SHM_THRESHOLD` bytes (below it, pickling through the task
 queue is cheaper than two segment syscalls).  The parent creates *both*
-the input and the output segment and unlinks them when the result lands,
-so segment lifetime never depends on worker exit order.
+the input and the output segment, tracks every created name in a live
+set, and unlinks when the result (or the crash evidence) lands, so
+segment lifetime never depends on worker exit order and
+:meth:`ProcessWorkerPool.leaked_segments` can prove the set is empty.
+
+**Supervision.**  Worker processes die — the OOM killer SIGKILLs them,
+a wedged native kernel hangs them.  The pool supervises on every
+:meth:`poll` (blocking *and* non-blocking): a dead worker's task is
+reaped as a crash result carrying evidence (``exitcode``, member job
+ids), an overdue task's worker is killed and reaped as a timeout, and
+the dead slot is respawned with a fresh task queue under a pool-wide
+restart budget (:class:`~repro.resilience.retry.RetryPolicy` — backoff
+is *modeled*, not slept, like every other backoff in this codebase).
+When the budget runs out the slot is marked lost; once every slot is
+lost, :meth:`submit` raises so the service can fail queued work instead
+of waiting forever.  Crash results carry ``result["crash"]`` — the
+service turns that into redelivery or quarantine; the pool itself stays
+policy-free.
 """
 
 from __future__ import annotations
@@ -48,15 +64,21 @@ from multiprocessing import shared_memory
 import numpy as np
 
 from ..circuit import InputBatch
-from ..errors import ReproError, ServiceError
+from ..errors import CheckpointError, ReproError, ServiceError
 from ..obs import get_metrics, get_tracer
 from ..obs.tracer import Tracer, set_tracer
+from ..resilience.events import get_resilience_log
+from ..resilience.retry import RetryPolicy, RetrySession
 from ..sim.base import PLAN_CACHE_ENV, BatchSpec
 
 #: arrays at or above this many bytes ship via ``shared_memory``; smaller
 #: ones are pickled inline through the task queue (two segment syscalls
 #: plus a mmap cost more than copying a few KiB through a pipe)
 DEFAULT_SHM_THRESHOLD = 1 << 16
+
+#: default pool-wide worker-restart budget: total respawns across all
+#: slots before further deaths mark their slot lost
+DEFAULT_MAX_RESTARTS = 8
 
 #: seconds a blocking :meth:`ProcessWorkerPool.poll` waits between
 #: worker-liveness checks
@@ -65,6 +87,10 @@ _POLL_TICK_S = 0.25
 #: seconds :meth:`ProcessWorkerPool.close` waits for a worker to exit
 #: before terminating it
 _JOIN_TIMEOUT_S = 5.0
+
+#: plan-cache snapshot reported for a worker that died before its first
+#: result
+_EMPTY_PLAN_CACHE = {"hits": 0, "disk_hits": 0, "misses": 0, "quarantined": 0}
 
 
 def _receive_array(desc) -> np.ndarray:
@@ -91,6 +117,31 @@ def _span(tracer, name: str, **attrs):
     return tracer.span(name, **attrs) if tracer is not None else nullcontext()
 
 
+def _group_run(sim, task: dict, spec: BatchSpec, batches: list):
+    """The mega-batch group run, resuming a crash checkpoint when one fits.
+
+    On a redelivered task (``task["resume"]``) whose simulator checkpoints
+    to disk, the previous delivery may have left a batch-boundary archive
+    before its worker died.  Candidates are matched on the batch spec and
+    validated (plan fingerprint included) by ``run(resume=...)`` itself;
+    a mismatched archive is skipped, never trusted.
+    """
+    if task.get("resume") and sim.checkpoint_dir is not None:
+        from ..resilience.checkpoint import find_checkpoints
+
+        for candidate in find_checkpoints(
+            sim.checkpoint_dir, spec.num_batches, spec.batch_size, spec.seed
+        ):
+            try:
+                return sim.run(
+                    task["circuit"], spec, batches=batches, execute=True,
+                    resume=candidate,
+                )
+            except CheckpointError:
+                continue
+    return sim.run(task["circuit"], spec, batches=batches, execute=True)
+
+
 def _run_task(sim, wid: int, task: dict) -> dict:
     """Execute one dispatched mega-batch inside a worker process.
 
@@ -100,6 +151,11 @@ def _run_task(sim, wid: int, task: dict) -> dict:
     exception fails every member (the worker itself must survive to take
     the next task).
     """
+    chaos = task.get("chaos")
+    if chaos:
+        from ..testing.chaos_pool import apply_chaos_action
+
+        apply_chaos_action(chaos, "before_run")
     wall0 = time.perf_counter()
     tracer = Tracer(enabled=True) if task["trace"] else None
     previous = set_tracer(tracer) if tracer is not None else None
@@ -120,6 +176,7 @@ def _run_task(sim, wid: int, task: dict) -> dict:
     modeled = 0.0
     plan_source = ""
     solo_runs = 0
+    resumed_batches = 0
     try:
         try:
             with _span(
@@ -129,9 +186,7 @@ def _run_task(sim, wid: int, task: dict) -> dict:
                 job_ids=list(job_ids),
                 columns=total,
             ):
-                result = sim.run(
-                    task["circuit"], spec, batches=batches, execute=True
-                )
+                result = _group_run(sim, task, spec, batches)
         except ReproError as exc:
             degraded = True
             cause = str(exc)
@@ -168,6 +223,7 @@ def _run_task(sim, wid: int, task: dict) -> dict:
             merged = np.ascontiguousarray(out[:, :total])
             modeled = result.modeled_time
             plan_source = result.stats.get("plan_source", "")
+            resumed_batches = result.stats.get("resumed_batches", 0)
             per_job = [{"ok": True, "error": None} for _ in job_columns]
     except BaseException as exc:  # noqa: BLE001 - worker must not die
         degraded = True
@@ -193,6 +249,10 @@ def _run_task(sim, wid: int, task: dict) -> dict:
             outputs = ("shm",)
         else:
             outputs = ("inline", merged)
+    if chaos:
+        # "after_run": the work is done but the report never leaves the
+        # process — the redelivery must be able to recompute (or resume)
+        apply_chaos_action(chaos, "after_run")
     return {
         "task_id": task["task_id"],
         "wid": wid,
@@ -203,11 +263,13 @@ def _run_task(sim, wid: int, task: dict) -> dict:
         "modeled_s": modeled,
         "plan_source": plan_source,
         "solo_runs": solo_runs,
+        "resumed_batches": resumed_batches,
         "plan_cache": sim._plans.stats_dict(),
         "spans": (
             [span.to_dict() for span in tracer.spans()] if tracer else []
         ),
         "wall_s": time.perf_counter() - wall0,
+        "crash": None,
     }
 
 
@@ -225,14 +287,18 @@ def _worker_main(wid: int, task_q, result_q, simulator_kwargs: dict) -> None:
 
 
 class ProcessWorkerPool:
-    """N spawn-safe worker processes executing mega-batches concurrently.
+    """N spawn-safe, supervised worker processes executing mega-batches.
 
     The pool is deliberately dumb: it knows nothing about jobs, queues,
     or scheduling — :meth:`submit` takes one packed mega-block and hands
-    it to an idle worker, :meth:`poll` collects finished results.  The
+    it to an idle worker, :meth:`poll` collects finished results and
+    supervises the fleet (reap crashed workers, kill overdue ones,
+    respawn under the restart budget).  The
     :class:`~repro.service.workers.BatchSimulationService` drives it in
     ``parallelism="process"`` mode and keeps all policy (fairness,
-    coalescing, accounting) in the parent.
+    coalescing, redelivery, quarantine) in the parent: a crashed or
+    timed-out task surfaces as a result whose ``crash`` key holds the
+    evidence, never as a lost job.
 
     Example — two workers sharing one on-disk plan cache::
 
@@ -248,11 +314,29 @@ class ProcessWorkerPool:
         simulator_kwargs: dict | None = None,
         cache_dir: str | None = None,
         shm_threshold: int = DEFAULT_SHM_THRESHOLD,
+        max_restarts: int = DEFAULT_MAX_RESTARTS,
+        restart_policy: RetryPolicy | None = None,
+        chaos=None,
     ) -> None:
         if num_workers < 1:
             raise ServiceError("process pool needs at least one worker")
+        if max_restarts < 0:
+            raise ServiceError("max_restarts must be >= 0")
         self.num_workers = num_workers
         self.shm_threshold = shm_threshold
+        self.max_restarts = max_restarts
+        #: attempts bounds restarts per slot, run_budget bounds the fleet;
+        #: backoff is modeled (reported, not slept) so supervision never
+        #: stalls the poll loop
+        self.restart_policy = restart_policy or RetryPolicy(
+            max_attempts=max_restarts + 1,
+            base_backoff=0.05,
+            run_budget=max_restarts,
+        )
+        self._restart_session = RetrySession(self.restart_policy, seed=0)
+        #: a :class:`~repro.testing.chaos_pool.ChaosSchedule` (or None);
+        #: its encoded action ships inside the task payload
+        self.chaos = chaos
         kwargs = dict(simulator_kwargs or {})
         #: the shared disk tier every worker compiles into; precedence:
         #: explicit argument > simulator kwargs > $REPRO_PLAN_CACHE > a
@@ -274,24 +358,68 @@ class ProcessWorkerPool:
         self._task_qs: dict[int, object] = {}
         self._result_q = None
         self._idle: set[int] = set()
+        self._lost: set[int] = set()
         self._pending: dict[int, dict] = {}
         self._task_ids = itertools.count(1)
         self._started = False
         self._closed = False
+        #: names of every parent-created shm segment not yet unlinked —
+        #: the live set :meth:`leaked_segments` audits
+        self._segment_names: set[str] = set()
         #: transport + throughput counters (also mirrored to metrics)
         self.dispatched = 0
         self.completed = 0
         self.shm_tasks = 0
         self.pickle_tasks = 0
         self.shm_bytes = 0
+        #: supervision counters
+        self.crashes = 0
+        self.timeouts = 0
+        self.restarts = 0
+        self.resumed_batches = 0
         #: last plan-cache snapshot and per-worker tallies, by wid
         self._plan_cache: dict[int, dict] = {}
+        self._worker_restarts: dict[int, int] = {
+            wid: 0 for wid in range(num_workers)
+        }
         self._worker_stats: dict[int, dict] = {
-            wid: {"wid": wid, "megabatches": 0, "solo_runs": 0, "jobs_done": 0}
+            wid: {
+                "wid": wid,
+                "megabatches": 0,
+                "solo_runs": 0,
+                "jobs_done": 0,
+                "crashes": 0,
+                "restarts": 0,
+            }
             for wid in range(num_workers)
         }
 
     # -- lifecycle -----------------------------------------------------------
+
+    def _spawn(self, wid: int) -> None:
+        """Start (or replace) the worker process for slot ``wid`` with a
+        fresh task queue — a SIGKILLed worker may leave its old queue's
+        feeder thread in an undefined state, so queues are never reused
+        across process generations."""
+        task_q = self._ctx.Queue()
+        generation = self._worker_restarts[wid]
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(wid, task_q, self._result_q, self.simulator_kwargs),
+            name=f"repro-pool-{wid}"
+            + (f"-r{generation}" if generation else ""),
+            daemon=True,
+        )
+        proc.start()
+        old_q = self._task_qs.get(wid)
+        if old_q is not None:
+            try:
+                old_q.close()
+            except Exception:  # pragma: no cover - feeder already dead
+                pass
+        self._task_qs[wid] = task_q
+        self._procs[wid] = proc
+        self._idle.add(wid)
 
     def start(self) -> None:
         """Spawn the worker processes (idempotent; ``submit`` calls it)."""
@@ -301,42 +429,57 @@ class ProcessWorkerPool:
             raise ServiceError("pool is closed")
         self._result_q = self._ctx.Queue()
         for wid in range(self.num_workers):
-            task_q = self._ctx.Queue()
-            proc = self._ctx.Process(
-                target=_worker_main,
-                args=(wid, task_q, self._result_q, self.simulator_kwargs),
-                name=f"repro-pool-{wid}",
-                daemon=True,
-            )
-            proc.start()
-            self._task_qs[wid] = task_q
-            self._procs[wid] = proc
-            self._idle.add(wid)
+            self._spawn(wid)
         self._started = True
         get_metrics().gauge("service.pool.workers", self.num_workers)
 
     def close(self) -> None:
-        """Stop every worker and release all pool-owned resources."""
+        """Stop every worker and release all pool-owned resources.
+
+        Idempotent: a second (or concurrent-with-crash) close is a no-op.
+        Workers that ignore the poison pill are terminated, then killed;
+        every pending task's segments are released and the live-segment
+        set is swept so :meth:`leaked_segments` is empty afterwards.
+        """
         if self._closed:
             return
         self._closed = True
         for wid, task_q in self._task_qs.items():
+            if wid in self._lost:
+                continue
             try:
                 task_q.put(None)
-            except Exception:
+            except Exception:  # pragma: no cover - feeder already dead
                 pass
         for proc in self._procs.values():
             proc.join(timeout=_JOIN_TIMEOUT_S)
             if proc.is_alive():  # pragma: no cover - stuck worker
                 proc.terminate()
                 proc.join(timeout=1.0)
+            if proc.is_alive():  # pragma: no cover - ignores SIGTERM
+                proc.kill()
+                proc.join(timeout=1.0)
         for pending in self._pending.values():
             self._release_segments(pending)
         self._pending.clear()
+        # sweep stragglers (there should be none: release is tied to
+        # result/crash collection) so a crashed run cannot leak segments
+        for name in sorted(self._segment_names):
+            try:
+                seg = shared_memory.SharedMemory(name=name)
+            except FileNotFoundError:
+                pass
+            else:  # pragma: no cover - indicates an accounting bug
+                seg.close()
+                seg.unlink()
+            self._segment_names.discard(name)
         if self._result_q is not None:
             self._result_q.close()
         for task_q in self._task_qs.values():
-            task_q.close()
+            try:
+                task_q.close()
+            except Exception:  # pragma: no cover - already closed
+                pass
         if self._owns_cache_dir:
             shutil.rmtree(self.cache_dir, ignore_errors=True)
 
@@ -355,6 +498,22 @@ class ProcessWorkerPool:
         return len(self._idle)
 
     @property
+    def alive_workers(self) -> int:
+        """Workers whose process is currently running (lost slots excluded)."""
+        if not self._started:
+            return self.num_workers
+        return sum(
+            1
+            for wid, proc in self._procs.items()
+            if wid not in self._lost and proc.is_alive()
+        )
+
+    @property
+    def lost_workers(self) -> list[int]:
+        """Slots whose restart budget is exhausted (never respawned)."""
+        return sorted(self._lost)
+
+    @property
     def inflight(self) -> int:
         """Tasks dispatched but not yet collected by :meth:`poll`."""
         return len(self._pending)
@@ -370,6 +529,7 @@ class ProcessWorkerPool:
                 array
             )
             handles.append(seg)
+            self._segment_names.add(seg.name)
             self.shm_tasks += 1
             self.shm_bytes += array.nbytes
             get_metrics().inc("service.pool.shm_tasks")
@@ -388,6 +548,9 @@ class ProcessWorkerPool:
         job_columns: list[int],
         trace: bool | None = None,
         job_ids: list[str] | None = None,
+        timeout_s: float | None = None,
+        resume: bool = False,
+        delivery: int | None = None,
     ) -> tuple[int, int]:
         """Dispatch one packed mega-block to an idle worker.
 
@@ -396,11 +559,21 @@ class ProcessWorkerPool:
         counts (summing to ``total_columns``); ``job_ids`` (optional, same
         order) are stamped onto the worker's ``pool.megabatch``/``pool.solo``
         spans so a merged trace correlates one job across processes.
-        Returns ``(task_id, wid)``.  Raises :class:`ServiceError` when no
-        worker is idle — callers poll first.
+        ``timeout_s`` arms the supervisor's execution deadline (the
+        strictest member deadline); ``resume`` marks a redelivered task
+        whose worker may resume a crash checkpoint; ``delivery`` is echoed
+        into crash evidence.  Returns ``(task_id, wid)``.  Raises
+        :class:`ServiceError` when no worker is idle — callers poll first
+        — or when every slot's restart budget is exhausted.
         """
         self.start()
         if not self._idle:
+            if self.alive_workers == 0:
+                raise ServiceError(
+                    "no live pool workers (restart budget exhausted: "
+                    f"{self.restarts}/{self.max_restarts} restarts used, "
+                    f"lost slots {self.lost_workers})"
+                )
             raise ServiceError("no idle pool worker (poll for results first)")
         if trace is None:
             trace = get_tracer().enabled
@@ -415,6 +588,7 @@ class ProcessWorkerPool:
         if out_bytes >= self.shm_threshold:
             out_seg = shared_memory.SharedMemory(create=True, size=out_bytes)
             handles.append(out_seg)
+            self._segment_names.add(out_seg.name)
             out_shm = (out_seg.name, (mega.shape[0], total_columns))
             self.shm_bytes += out_bytes
             get_metrics().inc("service.pool.shm_bytes", out_bytes)
@@ -428,6 +602,12 @@ class ProcessWorkerPool:
             "job_columns": list(job_columns),
             "job_ids": list(job_ids or []),
             "trace": bool(trace),
+            "resume": bool(resume),
+            "chaos": (
+                self.chaos.action_for(task_id)
+                if self.chaos is not None
+                else None
+            ),
         }
         self._pending[task_id] = {
             "wid": wid,
@@ -435,6 +615,12 @@ class ProcessWorkerPool:
             "out_seg": out_seg,
             "out_shape": (mega.shape[0], total_columns),
             "dispatched_at": time.perf_counter() - get_tracer().epoch,
+            "job_ids": list(job_ids or []),
+            "timeout_s": timeout_s,
+            "deadline": (
+                time.monotonic() + timeout_s if timeout_s is not None else None
+            ),
+            "delivery": delivery,
         }
         self._task_qs[wid].put(task)
         self.dispatched += 1
@@ -446,14 +632,49 @@ class ProcessWorkerPool:
 
     def _release_segments(self, pending: dict) -> None:
         for seg in pending["handles"]:
+            self._segment_names.discard(seg.name)
             try:
                 seg.close()
                 seg.unlink()
             except Exception:  # pragma: no cover - already gone
                 pass
 
-    def _finalize(self, raw: dict) -> dict:
-        pending = self._pending.pop(raw["task_id"])
+    def leaked_segments(self) -> list[str]:
+        """Names of shm segments that outlived their task (should be ``[]``).
+
+        A segment is leaked when the pool created it, no pending task
+        references it anymore, and it still exists in the OS — the
+        invariant the chaos tests assert after every crash/redeliver
+        cycle and after :meth:`close`.
+        """
+        live = {
+            seg.name
+            for pending in self._pending.values()
+            for seg in pending["handles"]
+        }
+        leaked = []
+        for name in sorted(self._segment_names - live):
+            try:
+                seg = shared_memory.SharedMemory(name=name)
+            except FileNotFoundError:
+                self._segment_names.discard(name)
+            else:
+                seg.close()
+                leaked.append(name)
+        return leaked
+
+    def _finalize(self, raw: dict) -> dict | None:
+        """Account one worker-produced result (None = stale duplicate).
+
+        A result can race the supervisor: the worker finishes in the gap
+        between deadline expiry and the kill, so its report arrives after
+        the task was already reaped as a timeout.  Such a result's task
+        id is no longer pending — drop it; the synthesized crash result
+        is the one the service already acted on.
+        """
+        pending = self._pending.pop(raw["task_id"], None)
+        if pending is None:
+            return None
         wid = pending["wid"]
         self._idle.add(wid)
         outputs = None
@@ -467,6 +688,7 @@ class ProcessWorkerPool:
                 outputs = raw["outputs"][1]
         self._release_segments(pending)
         self.completed += 1
+        self.resumed_batches += raw.get("resumed_batches", 0)
         stats = self._worker_stats[wid]
         stats["megabatches"] += 1
         stats["solo_runs"] += raw["solo_runs"]
@@ -485,75 +707,209 @@ class ProcessWorkerPool:
                 offset=pending["dispatched_at"],
             )
         raw["outputs"] = outputs
+        raw.setdefault("crash", None)
         return raw
 
-    def poll(self, block: bool = False, timeout: float = 60.0) -> list[dict]:
-        """Collect finished task results (empty list when none are ready).
+    def _crash_result(
+        self, task_id: int, kind: str, detail: str, exitcode
+    ) -> dict:
+        """Reap one pending task whose worker died or blew its deadline.
 
-        ``block=True`` waits up to ``timeout`` seconds for at least one
-        result while there is anything in flight, failing any task whose
-        worker died rather than hanging forever.
+        Releases the task's segments immediately (the worker is gone;
+        nothing will write the output block) and synthesizes a result
+        whose ``crash`` key carries the evidence the service attaches to
+        the member jobs.  Deliberately does **not** mark the slot idle or
+        bump completion tallies — the slot re-enters service only through
+        :meth:`_respawn`.
+        """
+        pending = self._pending.pop(task_id)
+        wid = pending["wid"]
+        self._release_segments(pending)
+        self._idle.discard(wid)
+        self.crashes += 1
+        self._worker_stats[wid]["crashes"] += 1
+        metrics = get_metrics()
+        metrics.inc("service.pool.worker_deaths")
+        metrics.gauge("service.pool.inflight", self.inflight)
+        return {
+            "task_id": task_id,
+            "wid": wid,
+            "degraded": True,
+            "cause": detail,
+            "per_job": None,  # no per-member verdict: the worker is gone
+            "outputs": None,
+            "modeled_s": 0.0,
+            "plan_source": "",
+            "solo_runs": 0,
+            "resumed_batches": 0,
+            "plan_cache": self._plan_cache.get(wid, dict(_EMPTY_PLAN_CACHE)),
+            "spans": [],
+            "wall_s": 0.0,
+            "crash": {
+                "kind": kind,
+                "wid": wid,
+                "exitcode": exitcode,
+                "task_id": task_id,
+                "job_ids": pending["job_ids"],
+                "timeout_s": pending["timeout_s"],
+                "delivery": pending["delivery"],
+                "detail": detail,
+            },
+        }
+
+    def _respawn(self, wid: int) -> bool:
+        """Replace a dead worker under the restart budget (False = slot lost).
+
+        Restart pacing reuses :class:`~repro.resilience.retry.RetrySession`:
+        per-slot attempts bound one flapping worker, the session's run
+        budget bounds the fleet, and the exponential backoff is *modeled*
+        — accumulated into ``restart_backoff_s`` for operators rather
+        than slept, so supervision never blocks the poll loop.
+        """
+        attempt = self._worker_restarts[wid] + 1
+        backoff = self._restart_session.next_backoff(
+            f"pool.worker{wid}", attempt
+        )
+        if backoff is None:
+            self._lost.add(wid)
+            self._idle.discard(wid)
+            get_metrics().gauge("service.pool.workers", self.alive_workers)
+            get_resilience_log().record(
+                "worker_lost",
+                site="pool",
+                wid=wid,
+                restarts=self._worker_restarts[wid],
+                budget=self.max_restarts,
+            )
+            return False
+        self._worker_restarts[wid] = attempt
+        self._worker_stats[wid]["restarts"] += 1
+        self.restarts += 1
+        self._spawn(wid)
+        metrics = get_metrics()
+        metrics.inc("service.pool.restarts")
+        metrics.gauge("service.pool.workers", self.alive_workers)
+        get_resilience_log().record(
+            "worker_restart",
+            site="pool",
+            wid=wid,
+            restart=attempt,
+            backoff_s=round(backoff, 9),
+        )
+        return True
+
+    def _supervise(self) -> list[dict]:
+        """One supervision pass: reap the dead, kill the overdue, respawn.
+
+        Runs on *every* poll (blocking or not), so crash detection never
+        depends on a caller choosing ``block=True``.
+        """
+        if not self._started or self._closed:
+            return []
+        now = time.monotonic()
+        reaped: list[dict] = []
+        for task_id in list(self._pending):
+            pending = self._pending[task_id]
+            wid = pending["wid"]
+            proc = self._procs[wid]
+            if not proc.is_alive():
+                reaped.append(
+                    self._crash_result(
+                        task_id,
+                        kind="worker_crash",
+                        detail=(
+                            f"pool worker {wid} died (exitcode "
+                            f"{proc.exitcode}) while running task {task_id}"
+                        ),
+                        exitcode=proc.exitcode,
+                    )
+                )
+            elif pending["deadline"] is not None and now > pending["deadline"]:
+                # a hung worker holds its slot forever; only a kill frees it
+                proc.kill()
+                proc.join(timeout=_JOIN_TIMEOUT_S)
+                self.timeouts += 1
+                get_metrics().inc("service.pool.task_timeouts")
+                reaped.append(
+                    self._crash_result(
+                        task_id,
+                        kind="timeout",
+                        detail=(
+                            f"task {task_id} exceeded its "
+                            f"{pending['timeout_s']}s deadline on worker "
+                            f"{wid} (killed)"
+                        ),
+                        exitcode=proc.exitcode,
+                    )
+                )
+        for wid, proc in list(self._procs.items()):
+            if wid in self._lost or proc.is_alive():
+                continue
+            self._respawn(wid)
+        return reaped
+
+    def _timeout_error(self, timeout: float) -> ServiceError:
+        """Poll-timeout diagnostics: which tasks are stuck on which workers,
+        and whether those workers are even alive."""
+        stuck = ", ".join(
+            f"task {tid} (worker {p['wid']}, jobs {p['job_ids'] or '?'})"
+            for tid, p in sorted(self._pending.items())
+        )
+        liveness = ", ".join(
+            f"w{wid}="
+            + (
+                "lost"
+                if wid in self._lost
+                else "alive" if proc.is_alive() else "dead"
+            )
+            for wid, proc in sorted(self._procs.items())
+        )
+        return ServiceError(
+            f"pool poll timed out after {timeout}s with {self.inflight} "
+            f"task(s) in flight: {stuck}; workers: {liveness}"
+        )
+
+    def poll(self, block: bool = False, timeout: float = 60.0) -> list[dict]:
+        """Collect finished results and supervise (empty list when idle).
+
+        Every call — blocking or not — drains ready results, reaps tasks
+        whose worker died or blew its deadline (synthesizing crash
+        results), and respawns dead workers under the restart budget.
+        ``block=True`` additionally waits up to ``timeout`` seconds for
+        at least one result while anything is in flight.
         """
         import queue as _queue
 
-        results = []
+        results: list[dict] = []
         if self._result_q is None:
             return results
         while True:
             try:
-                results.append(self._finalize(self._result_q.get_nowait()))
+                raw = self._result_q.get_nowait()
             except _queue.Empty:
                 break
+            done = self._finalize(raw)
+            if done is not None:
+                results.append(done)
+        results.extend(self._supervise())
         if results or not block or not self._pending:
             return results
         deadline = time.monotonic() + timeout
         while not results:
             try:
-                results.append(
-                    self._finalize(self._result_q.get(timeout=_POLL_TICK_S))
-                )
+                raw = self._result_q.get(timeout=_POLL_TICK_S)
             except _queue.Empty:
-                dead = [
-                    tid
-                    for tid, pending in self._pending.items()
-                    if not self._procs[pending["wid"]].is_alive()
-                ]
-                for tid in dead:
-                    results.append(self._fail_dead_worker(tid))
-                if results:
-                    break
-                if time.monotonic() > deadline:
-                    raise ServiceError(
-                        f"pool poll timed out after {timeout}s with "
-                        f"{self.inflight} task(s) in flight"
-                    )
+                pass
+            else:
+                done = self._finalize(raw)
+                if done is not None:
+                    results.append(done)
+            results.extend(self._supervise())
+            if results or not self._pending:
+                break
+            if time.monotonic() > deadline:
+                raise self._timeout_error(timeout)
         return results
-
-    def _fail_dead_worker(self, task_id: int) -> dict:
-        """Synthesize a failure result for a task whose worker crashed."""
-        pending = self._pending[task_id]
-        wid = pending["wid"]
-        get_metrics().inc("service.pool.worker_deaths")
-        raw = {
-            "task_id": task_id,
-            "wid": wid,
-            "degraded": True,
-            "cause": f"pool worker {wid} died",
-            "per_job": None,  # caller fails every member
-            "outputs": None,
-            "modeled_s": 0.0,
-            "plan_source": "",
-            "solo_runs": 0,
-            "plan_cache": self._plan_cache.get(
-                wid, {"hits": 0, "disk_hits": 0, "misses": 0, "quarantined": 0}
-            ),
-            "spans": [],
-            "wall_s": 0.0,
-        }
-        finalized = self._finalize(raw)
-        # a dead worker is not idle: it can never take another task
-        self._idle.discard(wid)
-        return finalized
 
     # -- reporting -----------------------------------------------------------
 
@@ -574,6 +930,7 @@ class ProcessWorkerPool:
         """JSON-safe pool summary for ``service.stats()["pool"]``."""
         return {
             "workers": self.num_workers,
+            "alive": self.alive_workers,
             "idle": self.idle_workers,
             "inflight": self.inflight,
             "dispatched": self.dispatched,
@@ -581,5 +938,15 @@ class ProcessWorkerPool:
             "shm_tasks": self.shm_tasks,
             "pickle_tasks": self.pickle_tasks,
             "shm_bytes": self.shm_bytes,
+            "crashes": self.crashes,
+            "timeouts": self.timeouts,
+            "restarts": self.restarts,
+            "max_restarts": self.max_restarts,
+            "lost_workers": self.lost_workers,
+            "restart_backoff_s": round(
+                self._restart_session.backoff_total, 9
+            ),
+            "resumed_batches": self.resumed_batches,
+            "leaked_segments": len(self.leaked_segments()),
             "cache_dir": self.cache_dir,
         }

@@ -15,7 +15,7 @@ from __future__ import annotations
 import threading
 import time
 
-from ..errors import AdmissionError, ServiceError
+from ..errors import AdmissionError, JobNotCancellable, ServiceError
 from ..obs import get_metrics
 from ..obs.lifecycle import JobLifecycleLog, get_lifecycle_log
 from .jobs import Job, JobStatus
@@ -54,9 +54,13 @@ class JobQueue:
         )
         self._lock = threading.Lock()
         self._jobs: dict[str, Job] = {}  # insertion-ordered (submit order)
+        #: ids removed via :meth:`take` and not (yet) requeued — the jobs
+        #: that are *in flight* and therefore not synchronously cancellable
+        self._taken: set[str] = set()
         #: admission accounting
         self.admitted = 0
         self.rejected = 0
+        self.requeued_total = 0
 
     # -- admission -----------------------------------------------------------
 
@@ -127,35 +131,66 @@ class JobQueue:
         with self._lock:
             for job in jobs:
                 self._jobs.pop(job.job_id, None)
+                self._taken.add(job.job_id)
             depth = len(self._jobs)
         get_metrics().gauge("service.queue_depth", depth)
 
     def requeue(self, jobs: list[Job]) -> None:
-        """Return COALESCED jobs to the queue (group was abandoned).
+        """Return abandoned (COALESCED) or crashed-in-flight (RUNNING)
+        jobs to the queue — the at-least-once redelivery edge.
 
         Re-inserted jobs keep their original ``submitted_at``, so their
-        aging credit — and thus their scheduling position — survives.
+        aging credit — and thus their scheduling position — survives; a
+        redelivered job also keeps its ``delivery_count``, which is how
+        the poison quarantine eventually triggers.
         """
         with self._lock:
             for job in jobs:
                 job.transition(JobStatus.QUEUED)
+                job.started_at = None  # the wait clock runs again
                 self._jobs[job.job_id] = job
+                self._taken.discard(job.job_id)
+            self.requeued_total += len(jobs)
             depth = len(self._jobs)
         get_metrics().gauge("service.queue_depth", depth)
         now = self.clock()
         for job in jobs:
             self.lifecycle.emit(
                 "requeued", job.job_id, t=now, priority=job.priority,
+                delivery=job.delivery_count,
             )
 
+    def settle(self, job_ids) -> None:
+        """Mark taken jobs terminal: they are no longer *in flight*.
+
+        The service calls this whenever a taken job reaches a terminal
+        state, so a later :meth:`cancel` reports "unknown or done" rather
+        than the misleading "in flight"."""
+        with self._lock:
+            for job_id in job_ids:
+                self._taken.discard(job_id)
+
     def cancel(self, job_id: str) -> Job:
-        """Cancel a queued job; raises for unknown or already-taken ids."""
+        """Cancel a queued job.
+
+        Raises typed :class:`~repro.errors.JobNotCancellable` for a job
+        that was already taken in flight (cancel it asynchronously via
+        :meth:`BatchSimulationService.cancel` instead), and
+        :class:`~repro.errors.ServiceError` for an unknown id.
+        """
         with self._lock:
             job = self._jobs.pop(job_id, None)
+            taken = job is None and job_id in self._taken
             depth = len(self._jobs)
+        if taken:
+            raise JobNotCancellable(
+                f"job {job_id!r} is in flight (taken by a mega-batch); "
+                "request asynchronous cancellation through the service",
+                job_id=job_id,
+            )
         if job is None:
             raise ServiceError(
-                f"job {job_id!r} is not queued (unknown, running, or done)"
+                f"job {job_id!r} is not queued (unknown or done)"
             )
         job.transition(JobStatus.CANCELLED)
         job.finished_at = self.clock()

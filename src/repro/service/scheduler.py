@@ -127,5 +127,8 @@ class FairScheduler:
             urgent=self.is_urgent(head, now),
             queue_age_s=max(0.0, now - head.submitted_at),
             round=self.rounds,
+            # > 0 marks a redelivery: the job already crossed a worker
+            # that died, and its aging credit carried over the requeue
+            delivery=head.delivery_count,
         )
         return head

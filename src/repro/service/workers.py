@@ -17,6 +17,20 @@ the service **degrades to per-job isolation**: every member is re-run
 alone on the same worker, so one poisoned job fails alone instead of
 failing its cohort.
 
+In ``parallelism="process"`` mode the failure domain widens from
+exceptions to *dying processes*, and the service owns the policy side of
+the pool's supervision: each dispatch increments the member jobs'
+``delivery_count``; a crash result (worker SIGKILLed) **redelivers** the
+members — requeued with their aging credit intact — until a job has been
+delivered ``max_deliveries`` times, at which point it is **quarantined**
+(terminal, carrying per-crash evidence) instead of crashing workers
+forever; a timeout result fails the deadline-carrying members with
+``TimeoutError`` evidence and redelivers the innocent cohort members;
+and an in-flight cancel is honoured cooperatively when the result (or
+crash) lands.  ``close(drain=True)`` stops admission, finishes in-flight
+work, and accounts every job — the lifecycle log's ``unaccounted()`` is
+empty after any shutdown, crashy or clean.
+
 Every dispatch round appends one JSON-safe record to
 :attr:`BatchSimulationService.events` (the queue-metrics stream ``repro
 serve --queue-metrics`` writes as JSONL) and emits metrics — queue depth,
@@ -35,7 +49,12 @@ import numpy as np
 from ..circuit import Circuit, InputBatch
 from ..circuit.inputs import random_batch
 from ..ell.persist import plan_fingerprint
-from ..errors import ReproError, ServiceError
+from ..errors import (
+    AdmissionError,
+    JobNotCancellable,
+    ReproError,
+    ServiceError,
+)
 from ..gpu.spec import GpuSpec
 from ..obs import get_metrics, get_tracer
 from ..obs.lifecycle import JobLifecycleLog
@@ -45,9 +64,18 @@ from ..sim.base import BatchSpec
 from ..sim.bqsim import BQSimSimulator
 from .coalesce import DEFAULT_MAX_COLUMNS, CoalescedGroup, Coalescer
 from .jobs import Job, JobStatus, make_job
-from .pool import DEFAULT_SHM_THRESHOLD, ProcessWorkerPool
+from .pool import (
+    DEFAULT_MAX_RESTARTS,
+    DEFAULT_SHM_THRESHOLD,
+    ProcessWorkerPool,
+)
 from .queue import DEFAULT_MAX_DEPTH, JobQueue
 from .scheduler import FairScheduler, SchedulerPolicy
+
+#: default at-least-once delivery budget: a job whose worker died is
+#: redelivered until it has been handed to a worker this many times, then
+#: quarantined as poison
+DEFAULT_MAX_DELIVERIES = 3
 
 
 class Worker:
@@ -105,6 +133,13 @@ class BatchSimulationService:
       blocks for at least one completion.  Results are bit-identical to
       serial mode for any worker count.
 
+    ``max_deliveries``, ``default_timeout_s``, ``max_restarts``, and
+    ``chaos`` configure the crash-safety policy of process mode (see the
+    module docstring).  Serial mode runs in this very interpreter: there
+    is no process to kill, so execution deadlines and redelivery cannot
+    be enforced there — a ``timeout_s`` on a serial job is recorded but
+    inert, exactly like a chaos schedule.
+
     Example::
 
         service = BatchSimulationService(num_workers=2)
@@ -125,6 +160,10 @@ class BatchSimulationService:
         simulator_kwargs: dict | None = None,
         parallelism: str = "none",
         shm_threshold: int = DEFAULT_SHM_THRESHOLD,
+        max_deliveries: int = DEFAULT_MAX_DELIVERIES,
+        default_timeout_s: float | None = None,
+        max_restarts: int = DEFAULT_MAX_RESTARTS,
+        chaos=None,
     ) -> None:
         if num_workers < 1:
             raise ServiceError("service needs at least one worker")
@@ -133,6 +172,16 @@ class BatchSimulationService:
                 f"unknown parallelism {parallelism!r}"
                 " (expected 'none' or 'process')"
             )
+        if max_deliveries < 1:
+            raise ServiceError("max_deliveries must be >= 1")
+        if default_timeout_s is not None and default_timeout_s <= 0:
+            raise ServiceError("default_timeout_s must be > 0 when given")
+        self.max_deliveries = max_deliveries
+        self.default_timeout_s = default_timeout_s
+        self.max_restarts = max_restarts
+        #: a :class:`~repro.testing.chaos_pool.ChaosSchedule` handed to the
+        #: pool (process mode only; inert in serial mode)
+        self.chaos = chaos
         self.clock = clock
         self.gpu = gpu or GpuSpec()
         self.parallelism = parallelism
@@ -177,6 +226,14 @@ class BatchSimulationService:
         self._modeled_s = 0.0
         self._wall_s = 0.0
         self._inputs_done = 0
+        #: crash-safety accounting
+        self._quarantined = 0
+        self._cancelled_inflight = 0
+        self._draining = False
+        self._closed = False
+        #: per-slot pool restart counts already mirrored into lifecycle
+        #: ``worker_restart`` events
+        self._seen_restarts: dict[int, int] = {}
 
     # -- submission ----------------------------------------------------------
 
@@ -194,19 +251,48 @@ class BatchSimulationService:
         num_inputs: int = 1,
         priority: int = 0,
         deadline: float | None = None,
+        timeout_s: float | None = None,
+        max_deliveries: int | None = None,
         options: tuple = (),
     ) -> Job:
         """Admit one job; raises :class:`AdmissionError` on backpressure.
 
         ``batch`` defaults to ``num_inputs`` seeded random states (seeded
         by the submission sequence, so a replayed script submits identical
-        jobs).  ``deadline`` is absolute service-clock time.
+        jobs).  ``deadline`` is absolute service-clock time; ``timeout_s``
+        is the *execution* deadline once dispatched to a pool worker (the
+        service default applies when None); ``max_deliveries`` overrides
+        the service-wide delivery budget for this job.  A draining or
+        closed service admits nothing.
         """
+        if self._draining or self._closed:
+            depth = self.queue.depth()
+            self.events.append(
+                {
+                    "event": "reject",
+                    "t": self.clock(),
+                    "job": None,
+                    "reason": "closed" if self._closed else "draining",
+                    "queue_depth": depth,
+                }
+            )
+            raise AdmissionError(
+                "service is "
+                + ("closed" if self._closed else "draining")
+                + "; not accepting new jobs",
+                depth=depth,
+                max_depth=self.queue.max_depth,
+            )
         if batch is None:
             batch = random_batch(circuit.num_qubits, num_inputs, self._seq)
         job = make_job(
             self._seq, circuit, batch,
-            priority=priority, deadline=deadline, options=options,
+            priority=priority, deadline=deadline,
+            timeout_s=(
+                timeout_s if timeout_s is not None else self.default_timeout_s
+            ),
+            max_deliveries=max_deliveries,
+            options=options,
         )
         job.group_key = self._group_key(circuit, job.options)
         self.lifecycle.emit(
@@ -238,7 +324,39 @@ class BatchSimulationService:
         return job
 
     def cancel(self, job_id: str) -> Job:
-        return self.queue.cancel(job_id)
+        """Cancel a job: synchronously while queued, cooperatively in flight.
+
+        A queued job is removed and returned CANCELLED.  A job already
+        taken into a mega-batch cannot be yanked out of a worker process
+        mid-run; instead ``cancel_requested`` is set and the returned job
+        is still RUNNING — it transitions to CANCELLED (result discarded)
+        when its mega-batch lands or crashes.  Unknown or terminal ids
+        raise :class:`ServiceError`.
+        """
+        try:
+            return self.queue.cancel(job_id)
+        except JobNotCancellable:
+            job = self.job(job_id)
+            if job.is_terminal:  # raced to terminal: nothing to cancel
+                raise
+            job.cancel_requested = True
+            self.lifecycle.emit(
+                "cancel_requested", job.job_id, t=self.clock(),
+                priority=job.priority, status=job.status.value,
+            )
+            return job
+
+    def _cancel_inflight(self, job: Job, at: float) -> None:
+        """Honour a cooperative cancel when the job's mega-batch lands."""
+        job.transition(JobStatus.CANCELLED)
+        job.finished_at = at
+        self._cancelled_inflight += 1
+        get_metrics().inc("service.cancelled")
+        self.lifecycle.emit(
+            "cancelled", job.job_id, t=at, priority=job.priority,
+            queue_age_s=job.wait_time(at), inflight=True,
+        )
+        self.queue.settle([job.job_id])
 
     def job(self, job_id: str) -> Job:
         try:
@@ -283,10 +401,54 @@ class BatchSimulationService:
             rounds += 1
         return self.stats()
 
-    def close(self) -> None:
-        """Release execution resources (stops the process pool, if any)."""
+    def close(self, drain: bool = False) -> None:
+        """Shut down, leaving every job in exactly one terminal state.
+
+        ``drain=True`` first stops admission and finishes all queued and
+        in-flight work (graceful drain); ``drain=False`` stops admission
+        and *cancels* whatever has not finished.  Either way the
+        lifecycle log accounts every submitted job —
+        ``lifecycle.unaccounted()`` is empty after close — and the
+        process pool (if any) is stopped with its shared-memory segments
+        released.  Idempotent: a second close is a no-op.
+        """
+        if self._closed:
+            return
+        self._draining = True
+        if drain:
+            self.drain()
+        self._shutdown_pending()
+        self._closed = True
         if self._pool is not None:
             self._pool.close()
+
+    def _shutdown_pending(self) -> None:
+        """Cancel every non-terminal job so shutdown never loses track.
+
+        Queued jobs cancel through the queue (normal path); jobs caught
+        in flight — possible when ``drain=False`` or a drain gave up —
+        are cancelled cooperatively, exactly as an honoured in-flight
+        cancel would have been.
+        """
+        for job in self.queue.jobs():
+            self.queue.cancel(job.job_id)
+        now = self.clock()
+        for group, _record, _wall0 in self._inflight.values():
+            for job in group.jobs:
+                if not job.is_terminal:
+                    self._cancel_inflight(job, now)
+        self._inflight.clear()
+        # jobs admitted but parked in a non-terminal state outside queue
+        # and inflight maps (defensive: should be unreachable)
+        for job in self.jobs.values():
+            if not job.is_terminal:  # pragma: no cover - belt and braces
+                job.transition(JobStatus.CANCELLED)
+                job.finished_at = now
+                self.lifecycle.emit(
+                    "cancelled", job.job_id, t=now, priority=job.priority,
+                    inflight=False, shutdown=True,
+                )
+                self.queue.settle([job.job_id])
 
     def __enter__(self) -> "BatchSimulationService":
         return self
@@ -331,6 +493,39 @@ class BatchSimulationService:
             modeled_s=modeled_s,
             error=job.error,
         )
+        self.queue.settle([job.job_id])
+
+    def _quarantine(self, job: Job, worker: int | None, at: float) -> None:
+        """Poison exit: the delivery budget is spent; stop redelivering.
+
+        Emits the ``quarantined`` lifecycle event (the SLO tracker counts
+        it in a dedicated failure bucket — it never feeds the latency
+        histograms) and records a resilience ``quarantine`` event with the
+        evidence depth for operators.
+        """
+        job.quarantine(
+            f"quarantined after {job.delivery_count} failed deliveries"
+            + (f": {job.evidence[-1]['detail']}" if job.evidence else ""),
+            at,
+        )
+        self._quarantined += 1
+        self.lifecycle.emit(
+            "quarantined", job.job_id, t=at,
+            priority=job.priority,
+            delivery=job.delivery_count,
+            attempts=job.attempts,
+            worker=worker,
+            error=job.error,
+            evidence=list(job.evidence),
+        )
+        get_resilience_log().record(
+            "quarantine",
+            site="service",
+            job=job.job_id,
+            deliveries=job.delivery_count,
+            evidence=len(job.evidence),
+        )
+        self.queue.settle([job.job_id])
 
     def _emit_executing(
         self, group: CoalescedGroup, now: float, worker: int
@@ -473,12 +668,22 @@ class BatchSimulationService:
                 self.num_workers,
                 simulator_kwargs=self._simulator_kwargs,
                 shm_threshold=self._shm_threshold,
+                max_restarts=self.max_restarts,
+                chaos=self.chaos,
             )
         return self._pool
 
     def _step_pool(self) -> int:
         pool = self._ensure_pool()
         finished = sum(self._finalize_pool(r) for r in pool.poll())
+        self._note_restarts(pool)
+        if pool.alive_workers == 0 and not self._inflight:
+            # the restart budget is spent and nothing can ever run again:
+            # fail the queued backlog so drain/close terminate with every
+            # job accounted instead of waiting on a dead fleet
+            return finished + self._fail_queued(
+                "no live pool workers (restart budget exhausted)"
+            )
         while pool.idle_workers > 0:
             now = self.clock()
             queued = self.queue.jobs()
@@ -493,7 +698,41 @@ class BatchSimulationService:
             finished = sum(
                 self._finalize_pool(r) for r in pool.poll(block=True)
             )
+            self._note_restarts(pool)
         return finished
+
+    def _note_restarts(self, pool: ProcessWorkerPool) -> None:
+        """Mirror pool worker respawns into the lifecycle stream.
+
+        One ``worker_restart`` event per respawn, stamped with the pseudo
+        id ``worker-<wid>`` — fleet events ride the same JSONL stream as
+        jobs without touching the unaccounted-jobs bookkeeping (only
+        ``submitted`` populates that set)."""
+        for summary in pool.worker_summaries():
+            wid, restarts = summary["wid"], summary["restarts"]
+            seen = self._seen_restarts.get(wid, 0)
+            for nth in range(seen + 1, restarts + 1):
+                self.lifecycle.emit(
+                    "worker_restart", f"worker-{wid}", t=self.clock(),
+                    wid=wid, restart=nth, crashes=summary["crashes"],
+                )
+            self._seen_restarts[wid] = restarts
+
+    def _fail_queued(self, reason: str) -> int:
+        """Terminal-fail every queued job (the fleet cannot serve them)."""
+        jobs = self.queue.jobs()
+        if not jobs:
+            return 0
+        self.queue.take(jobs)
+        metrics = get_metrics()
+        now = self.clock()
+        for job in jobs:
+            job.fail(reason, now)
+            self._failed += 1
+            metrics.inc("service.failed")
+            self._emit_terminal(job)
+        metrics.gauge("service.queue_depth", self.queue.depth())
+        return len(jobs)
 
     def _dispatch_pool(
         self, pool: ProcessWorkerPool, group: CoalescedGroup
@@ -506,7 +745,16 @@ class BatchSimulationService:
             job.transition(JobStatus.RUNNING)
             job.started_at = now
             job.attempts += 1
+            job.delivery_count += 1
             metrics.observe("service.wait_s", job.wait_time())
+        #: the task deadline is the strictest member deadline; a task with
+        #: no deadline-carrying member runs unsupervised (crash-only)
+        timeouts = [
+            job.timeout_s for job in group.jobs if job.timeout_s is not None
+        ]
+        timeout_s = min(timeouts) if timeouts else None
+        #: redelivered cohorts may resume a crash checkpoint on the worker
+        resume = any(job.delivery_count > 1 for job in group.jobs)
         spec, mega, pad = self.coalescer.mega_block(group)
         with get_tracer().span(
             "service.dispatch",
@@ -523,6 +771,9 @@ class BatchSimulationService:
                 group.total_columns,
                 [job.num_inputs for job in group.jobs],
                 job_ids=[job.job_id for job in group.jobs],
+                timeout_s=timeout_s,
+                resume=resume,
+                delivery=max(job.delivery_count for job in group.jobs),
             )
         self._emit_executing(group, now, wid)
         record = {
@@ -548,10 +799,17 @@ class BatchSimulationService:
         """Scatter one collected pool result back to its member jobs.
 
         The happy path mirrors serial ``_execute``; a degraded result
-        carries per-job outcomes from the worker's own isolation retries
-        (``per_job is None`` means the worker died — every member fails).
+        carries per-job outcomes from the worker's own isolation retries.
+        A *crash* result (``raw["crash"]`` set: the worker died or blew
+        the task deadline) carries no outcomes at all and is routed to
+        :meth:`_handle_crash` — redelivery, quarantine, or deadline
+        failure per member.  An in-flight cancel is honoured here in
+        every branch: the member goes CANCELLED and its output (if any)
+        is discarded.
         """
         group, record, wall0 = self._inflight.pop(raw["task_id"])
+        if raw.get("crash") is not None:
+            return self._handle_crash(group, record, wall0, raw)
         metrics = get_metrics()
         done_at = self.clock()
         merged = raw["outputs"]
@@ -559,18 +817,29 @@ class BatchSimulationService:
         wall_s = time.perf_counter() - wall0
         if not raw["degraded"]:
             for job, start, stop in group.offsets():
+                if job.cancel_requested:
+                    self._cancel_inflight(job, done_at)
+                    continue
                 job.finish(merged[:, start:stop], done_at)
                 self._emit_terminal(
                     job, worker=raw["wid"], wall_s=wall_s,
                     modeled_s=raw["modeled_s"],
                 )
             finished = len(group.jobs)
-            self._completed += finished
-            self._inputs_done += group.total_columns
+            done = sum(
+                1 for job in group.jobs if job.status is JobStatus.DONE
+            )
+            self._completed += done
+            self._inputs_done += sum(
+                job.num_inputs
+                for job in group.jobs
+                if job.status is JobStatus.DONE
+            )
             self._modeled_s += raw["modeled_s"]
             record["degraded"] = False
             record["modeled_s"] = raw["modeled_s"]
-            metrics.inc("service.completed", finished)
+            if done:
+                metrics.inc("service.completed", done)
         else:
             self._degraded_groups += 1
             metrics.inc("service.degraded_groups")
@@ -590,6 +859,10 @@ class BatchSimulationService:
                     if outcomes and idx < len(outcomes)
                     else {"ok": False, "error": raw["cause"]}
                 )
+                if job.cancel_requested:
+                    self._cancel_inflight(job, done_at)
+                    finished += 1
+                    continue
                 if outcome["ok"] and merged is not None:
                     job.solo_retry = True
                     job.finish(merged[:, start:stop], done_at)
@@ -606,6 +879,88 @@ class BatchSimulationService:
                 self._emit_terminal(job, worker=raw["wid"], wall_s=wall_s)
                 finished += 1
             self._modeled_s += raw["modeled_s"]
+        record["wall_s"] = time.perf_counter() - wall0
+        record["queue_depth"] = self.queue.depth()
+        self._wall_s += record["wall_s"]
+        metrics.inc("service.megabatches")
+        metrics.gauge("service.queue_depth", self.queue.depth())
+        self.events.append(record)
+        return finished
+
+    def _handle_crash(
+        self, group: CoalescedGroup, record: dict, wall0: float, raw: dict
+    ) -> int:
+        """Route one crash/timeout result to its members; returns how many
+        reached a terminal state (redelivered members do not count).
+
+        Per member, in precedence order:
+
+        1. ``cancel_requested`` → CANCELLED (the crash obliged early);
+        2. a *timeout* crash and the member carries ``timeout_s`` →
+           FAILED with ``TimeoutError`` evidence (its own deadline was
+           the one the supervisor enforced);
+        3. delivery budget spent → QUARANTINED with the accumulated
+           evidence (poison: it has now killed ``max_deliveries``
+           deliveries' worth of workers);
+        4. otherwise → requeued for redelivery, aging credit intact.
+
+        Members caught in a cohort-mate's timeout (no ``timeout_s`` of
+        their own) fall through to 3/4: innocent work is redelivered,
+        never failed for someone else's deadline.
+        """
+        crash = raw["crash"]
+        metrics = get_metrics()
+        done_at = self.clock()
+        wall_s = time.perf_counter() - wall0
+        record["degraded"] = True
+        record["error"] = raw["cause"]
+        record["crash"] = {
+            "kind": crash["kind"],
+            "wid": crash["wid"],
+            "exitcode": crash["exitcode"],
+        }
+        finished = 0
+        redeliver: list[Job] = []
+        for job in group.jobs:
+            job.evidence.append(
+                {
+                    "kind": crash["kind"],
+                    "task_id": crash["task_id"],
+                    "wid": crash["wid"],
+                    "exitcode": crash["exitcode"],
+                    "delivery": job.delivery_count,
+                    "detail": crash["detail"],
+                }
+            )
+            if job.cancel_requested:
+                self._cancel_inflight(job, done_at)
+                finished += 1
+            elif crash["kind"] == "timeout" and job.timeout_s is not None:
+                job.fail(f"TimeoutError: {crash['detail']}", done_at)
+                self._failed += 1
+                metrics.inc("service.failed")
+                self._emit_terminal(
+                    job, worker=crash["wid"], wall_s=wall_s
+                )
+                finished += 1
+            elif job.delivery_count >= (
+                job.max_deliveries or self.max_deliveries
+            ):
+                self._quarantine(job, crash["wid"], done_at)
+                finished += 1
+            else:
+                redeliver.append(job)
+        if redeliver:
+            self.queue.requeue(redeliver)
+            for job in redeliver:
+                get_resilience_log().record(
+                    "redelivery",
+                    site="service",
+                    job=job.job_id,
+                    delivery=job.delivery_count,
+                    reason=crash["kind"],
+                )
+        record["redelivered"] = len(redeliver)
         record["wall_s"] = time.perf_counter() - wall0
         record["queue_depth"] = self.queue.depth()
         self._wall_s += record["wall_s"]
@@ -651,6 +1006,9 @@ class BatchSimulationService:
                 1 for j in self.jobs.values()
                 if j.status is JobStatus.CANCELLED
             ),
+            "quarantined": self._quarantined,
+            "requeued": self.queue.requeued_total,
+            "cancelled_inflight": self._cancelled_inflight,
             "queue_depth": self.queue.depth(),
             "megabatches": len(mega),
             "degraded_groups": self._degraded_groups,

@@ -1,5 +1,7 @@
-"""Quantum-program testing on BQCS: mutations and a differential fuzzer."""
+"""Quantum-program testing on BQCS: mutations, a differential fuzzer, and
+process-level chaos for the serving stack."""
 
+from .chaos_pool import ChaosEvent, ChaosSchedule, apply_chaos_action
 from .fuzzer import DifferentialFuzzer, FuzzFinding, FuzzReport
 from .mutations import (
     BREAKING,
@@ -13,7 +15,10 @@ from .mutations import (
 )
 
 __all__ = [
+    "apply_chaos_action",
     "BREAKING",
+    "ChaosEvent",
+    "ChaosSchedule",
     "commute_disjoint_pair",
     "DifferentialFuzzer",
     "drop_gate",

@@ -1,0 +1,177 @@
+"""Process-level chaos for the serving stack: kill and hang real workers.
+
+PR 3's :mod:`repro.resilience.faults` injects *numeric* faults inside one
+interpreter; this module injects *process* faults into the
+:class:`~repro.service.pool.ProcessWorkerPool` — the failure mode that
+actually loses jobs in production: a worker OS process SIGKILLed (OOM
+killer, node preemption) or wedged (deadlocked driver) in the middle of a
+mega-batch.
+
+A :class:`ChaosSchedule` is a deterministic script keyed on the pool's
+**task ids** (1-based dispatch order, which is itself a pure function of
+the submission sequence under an injected clock), so a chaos run is
+exactly reproducible: the same schedule kills the same worker at the same
+point in the same mega-batch every time.  Two action kinds:
+
+* ``sigkill`` — the worker delivers ``SIGKILL`` to itself mid-task
+  (*before* or *after* the simulator ran, so both "work lost before
+  compute" and "work computed but never reported" are testable);
+* ``hang`` — the worker sleeps far past any plausible deadline, modeling
+  a wedged process that only a supervisor's kill can clear.
+
+The schedule travels to the worker inside the task payload as a plain
+dict (spawn-safe, no imports needed at unpickle time) and is applied by
+:func:`apply_chaos_action` from the worker's own process.  The pool's
+supervisor then has to do the real work: detect the death, synthesize
+crash evidence, respawn the worker, and let the service redeliver or
+quarantine the member jobs — the invariants ``tests/test_chaos_pool.py``
+locks down.
+
+Example::
+
+    schedule = ChaosSchedule.parse("kill=2,hang=3")
+    assert schedule.action_for(2)["kind"] == "sigkill"
+    assert schedule.action_for(1) is None
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+
+from ..errors import ServiceError
+
+#: seconds a ``hang`` action sleeps — far beyond any test deadline, so a
+#: hung worker can only leave the pool through the supervisor's kill
+HANG_SLEEP_S = 3600.0
+
+#: the two task phases an action can fire in: before the simulator runs
+#: (inputs received, nothing computed) or after (results computed but
+#: never reported — the redelivery must recompute them)
+PHASES = ("before_run", "after_run")
+
+KINDS = ("sigkill", "hang")
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One scripted fault: what happens to which pool task, and when.
+
+    ``task_id`` is the pool's 1-based dispatch counter; ``kind`` is
+    ``"sigkill"`` or ``"hang"``; ``phase`` selects whether the action
+    fires before or after the simulator call.  Example::
+
+        event = ChaosEvent(task_id=2, kind="sigkill", phase="after_run")
+        assert event.encode()["kind"] == "sigkill"
+    """
+
+    task_id: int
+    kind: str
+    phase: str = "before_run"
+
+    def __post_init__(self) -> None:
+        if self.task_id < 1:
+            raise ServiceError("chaos task ids are 1-based (got "
+                               f"{self.task_id})")
+        if self.kind not in KINDS:
+            raise ServiceError(
+                f"unknown chaos kind {self.kind!r} (expected one of {KINDS})"
+            )
+        if self.phase not in PHASES:
+            raise ServiceError(
+                f"unknown chaos phase {self.phase!r} "
+                f"(expected one of {PHASES})"
+            )
+
+    def encode(self) -> dict:
+        """The picklable payload shipped inside the pool task."""
+        return {"kind": self.kind, "phase": self.phase}
+
+
+class ChaosSchedule:
+    """A deterministic script of process faults keyed on pool task ids.
+
+    Build one directly from :class:`ChaosEvent` records or from the CLI
+    mini-language understood by :meth:`parse`::
+
+        ChaosSchedule.parse("kill=2,kill@after=4,hang=5")
+
+    kills task 2 before its simulator call, task 4 after it (computed
+    results lost in flight), and hangs task 5.  Example::
+
+        schedule = ChaosSchedule([ChaosEvent(1, "sigkill")])
+        assert schedule.action_for(1) == {"kind": "sigkill",
+                                          "phase": "before_run"}
+    """
+
+    def __init__(self, events: list[ChaosEvent] | tuple = ()) -> None:
+        self._by_task: dict[int, ChaosEvent] = {}
+        for event in events:
+            if event.task_id in self._by_task:
+                raise ServiceError(
+                    f"duplicate chaos event for task {event.task_id}"
+                )
+            self._by_task[event.task_id] = event
+
+    @classmethod
+    def parse(cls, spec: str) -> "ChaosSchedule":
+        """Parse the ``repro serve --chaos`` mini-language.
+
+        Comma-separated ``action=task_id`` terms where action is ``kill``
+        or ``hang``, optionally suffixed ``@after`` to fire after the
+        simulator ran (default: before).
+        """
+        events = []
+        for term in spec.split(","):
+            term = term.strip()
+            if not term:
+                continue
+            try:
+                action, task_id = term.split("=", 1)
+                task_id = int(task_id)
+            except ValueError:
+                raise ServiceError(
+                    f"bad chaos term {term!r} (expected e.g. 'kill=2' "
+                    "or 'hang@after=3')"
+                ) from None
+            phase = "before_run"
+            if action.endswith("@after"):
+                action, phase = action[: -len("@after")], "after_run"
+            kind = {"kill": "sigkill", "hang": "hang"}.get(action)
+            if kind is None:
+                raise ServiceError(
+                    f"unknown chaos action {action!r} in {term!r} "
+                    "(expected 'kill' or 'hang')"
+                )
+            events.append(ChaosEvent(task_id=task_id, kind=kind, phase=phase))
+        return cls(events)
+
+    def __len__(self) -> int:
+        return len(self._by_task)
+
+    def events(self) -> list[ChaosEvent]:
+        """The scripted events in task-id order."""
+        return [self._by_task[tid] for tid in sorted(self._by_task)]
+
+    def action_for(self, task_id: int) -> dict | None:
+        """The encoded action for one pool task (None = run normally)."""
+        event = self._by_task.get(task_id)
+        return event.encode() if event is not None else None
+
+
+def apply_chaos_action(action: dict | None, phase: str) -> None:
+    """Execute one encoded chaos action inside a worker process.
+
+    Called by the pool worker at both task phases; a ``sigkill`` action
+    never returns (the process dies mid-syscall, exactly like the OOM
+    killer), a ``hang`` action sleeps :data:`HANG_SLEEP_S` seconds so
+    only the supervisor's deadline kill can clear it.
+    """
+    if not action or action.get("phase", "before_run") != phase:
+        return
+    if action["kind"] == "sigkill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif action["kind"] == "hang":  # pragma: no cover - killed mid-sleep
+        time.sleep(HANG_SLEEP_S)

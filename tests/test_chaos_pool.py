@@ -1,0 +1,384 @@
+"""Crash-safety of the supervised process pool under deterministic chaos.
+
+The contract under test is the serving layer's failure model
+(docs/operations.md): a worker SIGKILLed or hung mid-mega-batch is
+detected, its shared-memory segments released, its slot respawned under
+the restart budget, and every affected job ends in **exactly one**
+terminal state — redelivered (at-least-once) until it completes,
+quarantined when it crash-loops past ``max_deliveries``, or failed with
+``TimeoutError`` evidence when it blew its own deadline.  Jobs that
+survive chaos must be bit-identical to an undisturbed serial run, and
+the lifecycle ledger must balance (``unaccounted() == []``) no matter
+what died.
+
+Chaos is injected by :mod:`repro.testing.chaos_pool`: a seeded,
+task-id-keyed schedule that SIGKILLs or wedges whichever worker process
+picks up the targeted pool task.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit.generators import make_circuit
+from repro.circuit.inputs import random_batch
+from repro.errors import (
+    AdmissionError,
+    JobNotCancellable,
+    ServiceError,
+)
+from repro.service import (
+    BatchSimulationService,
+    JobQueue,
+    JobStatus,
+    ProcessWorkerPool,
+    make_job,
+)
+from repro.sim.base import BatchSpec
+from repro.testing import ChaosEvent, ChaosSchedule
+
+
+# ---------------------------------------------------------------------------
+# the schedule mini-language (pure: no processes involved)
+# ---------------------------------------------------------------------------
+
+def test_schedule_parse_mini_language():
+    schedule = ChaosSchedule.parse("kill=2,hang@after=5,kill@after=7")
+    assert len(schedule) == 3
+    assert schedule.action_for(2) == {"kind": "sigkill", "phase": "before_run"}
+    assert schedule.action_for(5) == {"kind": "hang", "phase": "after_run"}
+    assert schedule.action_for(7) == {"kind": "sigkill", "phase": "after_run"}
+    assert schedule.action_for(1) is None  # untargeted tasks run clean
+
+
+def test_schedule_parse_rejects_bad_specs():
+    for spec in ("kill", "kill=0", "kill=x", "explode=3", "kill@sometime=3",
+                 "kill=2,hang=2"):  # duplicate task id
+        with pytest.raises(ServiceError):
+            ChaosSchedule.parse(spec)
+
+
+def test_chaos_event_validation():
+    event = ChaosEvent(task_id=3, kind="hang")
+    assert event.phase == "before_run"
+    assert event.encode() == {"kind": "hang", "phase": "before_run"}
+    with pytest.raises(ServiceError):
+        ChaosEvent(task_id=0, kind="sigkill")
+    with pytest.raises(ServiceError):
+        ChaosEvent(task_id=1, kind="segfault")
+    with pytest.raises(ServiceError):
+        ChaosEvent(task_id=1, kind="sigkill", phase="during")
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+def _one_group_pairs(num_jobs=3, num_qubits=4, seed=0):
+    """Jobs sharing one plan fingerprint: they coalesce into one task."""
+    circuit = make_circuit("ghz", num_qubits, seed=seed)
+    return [
+        (circuit, random_batch(num_qubits, 2, seed + i))
+        for i in range(num_jobs)
+    ]
+
+
+def _run(pairs, **service_kwargs):
+    service = BatchSimulationService(**service_kwargs)
+    try:
+        jobs = [service.submit(c, b) for c, b in pairs]
+        service.drain()
+    finally:
+        service.close()
+    return jobs, service
+
+
+def _assert_ledger_balances(service, jobs):
+    """Every submitted job reached exactly one terminal lifecycle event."""
+    assert service.lifecycle.unaccounted() == []
+    for job in jobs:
+        terminal = [
+            e for e in service.lifecycle.events(job.job_id)
+            if e["event"] in ("done", "failed", "cancelled", "quarantined")
+        ]
+        assert len(terminal) == 1, (job.job_id, terminal)
+        assert terminal[0]["event"] == job.status.value
+
+
+# ---------------------------------------------------------------------------
+# SIGKILL: redelivery, bit-identical survivors, leak-free shm
+# ---------------------------------------------------------------------------
+
+def test_sigkill_redelivers_and_survivors_match_serial():
+    pairs = _one_group_pairs()
+    reference, _ = _run(pairs, num_workers=1)  # undisturbed serial run
+    jobs, service = _run(
+        pairs,
+        num_workers=2,
+        parallelism="process",
+        chaos=ChaosSchedule.parse("kill=1"),
+        shm_threshold=1,  # force shm so the leak audit has segments to audit
+    )
+    assert all(job.status is JobStatus.DONE for job in jobs)
+    # the whole cohort rode the killed task: delivered twice, evidenced once
+    for job, ref in zip(jobs, reference):
+        assert job.delivery_count == 2
+        assert len(job.evidence) == 1
+        assert job.evidence[0]["kind"] == "worker_crash"
+        assert np.array_equal(job.result, ref.result)  # bit-identical
+    stats = service.stats()
+    assert stats["pool"]["crashes"] == 1
+    assert stats["pool"]["timeouts"] == 0
+    assert stats["pool"]["restarts"] == 1
+    assert stats["pool"]["restarts"] <= stats["pool"]["max_restarts"]
+    assert stats["pool"]["leaked_segments"] == 0
+    assert stats["requeued"] == len(pairs)
+    assert stats["slo"]["requeued"] == len(pairs)
+    _assert_ledger_balances(service, jobs)
+
+
+def test_after_run_kill_loses_computed_but_unreported_work():
+    """``@after`` chaos kills the worker *after* the simulator ran but
+    before the result was reported — the work must be redone, and the
+    redone answer must still be bit-identical."""
+    pairs = _one_group_pairs(seed=2)
+    reference, _ = _run(pairs, num_workers=1)
+    jobs, service = _run(
+        pairs,
+        num_workers=1,
+        parallelism="process",
+        chaos=ChaosSchedule.parse("kill@after=1"),
+    )
+    assert all(job.status is JobStatus.DONE for job in jobs)
+    for job, ref in zip(jobs, reference):
+        assert job.delivery_count == 2
+        assert np.array_equal(job.result, ref.result)
+    assert service.stats()["pool"]["crashes"] == 1
+    _assert_ledger_balances(service, jobs)
+
+
+# ---------------------------------------------------------------------------
+# hang + deadline: the job fails with timeout evidence
+# ---------------------------------------------------------------------------
+
+def test_hung_worker_killed_at_deadline_with_timeout_evidence():
+    pairs = _one_group_pairs(num_jobs=2, seed=4)
+    jobs, service = _run(
+        pairs,
+        num_workers=1,
+        parallelism="process",
+        chaos=ChaosSchedule.parse("hang=1"),
+        default_timeout_s=1.5,
+    )
+    for job in jobs:
+        assert job.status is JobStatus.FAILED
+        assert "TimeoutError" in job.error
+        assert job.evidence[-1]["kind"] == "timeout"
+    stats = service.stats()
+    assert stats["pool"]["timeouts"] == 1
+    assert stats["pool"]["restarts"] == 1
+    assert stats["pool"]["leaked_segments"] == 0
+    _assert_ledger_balances(service, jobs)
+
+
+# ---------------------------------------------------------------------------
+# crash loop: quarantine with evidence, in its own SLO bucket
+# ---------------------------------------------------------------------------
+
+def test_crash_loop_quarantines_with_full_evidence():
+    pairs = _one_group_pairs(num_jobs=1, seed=6)
+    jobs, service = _run(
+        pairs,
+        num_workers=1,
+        parallelism="process",
+        chaos=ChaosSchedule.parse("kill=1,kill=2"),
+        max_deliveries=2,
+    )
+    (job,) = jobs
+    assert job.status is JobStatus.QUARANTINED
+    assert job.delivery_count == 2
+    assert len(job.evidence) == 2  # one record per failed delivery
+    assert "quarantined after 2 failed deliveries" in job.error
+    slo = service.stats()["slo"]
+    assert slo["quarantined"] == 1
+    assert slo["done"] == 0
+    # the dedicated failure bucket: no latency observation, so one
+    # crash-looping job cannot skew the fleet's percentiles
+    assert slo["latency_s"]["count"] == 0
+    _assert_ledger_balances(service, jobs)
+
+
+def test_quarantine_lands_in_dedicated_bucket_beside_healthy_jobs():
+    """A poison job and healthy traffic: percentiles reflect only the
+    healthy jobs; the quarantined one is counted, not averaged in."""
+    circuit_a = make_circuit("ghz", 4)
+    circuit_b = make_circuit("qft", 4)
+    service = BatchSimulationService(
+        num_workers=2,
+        parallelism="process",
+        chaos=ChaosSchedule.parse("kill=1,kill=3"),
+        max_deliveries=2,
+    )
+    try:
+        poison = service.submit(circuit_a, random_batch(4, 2, 0))
+        healthy = [
+            service.submit(circuit_b, random_batch(4, 2, i)) for i in (1, 2)
+        ]
+        service.drain()
+    finally:
+        service.close()
+    assert poison.status is JobStatus.QUARANTINED
+    assert all(job.status is JobStatus.DONE for job in healthy)
+    slo = service.stats()["slo"]
+    assert slo["quarantined"] == 1 and slo["done"] == len(healthy)
+    assert slo["latency_s"]["count"] == len(healthy)
+    _assert_ledger_balances(service, [poison, *healthy])
+
+
+# ---------------------------------------------------------------------------
+# restart budget exhaustion: fail fast, never hang
+# ---------------------------------------------------------------------------
+
+def test_exhausted_restart_budget_fails_queued_jobs():
+    pairs = _one_group_pairs(num_jobs=2, seed=8)
+    jobs, service = _run(
+        pairs,
+        num_workers=1,
+        parallelism="process",
+        chaos=ChaosSchedule.parse("kill=1"),
+        max_restarts=0,  # the one slot dies and cannot come back
+    )
+    for job in jobs:
+        assert job.status is JobStatus.FAILED
+        assert "no live pool workers" in job.error
+    stats = service.stats()
+    assert stats["pool"]["lost_workers"] == [0]
+    assert stats["pool"]["alive"] == 0
+    assert stats["pool"]["restarts"] == 0
+    _assert_ledger_balances(service, jobs)
+
+
+# ---------------------------------------------------------------------------
+# drain, admission gate, close idempotence
+# ---------------------------------------------------------------------------
+
+def test_drain_finishes_inflight_then_gates_admission():
+    pairs = _one_group_pairs(seed=10)
+    service = BatchSimulationService(num_workers=2, parallelism="process")
+    try:
+        jobs = [service.submit(c, b) for c, b in pairs]
+        service.close(drain=True)
+        assert all(job.status is JobStatus.DONE for job in jobs)
+        with pytest.raises(AdmissionError, match="draining|closed"):
+            service.submit(pairs[0][0], pairs[0][1])
+        service.close()  # idempotent no-op after drain-close
+        _assert_ledger_balances(service, jobs)
+    finally:
+        service.close()
+
+
+def test_close_without_drain_cancels_queued_jobs():
+    pairs = _one_group_pairs(num_jobs=2, seed=12)
+    service = BatchSimulationService(num_workers=1)
+    jobs = [service.submit(c, b) for c, b in pairs]
+    service.close()
+    assert all(job.status is JobStatus.CANCELLED for job in jobs)
+    _assert_ledger_balances(service, jobs)
+
+
+# ---------------------------------------------------------------------------
+# cancellation paths and the typed JobNotCancellable
+# ---------------------------------------------------------------------------
+
+def test_service_cancel_queued_and_terminal_jobs():
+    pairs = _one_group_pairs(num_jobs=2, seed=14)
+    service = BatchSimulationService(num_workers=1)
+    try:
+        queued = service.submit(*pairs[0])
+        cancelled = service.cancel(queued.job_id)
+        assert cancelled.status is JobStatus.CANCELLED
+        done = service.submit(*pairs[1])
+        service.drain()
+        assert done.status is JobStatus.DONE
+        # terminal jobs are "unknown or done", not "in flight"
+        with pytest.raises(ServiceError, match="unknown or done"):
+            service.cancel(done.job_id)
+        with pytest.raises(ServiceError):
+            service.cancel("job-99-nope")
+    finally:
+        service.close()
+
+
+def test_queue_cancel_inflight_raises_typed_error():
+    queue = JobQueue(max_depth=4)
+    job = make_job(0, make_circuit("ghz", 3), random_batch(3, 2, 0))
+    queue.admit(job)
+    queue.take([job])
+    with pytest.raises(JobNotCancellable) as excinfo:
+        queue.cancel(job.job_id)
+    assert excinfo.value.job_id == job.job_id
+    assert "in flight" in str(excinfo.value)
+    # settle() marks it terminal: now it reads as done, not in flight
+    queue.settle([job.job_id])
+    with pytest.raises(ServiceError, match="unknown or done"):
+        queue.cancel(job.job_id)
+
+
+# ---------------------------------------------------------------------------
+# the ledger itself: unaccounted() under crash/requeue cycles
+# ---------------------------------------------------------------------------
+
+def test_unaccounted_balances_through_requeue_cycles():
+    from repro.obs.lifecycle import JobLifecycleLog
+
+    log = JobLifecycleLog()
+    log.emit("submitted", "job-0-aaa")
+    log.emit("executing", "job-0-aaa", worker=0)
+    log.emit("requeued", "job-0-aaa", delivery=2)  # crash #1
+    log.emit("executing", "job-0-aaa", worker=1)
+    log.emit("requeued", "job-0-aaa", delivery=3)  # crash #2
+    assert log.unaccounted() == ["job-0-aaa"]  # still in flight
+    log.emit("done", "job-0-aaa")
+    assert log.unaccounted() == []  # one terminal event settles it
+    log.emit("submitted", "job-1-bbb")
+    log.emit("quarantined", "job-1-bbb")
+    assert log.unaccounted() == []  # quarantine is terminal too
+
+
+# ---------------------------------------------------------------------------
+# direct pool API: supervision details
+# ---------------------------------------------------------------------------
+
+def test_poll_timeout_names_pending_tasks_and_worker_liveness():
+    circuit = make_circuit("ghz", 4)
+    batch = random_batch(4, 2, 0)
+    spec = BatchSpec(num_batches=1, batch_size=2, seed=0)
+    pool = ProcessWorkerPool(
+        num_workers=1, chaos=ChaosSchedule.parse("hang=1")
+    )
+    try:
+        task_id, wid = pool.submit(circuit, spec, batch.states, 2, [2])
+        with pytest.raises(ServiceError) as excinfo:
+            pool.poll(block=True, timeout=1.0)
+        message = str(excinfo.value)
+        assert f"task {task_id}" in message
+        assert f"worker {wid}" in message
+        assert "w0=alive" in message  # hung, not dead: still a live process
+    finally:
+        pool.close()
+    assert pool.leaked_segments() == []
+
+
+def test_pool_close_is_idempotent_even_with_dead_workers():
+    pool = ProcessWorkerPool(
+        num_workers=1, chaos=ChaosSchedule.parse("kill=1"), max_restarts=0
+    )
+    circuit = make_circuit("ghz", 3)
+    batch = random_batch(3, 2, 0)
+    spec = BatchSpec(num_batches=1, batch_size=2, seed=0)
+    pool.submit(circuit, spec, batch.states, 2, [2])
+    (result,) = pool.poll(block=True)
+    assert result["crash"]["kind"] == "worker_crash"
+    assert pool.alive_workers == 0 and pool.lost_workers == [0]
+    pool.close()
+    pool.close()  # second close is a no-op, not an error
+    assert pool.leaked_segments() == []

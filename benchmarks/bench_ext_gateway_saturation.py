@@ -1,0 +1,152 @@
+"""Extension bench — gateway saturation across a shard fleet.
+
+The sharded-routing acceptance check: a mixed-tenant backlog (every job
+queued before the first dispatch round, mimicking a scrape-and-burst
+arrival pattern) is drained through 1, 2, and 4 shards, and
+fingerprint-affinity placement is compared against cache-oblivious
+round-robin ("random") placement at the widest fleet.
+
+Affinity's claim is about *plan-cache locality*: hashing jobs to shards
+by their coalescing key sends every job of one circuit family to one
+shard, so each shard compiles its plans once and hits its cache for the
+rest of the run.  Random placement warms every shard's cache a little,
+multiplying compile misses by roughly the shard count.  The bench
+asserts the hit-rate gap and the fleet-wide zero-unaccounted invariant,
+and reports merged SLO percentiles (latency, queue age) per fleet size.
+
+At ``--repro-scale paper`` the backlog is >= 10k queued jobs; the
+default small scale keeps the same shape at a few hundred jobs so the
+whole harness stays quick under pytest-benchmark.  Results land in
+``BENCH_gateway_saturation.json`` next to this module.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from conftest import run_once
+
+from repro.circuit.generators import make_circuit
+from repro.gateway import ShardRouter, TenantQuotas
+
+RESULT_JSON = Path(__file__).parent / "BENCH_gateway_saturation.json"
+
+#: six distinct plan fingerprints — enough that a 4-shard ring gives
+#: every shard at least one family while leaving room for imbalance
+FAMILIES = ("qft", "ghz", "vqe", "qaoa", "wstate", "graphstate")
+NUM_QUBITS = 6
+INPUTS_PER_JOB = 2
+TENANTS = {"acme": 4, "globex": 2, "initech": 0}  # weight = priority boost
+
+JOBS_BY_SCALE = {"small": 420, "medium": 2400, "paper": 10_800}
+
+
+def _hit_rate(plan_cache: dict) -> float:
+    hits = plan_cache["hits"] + plan_cache["disk_hits"]
+    lookups = hits + plan_cache["misses"]
+    return hits / lookups if lookups else 0.0
+
+
+def run_fleet(num_shards: int, routing: str, jobs: int) -> dict:
+    """Queue the full backlog, drain it, and summarize the fleet."""
+    quotas = TenantQuotas(
+        rate=1e9, burst=1e9,  # admission never throttles this bench
+        tenants={name: {"weight": w} for name, w in TENANTS.items()},
+    )
+    router = ShardRouter(
+        num_shards=num_shards,
+        routing=routing,
+        quotas=quotas,
+        # cap the coalescer so each family drains as a *series* of
+        # mega-batches — the realistic steady-state, and the regime
+        # where plan-cache reuse (hit after first compile) is visible
+        service_kwargs={"max_depth": jobs + 8, "max_jobs_per_batch": 8},
+    )
+    circuits = [make_circuit(f, NUM_QUBITS) for f in FAMILIES]
+    tenants = list(TENANTS)
+    start = time.perf_counter()
+    for i in range(jobs):
+        router.submit(
+            circuits[i % len(circuits)],
+            num_inputs=INPUTS_PER_JOB,
+            tenant=tenants[i % len(tenants)],
+        )
+    queued_s = time.perf_counter() - start
+    stats = router.drain()
+    wall_s = time.perf_counter() - start
+    unaccounted = router.unaccounted()
+    router.close()
+    assert unaccounted == [], unaccounted
+    assert stats["completed"] == jobs, stats
+    slo = stats["slo"]
+    per_shard_hits = {
+        name: _hit_rate(shard["plan_cache"])
+        for name, shard in stats["shards"].items()
+    }
+    lookups = sum(
+        shard["plan_cache"]["hits"] + shard["plan_cache"]["disk_hits"]
+        + shard["plan_cache"]["misses"]
+        for shard in stats["shards"].values()
+    )
+    misses = sum(
+        shard["plan_cache"]["misses"] for shard in stats["shards"].values()
+    )
+    return {
+        "shards": num_shards,
+        "routing": routing,
+        "jobs": jobs,
+        "queued_s": queued_s,
+        "wall_s": wall_s,
+        "jobs_per_s": jobs / (wall_s - queued_s),
+        "latency_p50_ms": slo["latency_s"]["p50"] * 1e3,
+        "latency_p99_ms": slo["latency_s"]["p99"] * 1e3,
+        "queue_age_p50_ms": slo["queue_age_s"]["p50"] * 1e3,
+        "queue_age_p99_ms": slo["queue_age_s"]["p99"] * 1e3,
+        "plan_cache_hit_rate": (lookups - misses) / lookups,
+        "plan_cache_misses": misses,
+        "per_shard_hit_rate": per_shard_hits,
+        "routed": stats["routed"],
+        "quota_admitted": {
+            name: q["admitted"] for name, q in stats["quotas"].items()
+        },
+    }
+
+
+def gateway_saturation(jobs: int) -> dict:
+    rows = [run_fleet(n, "affinity", jobs) for n in (1, 2, 4)]
+    random_row = run_fleet(4, "random", jobs)
+    doc = {
+        "bench": "gateway_saturation",
+        "jobs": jobs,
+        "tenants": len(TENANTS),
+        "fleet_sweep": rows,
+        "random_baseline": random_row,
+        "affinity_hit_rate_at_4": rows[-1]["plan_cache_hit_rate"],
+        "random_hit_rate_at_4": random_row["plan_cache_hit_rate"],
+    }
+    RESULT_JSON.write_text(json.dumps(doc, indent=2) + "\n")
+    return doc
+
+
+def test_gateway_saturation(benchmark, scale):
+    doc = run_once(benchmark, gateway_saturation, JOBS_BY_SCALE[scale])
+    sweep = doc["fleet_sweep"]
+    # every fleet size drained the identical backlog, nothing lost
+    assert all(row["jobs"] == doc["jobs"] for row in sweep)
+    # all three tenants were admitted throughout
+    for row in sweep:
+        assert len(row["quota_admitted"]) == len(TENANTS)
+        assert sum(row["quota_admitted"].values()) == doc["jobs"]
+    # affinity keeps per-shard caches hot: each of the 6 fingerprints
+    # compiles on exactly one shard, so misses stay flat as the fleet
+    # widens, while random placement re-compiles on every shard it hits
+    affinity4 = sweep[-1]
+    assert affinity4["shards"] == 4
+    assert affinity4["plan_cache_misses"] <= len(FAMILIES)
+    assert (
+        doc["affinity_hit_rate_at_4"] > doc["random_hit_rate_at_4"]
+    ), (doc["affinity_hit_rate_at_4"], doc["random_hit_rate_at_4"])
+    # percentile sanity on the merged fleet SLO
+    for row in sweep:
+        assert row["latency_p99_ms"] >= row["latency_p50_ms"] > 0
+        assert row["queue_age_p99_ms"] >= row["queue_age_p50_ms"] >= 0

@@ -9,7 +9,12 @@ Subcommands::
     python -m repro trace     --family qft -n 10 --out trace.json
     python -m repro trace     --serve --workers 2 --parallelism process
                               --out service.json   # merged cross-process trace
+    python -m repro gateway   --port 7421 --shards 2 --workers 2
+                              --parallelism process  # TCP front door
+    python -m repro submit    --connect HOST:PORT --family ghz -n 4
+    python -m repro status    --connect HOST:PORT  # live fleet SLO table
     python -m repro metrics   --in metrics.jsonl [--out metrics.prom]
+                              ('-' reads stdin / writes stdout)
     python -m repro status    --stats stats.json  # SLO snapshot table
     python -m repro fuse      --family qnn -n 10      # show the fusion plan
     python -m repro check     --qasm A.qasm --against B.qasm
@@ -276,10 +281,160 @@ def cmd_serve(args) -> int:
     return 1 if workload["jobs_failed"] and args.strict else 0
 
 
+def cmd_gateway(args) -> int:
+    """Run the TCP gateway until SIGTERM/SIGINT, then drain gracefully."""
+    import asyncio
+    import signal
+
+    from .gateway import GatewayServer, ShardRouter, TenantQuotas
+
+    simulator_kwargs = {}
+    if args.engine is not None:
+        simulator_kwargs["engine"] = args.engine
+    if args.faults is not None:
+        simulator_kwargs["faults"] = args.faults
+    service_kwargs = {
+        "num_workers": args.workers,
+        "max_depth": args.max_depth,
+        "parallelism": args.parallelism,
+        "simulator_kwargs": simulator_kwargs,
+    }
+    if args.max_deliveries is not None:
+        service_kwargs["max_deliveries"] = args.max_deliveries
+    if args.max_restarts is not None:
+        service_kwargs["max_restarts"] = args.max_restarts
+    if args.timeout is not None:
+        service_kwargs["default_timeout_s"] = args.timeout
+    if args.chaos is not None:
+        from .testing.chaos_pool import ChaosSchedule
+
+        service_kwargs["chaos"] = ChaosSchedule.parse(args.chaos)
+    tenants = {}
+    for spec in args.tenant_weight or []:
+        name, _, weight = spec.partition("=")
+        if not name or not weight.lstrip("-").isdigit():
+            raise SystemExit(
+                f"--tenant-weight expects NAME=WEIGHT, got {spec!r}"
+            )
+        tenants[name] = {"weight": int(weight)}
+    quotas = None
+    if args.quota_rate > 0 or tenants:
+        quotas = TenantQuotas(
+            rate=args.quota_rate if args.quota_rate > 0 else 1000.0,
+            burst=args.quota_burst,
+            tenants=tenants,
+        )
+    router = ShardRouter(
+        num_shards=args.shards,
+        routing=args.routing,
+        quotas=quotas,
+        service_kwargs=service_kwargs,
+    )
+    server = GatewayServer(router, host=args.host, port=args.port)
+
+    async def _run() -> None:
+        await server.start()
+        print(f"gateway   : listening on {server.host}:{server.port} "
+              f"({args.shards} shard(s) x {args.workers} worker(s), "
+              f"routing={args.routing}, parallelism={args.parallelism})")
+        if args.port_file:
+            with open(args.port_file, "w", encoding="utf-8") as fh:
+                fh.write(f"{server.port}\n")
+        sys.stdout.flush()
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
+        await stop.wait()
+        print("gateway   : signal received, draining ...")
+        sys.stdout.flush()
+        await server.shutdown(drain=True)
+
+    asyncio.run(_run())
+    stats = router.stats()
+    unaccounted = router.unaccounted()
+    print(f"jobs      : {stats['submitted']} submitted, "
+          f"{stats['completed']} done, {stats['failed']} failed, "
+          f"{stats['quarantined']} quarantined, "
+          f"{len(unaccounted)} unaccounted")
+    print(f"routing   : {stats['routed']} "
+          f"({stats['failovers']} failover(s), "
+          f"{stats['rescued']} job(s) rescued)")
+    if args.lifecycle_out:
+        count = router.write_lifecycle(args.lifecycle_out)
+        print(f"lifecycle : wrote {count} events to {args.lifecycle_out}")
+    if args.prom_out:
+        from .obs import get_metrics
+        from .obs.prom import write_prometheus
+
+        write_prometheus(args.prom_out, get_metrics().snapshot())
+        print(f"prom      : wrote {args.prom_out}")
+    if args.stats_json:
+        import json
+
+        with open(args.stats_json, "w", encoding="utf-8") as fh:
+            json.dump(stats, fh, indent=2)
+            fh.write("\n")
+        print(f"stats     : wrote {args.stats_json}")
+    return 1 if unaccounted else 0
+
+
+def _parse_connect(connect: str) -> tuple[str, int]:
+    host, _, port = connect.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"--connect expects HOST:PORT, got {connect!r}")
+    return host, int(port)
+
+
+def _submit_remote(args) -> int:
+    """Submit one job over TCP to a running gateway and wait for it.
+
+    The input batch is generated *client-side* with the same seed an
+    in-process service would use for its first submission, so the
+    amplitudes coming back over the wire are bit-identical to
+    ``repro submit`` without ``--connect``.
+    """
+    from .circuit.inputs import random_batch
+    from .gateway import GatewayClient
+
+    circuit = _circuit_from_args(args)
+    host, port = _parse_connect(args.connect)
+    batch = random_batch(circuit.num_qubits, args.inputs, 0)
+    client = GatewayClient(host, port)
+    try:
+        job_id = client.submit(
+            circuit,
+            inputs=batch.states,
+            tenant=args.tenant,
+            priority=args.priority,
+            timeout_s=args.timeout,
+        )
+        print(f"submitted : {job_id} ({circuit.name}, {args.inputs} "
+              f"input(s), priority {args.priority}, "
+              f"tenant {args.tenant}, via {host}:{port})")
+        amplitudes = client.result(job_id)
+        info = client.status(job_id)
+        norm = float(abs(amplitudes[:, 0] ** 2).sum())
+        print(f"status    : {info['status']} (shard {info['shard']}, "
+              f"group {info['group_key']}, attempts {info['attempts']})")
+        print(f"result    : {amplitudes.shape[1]} output state(s), "
+              f"first column norm {norm:.6f}")
+        if args.prom_out:
+            text = client.metrics()
+            with open(args.prom_out, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            print(f"prom      : wrote {args.prom_out}")
+    finally:
+        client.close()
+    return 0
+
+
 def cmd_submit(args) -> int:
     """Submit one job to a fresh in-process service and wait for it."""
     from .service import ServiceClient
 
+    if args.connect:
+        return _submit_remote(args)
     circuit = _circuit_from_args(args)
     simulator_kwargs = {}
     if args.faults is not None:
@@ -409,7 +564,9 @@ def cmd_metrics(args) -> int:
 
     ``--in`` converts a metrics JSONL file (``--metrics-out`` output);
     without it the live process-global registry is rendered (useful only
-    in-process, so ``--in`` is the common path).
+    in-process, so ``--in`` is the common path).  ``-`` works for both
+    ends: ``--in -`` reads the JSONL from stdin, ``--out -`` writes the
+    Prometheus text to stdout, so the command pipes.
     """
     import json
 
@@ -418,12 +575,16 @@ def cmd_metrics(args) -> int:
 
     if args.input:
         snapshots = []
-        with open(args.input, encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if line:
-                    record = json.loads(line)
-                    snapshots.append(record.get("metrics", record))
+        if args.input == "-":
+            lines = sys.stdin.read().splitlines()
+        else:
+            with open(args.input, encoding="utf-8") as fh:
+                lines = fh.read().splitlines()
+        for line in lines:
+            line = line.strip()
+            if line:
+                record = json.loads(line)
+                snapshots.append(record.get("metrics", record))
         if not snapshots:
             raise SystemExit(f"no metrics records in {args.input}")
         try:
@@ -436,7 +597,7 @@ def cmd_metrics(args) -> int:
     else:
         snapshot = get_metrics().snapshot()
     text = prometheus_text(snapshot, prefix=args.prefix)
-    if args.out:
+    if args.out and args.out != "-":
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(text)
         print(f"prom      : wrote {args.out}")
@@ -456,15 +617,41 @@ def cmd_status(args) -> int:
     """Print the SLO snapshot from a ``--stats-json`` file.
 
     Accepts both ``repro serve`` output (``slo`` at the top level) and
-    ``repro submit``/``simulate`` output (``stats.slo``).
+    ``repro submit``/``simulate`` output (``stats.slo``).  ``--stats -``
+    reads the JSON from stdin; ``--connect HOST:PORT`` fetches the
+    merged fleet stats from a running gateway instead of a file.
     """
     import json
 
-    with open(args.stats, encoding="utf-8") as fh:
-        doc = json.load(fh)
+    if args.connect:
+        from .gateway import GatewayClient
+
+        host, port = _parse_connect(args.connect)
+        client = GatewayClient(host, port)
+        try:
+            doc = client.stats()
+        finally:
+            client.close()
+        source = args.connect
+    elif args.stats == "-":
+        doc = json.load(sys.stdin)
+        source = "stdin"
+    elif args.stats:
+        with open(args.stats, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        source = args.stats
+    else:
+        raise SystemExit("need --stats PATH (or '-') or --connect HOST:PORT")
     slo = doc.get("slo") or doc.get("stats", {}).get("slo")
     if slo is None:
-        raise SystemExit(f"{args.stats} has no 'slo' block")
+        raise SystemExit(f"{source} has no 'slo' block")
+    if "shards" in doc:
+        dead = doc.get("dead_shards", [])
+        print(f"fleet     : {len(doc['shards'])} shard(s)"
+              + (f" ({len(dead)} dead: {','.join(dead)})" if dead else "")
+              + f", routing={doc.get('routing', '?')}, "
+              f"routed {doc.get('routed', {})}, "
+              f"queue depth {doc.get('queue_depth', 0)}")
     print(f"jobs      : {slo['submitted']} submitted, {slo['done']} done, "
           f"{slo['failed']} failed, {slo['rejected']} rejected, "
           f"{slo['cancelled']} cancelled"
@@ -620,9 +807,60 @@ def main(argv: list[str] | None = None) -> int:
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
+        "gateway",
+        help="run the TCP gateway over a shard fleet (SIGTERM drains)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (default: 0 = ephemeral, printed and "
+                        "written to --port-file)")
+    p.add_argument("--port-file", default=None, metavar="PATH",
+                   help="write the bound port to PATH once listening")
+    p.add_argument("--shards", type=int, default=1,
+                   help="independent service shards (each its own pool "
+                        "and plan cache)")
+    p.add_argument("--routing", default="affinity",
+                   choices=["affinity", "random"],
+                   help="'affinity' hashes plan fingerprints onto the "
+                        "consistent-hash ring; 'random' scatters "
+                        "round-robin (cache-oblivious baseline)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="workers per shard")
+    p.add_argument("--parallelism", default="none",
+                   choices=["none", "process"])
+    p.add_argument("--max-depth", type=int, default=256,
+                   help="per-shard admission queue bound")
+    p.add_argument("--quota-rate", type=float, default=0.0, metavar="N",
+                   help="per-tenant admission rate in jobs/s "
+                        "(0 = quotas off)")
+    p.add_argument("--quota-burst", type=float, default=20.0, metavar="N")
+    p.add_argument("--tenant-weight", action="append", metavar="NAME=W",
+                   help="priority boost for a tenant (repeatable)")
+    p.add_argument("--engine", default=None,
+                   choices=["numpy", "fake-gpu", "cupy"])
+    p.add_argument("--faults", default=None, metavar="PLAN")
+    p.add_argument("--timeout", type=float, default=None, metavar="S",
+                   help="default per-job execution deadline")
+    p.add_argument("--max-deliveries", type=int, default=None, metavar="N")
+    p.add_argument("--max-restarts", type=int, default=None, metavar="N")
+    p.add_argument("--chaos", default=None, metavar="SPEC",
+                   help="chaos schedule for every shard's pool")
+    p.add_argument("--lifecycle-out", default=None, metavar="PATH",
+                   help="write the merged per-shard lifecycle stream "
+                        "as JSONL on exit")
+    p.add_argument("--prom-out", default=None, metavar="PATH")
+    p.add_argument("--stats-json", default=None, metavar="PATH")
+    p.set_defaults(fn=cmd_gateway)
+
+    p = sub.add_parser(
         "submit", help="submit one job to the batch service and wait"
     )
     _add_circuit_args(p)
+    p.add_argument("--connect", default=None, metavar="HOST:PORT",
+                   help="submit over TCP to a running gateway instead of "
+                        "an in-process service (bit-identical results)")
+    p.add_argument("--tenant", default="default",
+                   help="tenant name for --connect (quotas + weight)")
     p.add_argument("--inputs", type=int, default=4,
                    help="input states in the job's batch")
     p.add_argument("--priority", type=int, default=0)
@@ -686,9 +924,11 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser(
         "status", help="print the SLO snapshot from a --stats-json file"
     )
-    p.add_argument("--stats", required=True, metavar="PATH",
+    p.add_argument("--stats", default=None, metavar="PATH",
                    help="stats JSON written by 'repro serve/submit "
-                        "--stats-json'")
+                        "--stats-json' ('-' reads stdin)")
+    p.add_argument("--connect", default=None, metavar="HOST:PORT",
+                   help="fetch live merged stats from a running gateway")
     p.set_defaults(fn=cmd_status)
 
     p = sub.add_parser("fuse", help="show the BQCS-aware fusion plan")

@@ -99,6 +99,32 @@ class AdmissionError(ServiceError):
         super().__init__(message)
 
 
+class RetryLater(AdmissionError):
+    """Transient refusal: the request is fine, the moment is not.
+
+    Raised by the shard router when every admissible shard is at its
+    queue-depth bound or a tenant's token bucket is empty.  Carries a
+    ``retry_after_s`` hint (seconds until capacity plausibly returns) so
+    network clients can back off instead of hammering; the gateway maps
+    it to the ``RETRY_LATER`` protocol error.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        retry_after_s: float = 0.05,
+        depth: int = 0,
+        max_depth: int = 0,
+    ):
+        self.retry_after_s = retry_after_s
+        super().__init__(message, depth=depth, max_depth=max_depth)
+
+
+class GatewayError(ReproError):
+    """Network-gateway misuse or failure outside the wire protocol itself
+    (bad configuration, a request against a stopped server)."""
+
+
 class JobNotCancellable(ServiceError):
     """A cancel targeted a job that is no longer synchronously cancellable.
 

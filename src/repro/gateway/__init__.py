@@ -1,0 +1,56 @@
+"""Async network gateway: sharded multi-pool serving over TCP.
+
+The gateway is the network front door of the serving stack.  It speaks a
+newline-delimited JSON protocol (:mod:`repro.gateway.protocol`) over
+plain TCP and fronts a :class:`~repro.gateway.router.ShardRouter` — a
+fleet of :class:`~repro.service.workers.BatchSimulationService` shards,
+each owning its own worker pool and plan cache.  Jobs route to shards by
+consistent hashing on their plan fingerprint, so circuits that would
+coalesce also co-locate and keep one shard's plan cache hot instead of
+warming every cache a little.
+
+Layers, bottom up:
+
+* :mod:`repro.gateway.protocol` — the versioned wire envelope, typed
+  error codes, size limits, and the base64 codec that ships complex128
+  amplitude matrices bit-exactly;
+* :mod:`repro.gateway.quotas` — per-tenant token buckets and tenant
+  weights (fair admission on top of the weighted-fair scheduler);
+* :mod:`repro.gateway.router` — consistent-hash shard placement,
+  cross-shard failover (rescuing queued work off a shard whose pool
+  died), and the merged SLO/metrics/lifecycle view;
+* :mod:`repro.gateway.server` — the asyncio TCP server with a pump
+  thread driving the synchronous shards, live lifecycle streaming, and
+  graceful drain;
+* :mod:`repro.gateway.client` — :class:`AsyncGatewayClient` plus the
+  blocking :class:`GatewayClient` wrapper.
+"""
+
+from .client import AsyncGatewayClient, GatewayClient
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_array,
+    decode_frame,
+    encode_array,
+    encode_frame,
+)
+from .quotas import TenantQuotas, TokenBucket
+from .router import HashRing, ShardRouter
+from .server import GatewayServer
+
+__all__ = [
+    "AsyncGatewayClient",
+    "decode_array",
+    "decode_frame",
+    "encode_array",
+    "encode_frame",
+    "GatewayClient",
+    "GatewayServer",
+    "HashRing",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ShardRouter",
+    "TenantQuotas",
+    "TokenBucket",
+]

@@ -1,0 +1,499 @@
+"""The asyncio TCP gateway server.
+
+One :class:`GatewayServer` listens on a TCP port, speaks the NDJSON
+protocol of :mod:`repro.gateway.protocol`, and drives a
+:class:`~repro.gateway.router.ShardRouter` from a background **pump
+thread** — the shards' synchronous ``step()`` loops never run on the
+event loop, so a slow mega-batch cannot stall connection handling.
+Handler coroutines reach the router through ``run_in_executor`` (router
+calls take shard locks) and poll job objects with short async sleeps for
+bounded ``result`` waits.
+
+Request ops: ``ping``, ``submit``, ``status``, ``result``, ``cancel``,
+``stream`` (the connection switches to a live feed of lifecycle events,
+one frame each, with optional replay from the beginning), ``metrics``
+(a Prometheus text scrape of the process registry — per-shard labeled
+families included), and ``stats`` (the merged fleet summary).
+
+Graceful drain: :meth:`shutdown` with ``drain=True`` flips the server
+into draining mode — every request on a *new* connection is refused with
+the typed ``DRAINING`` error, in-flight work is finished via the
+router's drain, then the fleet closes.  Established connections may keep
+calling ``status``/``result``/``metrics`` during the drain to collect
+what they are owed; only ``submit`` and ``stream`` are refused.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+
+from ..errors import (
+    GatewayError,
+    JobNotCancellable,
+    RetryLater,
+    ServiceError,
+)
+from ..obs import get_metrics
+from ..obs.prom import prometheus_text
+from .protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    circuit_from_wire,
+    decode_frame,
+    encode_array,
+    encode_frame,
+    error_response,
+    inputs_from_wire,
+    ok_response,
+)
+from .router import ShardRouter
+
+#: upper bound on one blocking ``result`` wait; clients re-ask to wait
+#: longer (keeps a dead client from parking a handler forever)
+MAX_RESULT_WAIT_S = 300.0
+
+#: how long the pump thread sleeps when the fleet is idle
+PUMP_IDLE_S = 0.005
+
+
+def _salvage_id(line: bytes):
+    """Best-effort request id from a frame that failed validation, so
+    even refusals of bad envelopes correlate when the line was JSON."""
+    try:
+        obj = json.loads(line)
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if isinstance(obj, dict):
+        request_id = obj.get("id")
+        if isinstance(request_id, (int, str)):
+            return request_id
+    return None
+
+
+class _EventHub:
+    """Globally-sequenced merge of every shard's lifecycle stream.
+
+    Lifecycle listeners fire on whatever thread emitted the event (pump
+    thread, handler executor); the hub appends under a lock and stream
+    handlers poll :meth:`since` — no cross-thread event-loop wakeups to
+    get wrong, at the cost of a few milliseconds of staleness.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: list[dict] = []
+
+    def attach(self, router: ShardRouter) -> None:
+        for shard in router.shards.values():
+            shard.service.lifecycle.subscribe(
+                lambda event, _name=shard.name: self._append(_name, event)
+            )
+
+    def _append(self, shard: str, event: dict) -> None:
+        with self._lock:
+            self._events.append(
+                {"seq": len(self._events), "shard": shard, **event}
+            )
+
+    def since(self, seq: int) -> list[dict]:
+        """Events with hub sequence >= ``seq`` (empty when caught up)."""
+        with self._lock:
+            if seq >= len(self._events):
+                return []
+            return self._events[seq:]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+class GatewayServer:
+    """TCP front door over a shard fleet.
+
+    Construct with an existing router, or let the server build one from
+    ``num_shards``/``routing``/``quotas``/``service_kwargs``.  Typical
+    embedded use (tests, benchmarks)::
+
+        server = GatewayServer(num_shards=2)
+        await server.start()           # binds 127.0.0.1:<ephemeral>
+        ...                            # connect clients to server.port
+        await server.shutdown(drain=True)
+    """
+
+    def __init__(
+        self,
+        router: ShardRouter | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        num_shards: int = 1,
+        routing: str = "affinity",
+        quotas=None,
+        service_kwargs: dict | None = None,
+    ) -> None:
+        self.router = router or ShardRouter(
+            num_shards=num_shards,
+            routing=routing,
+            quotas=quotas,
+            service_kwargs=service_kwargs,
+        )
+        self.host = host
+        self.port = port
+        self.hub = _EventHub()
+        self._server: asyncio.AbstractServer | None = None
+        self._pump_thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._draining = False
+        self._closed = False
+        self._connections: set[asyncio.StreamWriter] = set()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> "GatewayServer":
+        """Bind and start serving; resolves the ephemeral port."""
+        if self._server is not None:
+            raise GatewayError("server already started")
+        self.hub.attach(self.router)
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port, limit=MAX_LINE_BYTES + 2
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._pump_thread = threading.Thread(
+            target=self._pump, name="gateway-pump", daemon=True
+        )
+        self._pump_thread.start()
+        return self
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Stop serving; with ``drain`` finish all admitted work first.
+
+        Idempotent.  New requests are refused with ``DRAINING`` the
+        moment this is called; the pump thread keeps stepping until the
+        fleet is idle, then everything closes and every job is in
+        exactly one terminal state.
+        """
+        if self._closed:
+            return
+        self._draining = True
+        loop = asyncio.get_running_loop()
+        if drain:
+            await loop.run_in_executor(None, self.router.drain)
+        self._stop.set()
+        if self._pump_thread is not None:
+            await loop.run_in_executor(None, self._pump_thread.join)
+        await loop.run_in_executor(
+            None, lambda: self.router.close(drain=False)
+        )
+        self._closed = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for writer in list(self._connections):
+            writer.close()
+
+    # -- the pump thread -----------------------------------------------------
+
+    def _pump(self) -> None:
+        """Drive the synchronous shards until told to stop."""
+        metrics = get_metrics()
+        while not self._stop.is_set():
+            try:
+                finished = self.router.step_all()
+            except Exception:  # a step must never kill the pump
+                metrics.inc("gateway.pump_errors")
+                finished = 0
+            if finished:
+                metrics.inc("gateway.pumped_jobs", finished)
+            else:
+                self._stop.wait(PUMP_IDLE_S)
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        metrics = get_metrics()
+        metrics.inc("gateway.connections")
+        self._connections.add(writer)
+        #: connections opened during a drain get the typed refusal on
+        #: every request; established ones may still collect results
+        born_draining = self._draining
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    error = ProtocolError(
+                        "OVERSIZED",
+                        f"request line exceeds {MAX_LINE_BYTES} bytes",
+                        limit=MAX_LINE_BYTES,
+                    )
+                    writer.write(encode_frame(error_response(None, error)))
+                    await writer.drain()
+                    break  # cannot resync NDJSON mid-line: drop the link
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                request_id = None
+                try:
+                    request = decode_frame(line)
+                    request_id = request.get("id")
+                    op = request["op"]
+                    metrics.inc("gateway.requests", op=op)
+                    if self._draining and (
+                        born_draining or op in ("submit", "stream")
+                    ):
+                        raise ProtocolError(
+                            "DRAINING",
+                            "gateway is draining; not accepting new work",
+                        )
+                    if op == "stream":
+                        await self._stream(request, writer)
+                        break  # a stream consumes the connection
+                    response = await self._dispatch(op, request)
+                except ProtocolError as error:
+                    if request_id is None:
+                        request_id = _salvage_id(line)
+                    metrics.inc("gateway.errors", code=error.code)
+                    response = error_response(request_id, error)
+                except ConnectionError:
+                    raise
+                except Exception as exc:  # never a traceback on the wire
+                    error = self._map_exception(exc)
+                    metrics.inc("gateway.errors", code=error.code)
+                    response = error_response(request_id, error)
+                else:
+                    response["id"] = request_id
+                writer.write(encode_frame(response))
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    def _map_exception(exc: Exception) -> ProtocolError:
+        """Typed wire form of any non-protocol exception."""
+        if isinstance(exc, RetryLater):
+            code = (
+                "QUOTA_EXCEEDED"
+                if getattr(exc, "reason", "") == "quota"
+                else "RETRY_LATER"
+            )
+            return ProtocolError(
+                code, str(exc), retry_after_s=exc.retry_after_s
+            )
+        if isinstance(exc, JobNotCancellable):
+            return ProtocolError(
+                "NOT_CANCELLABLE", str(exc),
+                job=exc.job_id, status=exc.status,
+            )
+        if isinstance(exc, ServiceError) and "unknown job id" in str(exc):
+            return ProtocolError("UNKNOWN_JOB", str(exc))
+        if isinstance(exc, (ServiceError, GatewayError)):
+            return ProtocolError("INTERNAL", str(exc))
+        # arbitrary failure: expose the type, not the internals
+        return ProtocolError(
+            "INTERNAL", f"internal error ({type(exc).__name__})"
+        )
+
+    # -- ops -----------------------------------------------------------------
+
+    async def _dispatch(self, op: str, request: dict) -> dict:
+        if op == "ping":
+            return ok_response(None, pong=True, t=time.time())
+        if op == "submit":
+            return await self._submit(request)
+        if op == "status":
+            return await self._status(request)
+        if op == "result":
+            return await self._result(request)
+        if op == "cancel":
+            return await self._cancel(request)
+        if op == "metrics":
+            text = prometheus_text(get_metrics().snapshot())
+            return ok_response(None, text=text)
+        if op == "stats":
+            loop = asyncio.get_running_loop()
+            stats = await loop.run_in_executor(None, self.router.stats)
+            return ok_response(None, stats=stats)
+        raise ProtocolError("UNKNOWN_OP", f"unknown op {op!r}")
+
+    @staticmethod
+    def _job_ref(request: dict) -> str:
+        job_id = request.get("job")
+        if not isinstance(job_id, str) or not job_id:
+            raise ProtocolError(
+                "BAD_ENVELOPE", "missing or non-string 'job'"
+            )
+        return job_id
+
+    async def _submit(self, request: dict) -> dict:
+        circuit = circuit_from_wire(request.get("circuit"))
+        batch = inputs_from_wire(request.get("inputs"), circuit)
+        num_inputs = request.get("num_inputs", 1)
+        if not isinstance(num_inputs, int) or num_inputs < 1:
+            raise ProtocolError(
+                "BAD_INPUTS",
+                f"'num_inputs' must be a positive integer, "
+                f"got {num_inputs!r}",
+            )
+        tenant = request.get("tenant", "default")
+        if not isinstance(tenant, str) or not tenant:
+            raise ProtocolError(
+                "BAD_ENVELOPE", "'tenant' must be a non-empty string"
+            )
+        priority = request.get("priority", 0)
+        if not isinstance(priority, int):
+            raise ProtocolError(
+                "BAD_ENVELOPE", "'priority' must be an integer"
+            )
+        deadline_s = request.get("deadline_s")
+        timeout_s = request.get("timeout_s")
+        for name, value in (("deadline_s", deadline_s),
+                            ("timeout_s", timeout_s)):
+            if value is not None and (
+                not isinstance(value, (int, float)) or value <= 0
+            ):
+                raise ProtocolError(
+                    "BAD_ENVELOPE", f"{name!r} must be a positive number"
+                )
+        options = request.get("options", [])
+        if not isinstance(options, list):
+            raise ProtocolError("BAD_ENVELOPE", "'options' must be a list")
+        loop = asyncio.get_running_loop()
+
+        def _do_submit():
+            deadline = (
+                self.router.clock() + float(deadline_s)
+                if deadline_s is not None else None
+            )
+            return self.router.submit(
+                circuit,
+                batch,
+                num_inputs=num_inputs,
+                tenant=tenant,
+                priority=priority,
+                deadline=deadline,
+                timeout_s=(
+                    float(timeout_s) if timeout_s is not None else None
+                ),
+                options=tuple(options),
+            )
+
+        job, shard = await loop.run_in_executor(None, _do_submit)
+        return ok_response(None, job=job.job_id, shard=shard)
+
+    async def _status(self, request: dict) -> dict:
+        job_id = self._job_ref(request)
+        loop = asyncio.get_running_loop()
+        info = await loop.run_in_executor(
+            None, self.router.describe, job_id
+        )
+        return ok_response(None, job=info)
+
+    async def _result(self, request: dict) -> dict:
+        job_id = self._job_ref(request)
+        wait = bool(request.get("wait", True))
+        timeout_s = request.get("timeout_s", 60.0)
+        if not isinstance(timeout_s, (int, float)) or timeout_s <= 0:
+            raise ProtocolError(
+                "BAD_ENVELOPE", "'timeout_s' must be a positive number"
+            )
+        timeout_s = min(float(timeout_s), MAX_RESULT_WAIT_S)
+        loop = asyncio.get_running_loop()
+        job = await loop.run_in_executor(None, self.router.job, job_id)
+        if wait:
+            deadline = time.monotonic() + timeout_s
+            while not job.is_terminal:
+                if time.monotonic() >= deadline:
+                    raise ProtocolError(
+                        "TIMEOUT",
+                        f"job {job_id} still {job.status.value} after "
+                        f"{timeout_s:g}s",
+                        status=job.status.value,
+                    )
+                await asyncio.sleep(0.003)
+                #: failover may have re-homed the job mid-wait
+                job = await loop.run_in_executor(
+                    None, self.router.job, job_id
+                )
+        status = job.status.value
+        if not job.is_terminal:
+            return ok_response(None, status=status, result=None)
+        if status == "done":
+            return ok_response(
+                None, status=status, result=encode_array(job.result),
+                job_id=job.job_id,
+            )
+        raise ProtocolError(
+            "JOB_FAILED",
+            job.error or f"job {job_id} ended {status}",
+            status=status,
+            evidence=job.evidence,
+        )
+
+    async def _cancel(self, request: dict) -> dict:
+        job_id = self._job_ref(request)
+        loop = asyncio.get_running_loop()
+        job = await loop.run_in_executor(
+            None, self.router.cancel, job_id
+        )
+        return ok_response(
+            None, job=job.job_id, status=job.status.value,
+            cancel_requested=job.cancel_requested,
+        )
+
+    async def _stream(
+        self, request: dict, writer: asyncio.StreamWriter
+    ) -> None:
+        """Switch the connection to a live lifecycle feed.
+
+        Sends an acknowledgement, then one frame per hub event starting
+        from ``from_seq`` (0 replays everything the server has seen).
+        Runs until the client disconnects or the server shuts down.
+        """
+        from_seq = request.get("from_seq", len(self.hub))
+        if not isinstance(from_seq, int) or from_seq < 0:
+            raise ProtocolError(
+                "BAD_ENVELOPE", "'from_seq' must be a non-negative integer"
+            )
+        writer.write(
+            encode_frame(
+                ok_response(
+                    request.get("id"), streaming=True, from_seq=from_seq
+                )
+            )
+        )
+        await writer.drain()
+        seq = from_seq
+        while not self._closed:
+            events = self.hub.since(seq)
+            if events:
+                for event in events:
+                    writer.write(
+                        encode_frame(
+                            {"v": 1, "stream": True, **event}
+                        )
+                    )
+                seq = events[-1]["seq"] + 1
+                await writer.drain()
+            else:
+                await asyncio.sleep(0.01)

@@ -31,11 +31,13 @@ import time
 from pathlib import Path
 
 #: every lifecycle stage, in nominal order (rejected/requeued are
-#: branches, ``worker_restart`` is a fleet event stamped with a pseudo
+#: branches, ``routed`` is the gateway's shard-placement record,
+#: ``worker_restart`` is a fleet event stamped with a pseudo
 #: ``worker-<wid>`` id; the last four are terminal)
 LIFECYCLE_STAGES = (
     "submitted",
     "rejected",
+    "routed",
     "admitted",
     "scheduled",
     "coalesced",

@@ -149,6 +149,25 @@ class Histogram:
     def p99(self) -> float:
         return self.quantile(0.99)
 
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other``'s samples into this histogram (exact: the fixed
+        bucket grid is shared, so merging is element-wise addition).
+
+        This is how per-shard SLO distributions aggregate into one
+        gateway-wide view without approximating percentiles-of-percentiles.
+        Returns ``self`` for chaining.
+        """
+        self.count += other.count
+        self.sum += other.sum
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        for index, weight in enumerate(other.buckets):
+            if weight:
+                self.buckets[index] += weight
+        return self
+
     def copy(self) -> "Histogram":
         other = Histogram()
         other.count = self.count

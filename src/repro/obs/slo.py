@@ -65,6 +65,19 @@ class _PriorityClass:
         self.deadline_misses = 0
         self.solo_retries = 0
 
+    def merge(self, other: "_PriorityClass") -> "_PriorityClass":
+        """Fold ``other``'s accumulation into this class (exact — the
+        histograms share one bucket grid)."""
+        self.latency.merge(other.latency)
+        self.queue_age.merge(other.queue_age)
+        self.done += other.done
+        self.failed += other.failed
+        self.quarantined += other.quarantined
+        self.deadline_jobs += other.deadline_jobs
+        self.deadline_misses += other.deadline_misses
+        self.solo_retries += other.solo_retries
+        return self
+
     def to_dict(self) -> dict:
         terminal = self.done + self.failed
         return {
@@ -104,9 +117,17 @@ class SLOTracker:
         assert slo.summary()["priorities"]["1"]["jobs"] == 1
     """
 
-    def __init__(self, metric_prefix: str = "service.job") -> None:
+    def __init__(
+        self,
+        metric_prefix: str = "service.job",
+        labels: dict | None = None,
+    ) -> None:
         self._lock = threading.Lock()
         self._prefix = metric_prefix
+        #: extra labels stamped on every mirrored metric family — the
+        #: gateway sets ``{"shard": "s0"}`` per shard, so one process-wide
+        #: Prometheus scrape carries every shard as a labeled series
+        self.labels = dict(labels or {})
         self._classes: dict[str, _PriorityClass] = {}
         self._overall = _PriorityClass()
         self.submitted = 0
@@ -146,7 +167,7 @@ class SLOTracker:
         if stage == "requeued":
             with self._lock:
                 self.requeued += 1
-            get_metrics().inc("service.requeued")
+            get_metrics().inc("service.requeued", **self.labels)
             return
         if stage == "quarantined":
             # dedicated failure bucket: counted, never fed into the
@@ -157,10 +178,11 @@ class SLOTracker:
                 self._class(priority).quarantined += 1
                 self._overall.quarantined += 1
             metrics = get_metrics()
-            metrics.inc("service.quarantined")
+            metrics.inc("service.quarantined", **self.labels)
             metrics.inc(
                 f"{self._prefix}.terminal",
                 priority=str(priority), outcome="quarantined",
+                **self.labels,
             )
             return
         if stage not in ("done", "failed"):
@@ -191,17 +213,70 @@ class SLOTracker:
         label = str(priority)
         if latency is not None:
             metrics.observe(
-                f"{self._prefix}.latency_s", latency, priority=label
+                f"{self._prefix}.latency_s", latency, priority=label,
+                **self.labels,
             )
         if queue_age is not None:
             metrics.observe(
-                f"{self._prefix}.queue_age_s", queue_age, priority=label
+                f"{self._prefix}.queue_age_s", queue_age, priority=label,
+                **self.labels,
             )
         metrics.inc(
-            f"{self._prefix}.terminal", priority=label, outcome=stage
+            f"{self._prefix}.terminal", priority=label, outcome=stage,
+            **self.labels,
         )
         if missed:
-            metrics.inc(f"{self._prefix}.deadline_miss", priority=label)
+            metrics.inc(
+                f"{self._prefix}.deadline_miss", priority=label,
+                **self.labels,
+            )
+
+    # -- aggregation ---------------------------------------------------------
+
+    def merge_from(self, other: "SLOTracker") -> "SLOTracker":
+        """Fold another tracker's accumulation into this one (exact).
+
+        Histogram merging is element-wise on the shared bucket grid, so
+        the merged percentiles are identical to what one tracker observing
+        the union stream would have reported — no
+        percentile-of-percentiles approximation.  Mirrored metrics are
+        *not* re-emitted (the source trackers already fed the registry).
+        """
+        with other._lock:
+            classes = {
+                key: cls for key, cls in other._classes.items()
+            }
+            counters = (
+                other.submitted, other.rejected, other.cancelled,
+                other.requeued,
+            )
+            overall = other._overall
+        with self._lock:
+            for key, cls in classes.items():
+                mine = self._classes.get(key)
+                if mine is None:
+                    mine = self._classes[key] = _PriorityClass()
+                mine.merge(cls)
+            self._overall.merge(overall)
+            self.submitted += counters[0]
+            self.rejected += counters[1]
+            self.cancelled += counters[2]
+            self.requeued += counters[3]
+        return self
+
+    @classmethod
+    def merged(cls, trackers) -> "SLOTracker":
+        """One aggregate view over several trackers (e.g. one per shard).
+
+        Example::
+
+            merged = SLOTracker.merged([shard_a.slo, shard_b.slo])
+            total = merged.summary()["done"]
+        """
+        agg = cls()
+        for tracker in trackers:
+            agg.merge_from(tracker)
+        return agg
 
     # -- reporting -----------------------------------------------------------
 

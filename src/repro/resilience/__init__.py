@@ -17,7 +17,9 @@ corruption without losing completed work.  This package supplies:
 * :mod:`repro.resilience.health` — per-batch NaN/norm-drift guard with
   warn/renormalize/fail policies;
 * :mod:`repro.resilience.events` — the event log every layer records into,
-  surfaced as ``SimulationResult.stats["resilience"]``.
+  surfaced as ``SimulationResult.stats["resilience"]``;
+* :mod:`repro.resilience.failover` — shard-death detection and queued-job
+  rescue for the gateway's multi-pool router.
 """
 
 from .checkpoint import (
@@ -39,6 +41,7 @@ from .faults import (
     get_fault_injector,
     set_fault_plan,
 )
+from .failover import RescuedJob, rescue_queued, shard_is_dead
 from .health import HEALTH_MODES, HealthPolicy, check_state_block
 from .retry import RetryPolicy, RetrySession
 
@@ -61,9 +64,12 @@ __all__ = [
     "HEALTH_MODES",
     "HealthPolicy",
     "load_checkpoint",
+    "rescue_queued",
+    "RescuedJob",
     "ResilienceLog",
     "RetryPolicy",
     "RetrySession",
     "save_checkpoint",
     "set_fault_plan",
+    "shard_is_dead",
 ]

@@ -246,13 +246,16 @@ def make_job(
     timeout_s: float | None = None,
     max_deliveries: int | None = None,
     options: tuple = (),
+    id_prefix: str = "",
 ) -> Job:
     """Construct a PENDING job with a durable content-addressed id.
 
     The id is ``job-<seq>-<sha256(circuit fingerprint ‖ batch
     bytes)[:12]>`` — ``seq`` orders jobs within a service, the digest
-    identifies their content across processes.  Validates that the batch
-    width matches the circuit before accepting.  Example::
+    identifies their content across processes.  A sharded service passes
+    ``id_prefix`` (e.g. ``"s1/"``) so ids stay unique fleet-wide and name
+    their home shard.  Validates that the batch width matches the circuit
+    before accepting.  Example::
 
         job = make_job(0, make_circuit("ghz", 3), zero_state_batch(3, 4))
         assert job.job_id.startswith("job-0-")
@@ -269,7 +272,7 @@ def make_job(
     if max_deliveries is not None and max_deliveries < 1:
         raise ServiceError("max_deliveries must be >= 1 when given")
     return Job(
-        job_id=job_id_for(seq, circuit, batch),
+        job_id=id_prefix + job_id_for(seq, circuit, batch),
         seq=seq,
         circuit=circuit,
         batch=batch,

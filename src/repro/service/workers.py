@@ -164,6 +164,7 @@ class BatchSimulationService:
         default_timeout_s: float | None = None,
         max_restarts: int = DEFAULT_MAX_RESTARTS,
         chaos=None,
+        shard: str | None = None,
     ) -> None:
         if num_workers < 1:
             raise ServiceError("service needs at least one worker")
@@ -178,6 +179,10 @@ class BatchSimulationService:
             raise ServiceError("default_timeout_s must be > 0 when given")
         self.max_deliveries = max_deliveries
         self.default_timeout_s = default_timeout_s
+        #: when this service is one shard of a gateway fleet: the shard
+        #: name prefixes job ids (``s1/job-0-…``) and labels the mirrored
+        #: SLO metric families (``{shard="s1"}``)
+        self.shard = shard
         self.max_restarts = max_restarts
         #: a :class:`~repro.testing.chaos_pool.ChaosSchedule` handed to the
         #: pool (process mode only; inert in serial mode)
@@ -205,7 +210,9 @@ class BatchSimulationService:
         #: private per-service lifecycle log + SLO fold (concurrent services
         #: never mix their jobs); shared with queue/scheduler/coalescer
         self.lifecycle = JobLifecycleLog(clock=clock)
-        self.slo = SLOTracker().attach(self.lifecycle)
+        self.slo = SLOTracker(
+            labels={"shard": shard} if shard is not None else None
+        ).attach(self.lifecycle)
         self.queue = JobQueue(
             max_depth=max_depth, clock=clock, lifecycle=self.lifecycle
         )
@@ -242,6 +249,15 @@ class BatchSimulationService:
         fingerprint (identical across the pool) plus per-job options."""
         extra = self._template._cache_extra() + tuple(options)
         return plan_fingerprint(circuit, extra)
+
+    def group_key_for(self, circuit: Circuit, options: tuple = ()) -> str:
+        """Public view of the coalescing key :meth:`submit` would assign.
+
+        The shard router hashes this fingerprint to pick a home shard, so
+        jobs that would coalesce also co-locate (and hit the same plan
+        cache).  Pure: computes the key without submitting anything.
+        """
+        return self._group_key(circuit, tuple(options))
 
     def submit(
         self,
@@ -293,6 +309,7 @@ class BatchSimulationService:
             ),
             max_deliveries=max_deliveries,
             options=options,
+            id_prefix=f"{self.shard}/" if self.shard is not None else "",
         )
         job.group_key = self._group_key(circuit, job.options)
         self.lifecycle.emit(

@@ -297,3 +297,69 @@ def test_trace_serve_merged_timeline(tmp_path, capsys):
     job_spans = [e for e in events
                  if e.get("args", {}).get("job_ids")]
     assert job_spans  # correlation attrs survive the chrome-trace export
+
+
+def test_metrics_pipes_through_stdin_and_stdout(tmp_path, capsys,
+                                                monkeypatch):
+    """``metrics --in - --out -`` reads JSONL from stdin and writes the
+    Prometheus text to stdout, so the command composes in a pipeline."""
+    import io
+
+    from repro.obs import parse_prometheus_text
+
+    jsonl = tmp_path / "metrics.jsonl"
+    assert main(["simulate", "--family", "ghz", "-n", "5", "--batches", "1",
+                 "--batch-size", "4", "--execute",
+                 "--metrics-out", str(jsonl)]) == 0
+    capsys.readouterr()
+    monkeypatch.setattr("sys.stdin", io.StringIO(jsonl.read_text()))
+    rc = main(["metrics", "--in", "-", "--out", "-"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "wrote" not in out  # the text itself IS the output
+    doc = parse_prometheus_text(out)
+    assert doc["samples"]
+
+
+def test_status_reads_stats_from_stdin(tmp_path, capsys, monkeypatch):
+    import io
+
+    stats = tmp_path / "serve.json"
+    assert main(["serve", "--families", "qft", "-n", "5", "--jobs", "4",
+                 "--seed", "9", "--stats-json", str(stats)]) == 0
+    capsys.readouterr()
+    monkeypatch.setattr("sys.stdin", io.StringIO(stats.read_text()))
+    rc = main(["status", "--stats", "-"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "jobs      :" in out and "4 submitted" in out
+
+
+def test_status_needs_a_source():
+    with pytest.raises(SystemExit, match="--stats PATH"):
+        main(["status"])
+
+
+def test_submit_and_status_over_tcp(capsys):
+    """``repro submit --connect`` against a live gateway matches the
+    in-process ``repro submit`` output contract, and ``repro status
+    --connect`` renders the fleet line."""
+    from tests.test_gateway_server import ServerHarness
+
+    harness = ServerHarness(num_shards=2)
+    address = f"127.0.0.1:{harness.port}"
+    try:
+        rc = main(["submit", "--family", "ghz", "-n", "5", "--inputs", "3",
+                   "--connect", address, "--tenant", "acme"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "submitted :" in out and "tenant acme" in out
+        assert "status    : done" in out and "shard s" in out
+        assert "result    : 3 output state(s)" in out
+        rc = main(["status", "--connect", address])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fleet     : 2 shard(s)" in out
+        assert "1 submitted, 1 done" in out
+    finally:
+        harness.stop()

@@ -1,0 +1,170 @@
+"""Extension bench — speed vs fidelity ablation of the approximate tier.
+
+Sweeps fidelity budgets {1.0, 0.999, 0.99, 0.9} across circuit families
+and measures what budgeted DD pruning (:mod:`repro.approx`) buys: fewer
+DD nodes, narrower ELL matrices (fewer MACs per input column), and lower
+modeled simulation time — against what it costs, the measured end-to-end
+plan fidelity.
+
+The headline family is ``vqe_finetune``: a near-converged variational
+ansatz whose rotation angles are tiny, so the fused-gate DDs carry many
+near-zero branches a small fidelity budget can drop.  Structured
+circuits (QFT, GHZ) sit at the other extreme — every edge weight has
+unit magnitude, nothing is prunable at any budget, and the bench shows
+the tier degrading to exact instead of silently losing fidelity.
+
+Asserts:
+
+* ``achieved >= budget`` for every (family, budget) run — the ledger's
+  end-to-end guarantee, measured not assumed;
+* budget 1.0 is bit-identical to an unconfigured simulator run;
+* at budget 0.99 at least one family reaches a >= 2x MAC reduction.
+
+Results are written to ``BENCH_approx_ablation.json`` next to this
+module, so the accuracy/speed frontier is machine-readable across PRs
+(the README's "accuracy tiers" table quotes it).
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+from conftest import run_once
+
+from repro.approx import prune_plan
+from repro.circuit.generators import make_circuit
+from repro.dd.manager import DDManager
+from repro.fusion.bqcs import bqcs_fusion
+from repro.fusion.cost import total_nonzeros
+from repro.sim.base import BatchSpec
+from repro.sim.bqsim import BQSimSimulator
+
+RESULT_JSON = Path(__file__).parent / "BENCH_approx_ablation.json"
+
+BUDGETS = (1.0, 0.999, 0.99, 0.9)
+
+FAMILIES = {
+    "small": (
+        ("vqe_finetune", 6),
+        ("vqe", 6),
+        ("supremacy", 6),
+        ("qft", 6),
+    ),
+    "medium": (
+        ("vqe_finetune", 10),
+        ("vqe", 10),
+        ("supremacy", 10),
+        ("qft", 10),
+    ),
+    "paper": (
+        ("vqe_finetune", 14),
+        ("vqe", 14),
+        ("supremacy", 12),
+        ("qft", 14),
+    ),
+}
+
+
+def plan_macs(mgr, plan) -> float:
+    """Nonzero multiply-accumulates one input column costs under ``plan``."""
+    return sum(total_nonzeros(mgr, fused.dd) for fused in plan.gates)
+
+
+def approx_ablation(scale: str = "small") -> list[dict]:
+    rows: list[dict] = []
+    for family, n in FAMILIES.get(scale, FAMILIES["small"]):
+        circuit = make_circuit(family, n)
+        spec = BatchSpec(num_batches=1, batch_size=8, seed=0)
+        exact_sim = BQSimSimulator()
+        exact_run = exact_sim.run(circuit, spec, execute=True)
+
+        mgr = DDManager(n)
+        exact_plan = bqcs_fusion(mgr, circuit)
+        exact_macs = plan_macs(mgr, exact_plan)
+
+        for budget in BUDGETS:
+            pruned_plan, ledger = prune_plan(mgr, exact_plan, budget)
+            macs = plan_macs(mgr, pruned_plan)
+            sim = BQSimSimulator(fidelity=budget)
+            run = sim.run(circuit, spec, execute=True)
+            approx = run.stats["approx"]
+            bit_identical = all(
+                np.array_equal(a, b)
+                for a, b in zip(run.outputs, exact_run.outputs)
+            )
+            rows.append({
+                "family": family,
+                "num_qubits": n,
+                "budget": budget,
+                "achieved": approx["achieved"],
+                "pruned_gates": approx["pruned_gates"],
+                "dropped_branches": approx["dropped_branches"],
+                "nodes_removed": approx["nodes_removed"],
+                "macs": macs,
+                "macs_exact": exact_macs,
+                "mac_reduction": exact_macs / macs if macs else float("inf"),
+                "cost": pruned_plan.total_cost,
+                "cost_exact": exact_plan.total_cost,
+                "modeled_s": run.modeled_time,
+                "modeled_s_exact": exact_run.modeled_time,
+                "modeled_speedup": (
+                    exact_run.modeled_time / run.modeled_time
+                    if run.modeled_time else 1.0
+                ),
+                "bit_identical_to_exact": bit_identical,
+            })
+    return rows
+
+
+def _write_artifact(rows: list[dict], scale: str) -> None:
+    best = max(
+        (r for r in rows if r["budget"] == 0.99),
+        key=lambda r: r["mac_reduction"],
+    )
+    RESULT_JSON.write_text(json.dumps(
+        {
+            "bench": "approx_ablation",
+            "scale": scale,
+            "budgets": list(BUDGETS),
+            "headline": {
+                "family": best["family"],
+                "num_qubits": best["num_qubits"],
+                "budget": best["budget"],
+                "achieved": best["achieved"],
+                "mac_reduction": best["mac_reduction"],
+                "modeled_speedup": best["modeled_speedup"],
+            },
+            "rows": rows,
+        },
+        indent=2,
+    ) + "\n")
+
+
+def test_approx_ablation(benchmark, scale):
+    rows = run_once(benchmark, approx_ablation, scale)
+    for row in rows:
+        # the ledger guarantee, measured per run
+        assert row["achieved"] >= row["budget"] - 1e-12, row
+        if row["budget"] == 1.0:
+            assert row["bit_identical_to_exact"], row
+            assert row["macs"] == row["macs_exact"], row
+            assert row["pruned_gates"] == 0, row
+    best = max(
+        (r for r in rows if r["budget"] == 0.99),
+        key=lambda r: r["mac_reduction"],
+    )
+    assert best["mac_reduction"] >= 2.0, best
+    _write_artifact(rows, scale)
+
+
+if __name__ == "__main__":
+    import sys
+
+    out = approx_ablation(sys.argv[1] if len(sys.argv) > 1 else "small")
+    _write_artifact(out, sys.argv[1] if len(sys.argv) > 1 else "small")
+    for r in out:
+        print(f"{r['family']:>14} n={r['num_qubits']:<3} "
+              f"budget={r['budget']:<6g} achieved={r['achieved']:.6f} "
+              f"macs {r['macs_exact']:.0f}->{r['macs']:.0f} "
+              f"({r['mac_reduction']:.2f}x) "
+              f"modeled {r['modeled_speedup']:.2f}x")

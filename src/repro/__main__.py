@@ -75,6 +75,14 @@ def _run_simulation(args):
     max_splits = getattr(args, "max_splits", None)
     if max_splits is not None:
         bqsim_kwargs["max_splits"] = max_splits
+    fidelity = getattr(args, "fidelity", 1.0)
+    if fidelity != 1.0:
+        if args.simulator != "bqsim":
+            raise SystemExit(
+                "--fidelity below 1.0 is only supported with "
+                "--simulator bqsim"
+            )
+        bqsim_kwargs["fidelity"] = fidelity
     simulators = make_simulators(engine=engine, **bqsim_kwargs)
     simulator = simulators[args.simulator]
     if faults is not None:
@@ -157,6 +165,12 @@ def cmd_simulate(args) -> int:
         norm = float(abs(result.outputs[0][:, 0] ** 2).sum())
         print(f"amplitudes: computed ({len(result.outputs)} output batches, "
               f"first column norm {norm:.6f})")
+    approx = result.stats.get("approx") or {}
+    if approx.get("pruned_gates"):
+        print(f"approx    : budget {approx['budget']:g}, "
+              f"achieved {approx['achieved']:.6f} "
+              f"({approx['pruned_gates']} gate(s) pruned, "
+              f"{approx['dropped_branches']} branch(es) dropped)")
     resilience = result.stats.get("resilience") or {}
     if resilience.get("counts"):
         parts = ", ".join(
@@ -408,6 +422,7 @@ def _submit_remote(args) -> int:
             tenant=args.tenant,
             priority=args.priority,
             timeout_s=args.timeout,
+            fidelity=args.fidelity,
         )
         print(f"submitted : {job_id} ({circuit.name}, {args.inputs} "
               f"input(s), priority {args.priority}, "
@@ -417,6 +432,9 @@ def _submit_remote(args) -> int:
         norm = float(abs(amplitudes[:, 0] ** 2).sum())
         print(f"status    : {info['status']} (shard {info['shard']}, "
               f"group {info['group_key']}, attempts {info['attempts']})")
+        if args.fidelity < 1.0:
+            print(f"fidelity  : budget {info['fidelity']:g}, "
+                  f"achieved {info['achieved_fidelity']:.6f}")
         print(f"result    : {amplitudes.shape[1]} output state(s), "
               f"first column norm {norm:.6f}")
         if args.prom_out:
@@ -450,6 +468,7 @@ def cmd_submit(args) -> int:
         job_id = client.submit(
             circuit, num_inputs=args.inputs, priority=args.priority,
             timeout_s=args.timeout, max_deliveries=args.max_deliveries,
+            fidelity=args.fidelity,
         )
         print(f"submitted : {job_id} ({circuit.name}, {args.inputs} "
               f"input(s), priority {args.priority})")
@@ -458,6 +477,9 @@ def cmd_submit(args) -> int:
         norm = float(abs(amplitudes[:, 0] ** 2).sum())
         print(f"status    : {job.status.value} "
               f"(group {job.group_key[:12]}, attempts {job.attempts})")
+        if job.fidelity < 1.0:
+            print(f"fidelity  : budget {job.fidelity:g}, "
+                  f"achieved {job.achieved_fidelity:.6f}")
         print(f"result    : {amplitudes.shape[1]} output state(s), "
               f"first column norm {norm:.6f}")
         if args.stats_json:
@@ -735,6 +757,11 @@ def main(argv: list[str] | None = None) -> int:
         parser.add_argument("--resume", default=None, metavar="CKPT",
                             help="resume a bqsim run from a checkpoint "
                                  "archive")
+        parser.add_argument("--fidelity", type=float, default=1.0,
+                            metavar="F",
+                            help="end-to-end fidelity budget in (0, 1]; "
+                                 "below 1.0 enables budgeted DD pruning "
+                                 "(bqsim only, see docs/approximation.md)")
         parser.add_argument("--max-splits", type=int, default=None,
                             help="allow up to 2^N-way batch splitting on OOM "
                                  "(bqsim only)")
@@ -864,6 +891,10 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--inputs", type=int, default=4,
                    help="input states in the job's batch")
     p.add_argument("--priority", type=int, default=0)
+    p.add_argument("--fidelity", type=float, default=1.0, metavar="F",
+                   help="end-to-end fidelity budget in (0, 1]; below 1.0 "
+                        "the job runs on the approximate tier and the "
+                        "result reports its achieved fidelity")
     p.add_argument("--timeout", type=float, default=None, metavar="S",
                    help="per-job execution deadline in seconds "
                         "(process mode: a hung worker is killed)")

@@ -1,0 +1,39 @@
+"""Fidelity-budgeted approximate simulation (``repro.approx``).
+
+The approximation tier trades *bounded* fidelity for smaller decision
+diagrams: low-weight DD branches are pruned and renormalized, every
+pruned gate's fidelity is measured exactly on the DDs, and a
+:class:`FidelityLedger` composes the per-gate fidelities into an
+end-to-end guarantee ``achieved >= budget``.  Smaller DDs mean lower
+BQCS cost (max NZR), narrower ELL matrices, and fewer MACs per
+amplitude — the speedup side of the ablation in
+``benchmarks/bench_ext_approx.py``.
+
+A budget of ``1.0`` is the exact tier: the plan is passed through
+untouched and results are bit-identical to a run without the pass.
+Budgets below ``1.0`` partition jobs into fidelity classes throughout
+the serving stack (plan fingerprints, the coalescer, shard placement),
+so an exact job never lands in an approximate mega-batch.
+
+See ``docs/approximation.md`` for the user guide.
+"""
+
+from .prune import (
+    THRESHOLD_LADDER,
+    FidelityLedger,
+    GateApproximation,
+    gate_fidelity,
+    prune_edge,
+    prune_plan,
+    renormalize,
+)
+
+__all__ = [
+    "FidelityLedger",
+    "GateApproximation",
+    "gate_fidelity",
+    "prune_edge",
+    "prune_plan",
+    "renormalize",
+    "THRESHOLD_LADDER",
+]

@@ -81,6 +81,36 @@ def routing(num_qubits: int, seed: int = 0) -> Circuit:
     return circuit
 
 
+def vqe_finetune(
+    num_qubits: int,
+    seed: int = 0,
+    reps: int = 2,
+    angle_scale: float = 0.01,
+) -> Circuit:
+    """Near-converged VQE ansatz: the fine-tuning-step workload.
+
+    Same TwoLocal(ry, cx, linear) shape as :func:`vqe`, but rotation
+    angles are drawn within ``angle_scale * pi`` of zero — the circuit an
+    optimizer evaluates late in a variational run, when every parameter
+    update is a small correction.  The rotations are nearly identity, so
+    the fidelity-budgeted approximation tier (:mod:`repro.approx`) can
+    prune them to diagonal gates at tiny measured fidelity cost; this is
+    the headline family of ``benchmarks/bench_ext_approx.py``.
+    """
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(num_qubits, name=f"vqe_finetune_n{num_qubits}")
+    pairs = [(i, i + 1) for i in range(num_qubits - 1)]
+    bound = angle_scale * math.pi
+    for _ in range(reps):
+        for q in range(num_qubits):
+            circuit.ry(float(rng.uniform(-bound, bound)), q)
+        for a, b in pairs:
+            circuit.cx(a, b)
+    for q in range(num_qubits):
+        circuit.ry(float(rng.uniform(-bound, bound)), q)
+    return circuit
+
+
 def supremacy(num_qubits: int, depth: int = 8, seed: int = 0) -> Circuit:
     """Google-quantum-supremacy-style random circuit.
 
@@ -169,6 +199,7 @@ FAMILIES = {
     "qaoa": qaoa_maxcut,
     "qnn": qnn,
     "vqe": vqe,
+    "vqe_finetune": vqe_finetune,
     "portfolio": portfolio,
     "graphstate": graphstate,
     "tsp": tsp,

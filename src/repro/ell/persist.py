@@ -18,6 +18,7 @@ Two formats are supported:
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import zipfile
 import zlib
@@ -39,13 +40,18 @@ def plan_fingerprint(circuit, extra: tuple = ()) -> str:
 
     Combines :meth:`Circuit.fingerprint` — qubit count plus every gate's
     name, operands, and exact parameter bits — with a hashed ``extra``
-    tuple of compilation settings (fusion flags, tau, ...).  Everything
+    tuple of compilation settings.  For the BQSim simulator the tuple is
+    its ``_cache_extra()``: fusion algorithm, cost cap, tau, ELL on/off,
+    plus — only when below 1.0 — the requested fidelity budget; the
+    serving layer appends per-job coalescing options on top.  Everything
     that names a compiled plan goes through this one function: the
     :class:`~repro.sim.base.PlanCache` memory and disk tiers key entries
-    with it, archives record it as :attr:`CompiledPlan.fingerprint`, and
-    the serving layer's coalescer uses it to decide which queued jobs can
-    share one mega-batch — so "same fingerprint" always means "same
-    compiled plan".
+    with it, archives record it as :attr:`CompiledPlan.fingerprint`, the
+    serving layer's coalescer uses it to decide which queued jobs can
+    share one mega-batch (so exact jobs never coalesce with approximate
+    ones, and different budgets never coalesce with each other), and the
+    gateway's consistent-hash router uses it to pick a home shard — so
+    "same fingerprint" always means "same compiled plan" at every layer.
 
     Two structurally equal circuits fingerprint equally regardless of
     object identity, display name, or process; any gate edit, parameter
@@ -216,6 +222,10 @@ class CompiledPlan:
     gate_nnz: tuple[float, ...]
     conv_infos: tuple[dict, ...]
     matrices: tuple[ELLMatrix, ...] | None = None
+    #: fidelity-ledger summary of the approximation pass that produced this
+    #: plan (``None`` for exact plans and archives predating the pass); a
+    #: warm process reports ``achieved_fidelity`` without re-pruning
+    approx: dict | None = None
 
     def __len__(self) -> int:
         return len(self.gate_costs)
@@ -279,6 +289,8 @@ def save_compiled_plan(plan: CompiledPlan, path: str | Path) -> Path:
         ),
         "has_matrices": np.array(1 if plan.has_matrices else 0),
     }
+    if plan.approx is not None:
+        payload["approx_json"] = np.array(json.dumps(plan.approx))
     if plan.matrices is not None:
         for i, matrix in enumerate(plan.matrices):
             payload[f"values_{i}"] = matrix.values
@@ -322,6 +334,15 @@ def load_compiled_plan(path: str | Path) -> CompiledPlan:
                 _read(data, "conv_times", "plan"),
             )
         )
+        approx: dict | None = None
+        if "approx_json" in getattr(data, "files", ()):
+            try:
+                approx = json.loads(str(_read(data, "approx_json", "plan")))
+            except (TypeError, ValueError) as exc:
+                raise ConversionError(
+                    f"plan archive entry 'approx_json' is corrupt: {exc}",
+                    key="approx_json",
+                ) from exc
         matrices: tuple[ELLMatrix, ...] | None = None
         if int(_read(data, "has_matrices", "plan")):
             loaded = []
@@ -342,4 +363,5 @@ def load_compiled_plan(path: str | Path) -> CompiledPlan:
             gate_nnz=tuple(float(x) for x in _read(data, "gate_nnz", "plan")),
             conv_infos=conv_infos,
             matrices=matrices,
+            approx=approx,
         )

@@ -81,6 +81,12 @@ class NumericalError(SimulationError):
     beyond tolerance under the ``fail`` policy)."""
 
 
+class ApproximationError(SimulationError):
+    """Fidelity-budgeted approximation misuse or guarantee violation: a
+    budget outside ``(0, 1]``, or a pruning step that would drop the
+    composed plan fidelity below the requested budget."""
+
+
 class ServiceError(ReproError):
     """Batch-simulation-service misuse: unknown job id, illegal lifecycle
     transition, or a request against a terminal/failed job."""

@@ -158,8 +158,14 @@ class AsyncGatewayClient:
         deadline_s: float | None = None,
         timeout_s: float | None = None,
         options: tuple = (),
+        fidelity: float = 1.0,
     ) -> str:
-        """Submit one job; returns its (shard-prefixed) job id."""
+        """Submit one job; returns its (shard-prefixed) job id.
+
+        ``fidelity`` is the end-to-end fidelity budget in ``(0, 1]``;
+        1.0 (the default) requests the exact tier, anything lower opts
+        into fidelity-budgeted approximation (see docs/approximation.md).
+        """
         payload: dict = {
             "circuit": self._circuit_wire(
                 circuit, qasm, family, num_qubits, seed
@@ -176,6 +182,8 @@ class AsyncGatewayClient:
             payload["deadline_s"] = deadline_s
         if timeout_s is not None:
             payload["timeout_s"] = timeout_s
+        if fidelity != 1.0:
+            payload["fidelity"] = float(fidelity)
         return (await self._call("submit", **payload))["job"]
 
     async def status(self, job_id: str) -> dict:

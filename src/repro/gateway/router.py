@@ -204,9 +204,13 @@ class ShardRouter:
             raise GatewayError("no live shards")
         return live[0]
 
-    def group_key_for(self, circuit, options: tuple = ()) -> str:
+    def group_key_for(
+        self, circuit, options: tuple = (), fidelity: float = 1.0
+    ) -> str:
         """The fleet-wide coalescing key (identical on every shard)."""
-        return self._any_live().service.group_key_for(circuit, options)
+        return self._any_live().service.group_key_for(
+            circuit, options, fidelity
+        )
 
     def _place(self, group_key: str) -> Shard:
         live = self._live_shards()
@@ -231,6 +235,7 @@ class ShardRouter:
         timeout_s: float | None = None,
         max_deliveries: int | None = None,
         options: tuple = (),
+        fidelity: float = 1.0,
     ):
         """Admit one job onto its home shard; returns ``(job, shard_name)``.
 
@@ -239,13 +244,16 @@ class ShardRouter:
         the home shard's queue depth (``reason="backpressure"``, with a
         retry hint scaled to the queue's drain rate).  The job id is
         shard-prefixed (``s1/job-…``) and doubles as the public id.
+        ``fidelity`` (a budget in ``(0, 1]``, default exact) joins the
+        group key when below 1.0, so approximate jobs route to their
+        fidelity class's home shard and never coalesce with exact ones.
         """
         if self._closed:
             raise GatewayError("router is closed")
         if self.quotas is not None:
             self.quotas.admit(tenant)
             priority += self.quotas.priority_offset(tenant)
-        group_key = self.group_key_for(circuit, tuple(options))
+        group_key = self.group_key_for(circuit, tuple(options), fidelity)
         shard = self._place(group_key)
         try:
             with shard.lock:
@@ -258,6 +266,7 @@ class ShardRouter:
                     timeout_s=timeout_s,
                     max_deliveries=max_deliveries,
                     options=tuple(options),
+                    fidelity=fidelity,
                 )
         except RetryLater:
             raise
@@ -428,7 +437,9 @@ class ShardRouter:
 
     def _resubmit(self, spec) -> Shard | None:
         """Place one rescued job on a surviving shard (None if refused)."""
-        group_key = self.group_key_for(spec.circuit, spec.options)
+        group_key = self.group_key_for(
+            spec.circuit, spec.options, spec.fidelity
+        )
         try:
             target = self._place(group_key)
             with target.lock:
@@ -440,6 +451,7 @@ class ShardRouter:
                     timeout_s=spec.timeout_s,
                     max_deliveries=spec.max_deliveries,
                     options=spec.options,
+                    fidelity=spec.fidelity,
                 )
         except (AdmissionError, GatewayError):
             # the survivor is saturated: the rescued job stays cancelled

@@ -375,6 +375,16 @@ class GatewayServer:
                 raise ProtocolError(
                     "BAD_ENVELOPE", f"{name!r} must be a positive number"
                 )
+        fidelity = request.get("fidelity", 1.0)
+        if (
+            not isinstance(fidelity, (int, float))
+            or isinstance(fidelity, bool)
+            or not 0.0 < fidelity <= 1.0
+        ):
+            raise ProtocolError(
+                "BAD_ENVELOPE",
+                f"'fidelity' must be a number in (0, 1], got {fidelity!r}",
+            )
         options = request.get("options", [])
         if not isinstance(options, list):
             raise ProtocolError("BAD_ENVELOPE", "'options' must be a list")
@@ -396,6 +406,7 @@ class GatewayServer:
                     float(timeout_s) if timeout_s is not None else None
                 ),
                 options=tuple(options),
+                fidelity=float(fidelity),
             )
 
         job, shard = await loop.run_in_executor(None, _do_submit)
@@ -442,6 +453,8 @@ class GatewayServer:
             return ok_response(
                 None, status=status, result=encode_array(job.result),
                 job_id=job.job_id,
+                fidelity=job.fidelity,
+                achieved_fidelity=job.achieved_fidelity,
             )
         raise ProtocolError(
             "JOB_FAILED",

@@ -11,6 +11,9 @@ into the numbers an operator alarms on:
   absolute deadline, over all deadline-carrying jobs;
 * **degradation rate** — jobs that completed only via the per-job
   isolation fallback (``solo_retry``), over all terminal jobs;
+* **fidelity attainment** — approximate-tier jobs (requested fidelity
+  budget below 1.0) whose run's measured ``achieved_fidelity`` met the
+  budget, over all completed approximate jobs, per priority class;
 * **flow counters** — submitted / rejected / done / failed / cancelled /
   requeued / quarantined (quarantined jobs count in a dedicated failure
   bucket and never feed the latency histograms).
@@ -53,6 +56,7 @@ class _PriorityClass:
     __slots__ = (
         "latency", "queue_age", "done", "failed", "quarantined",
         "deadline_jobs", "deadline_misses", "solo_retries",
+        "approx_jobs", "fidelity_attained",
     )
 
     def __init__(self) -> None:
@@ -64,6 +68,8 @@ class _PriorityClass:
         self.deadline_jobs = 0
         self.deadline_misses = 0
         self.solo_retries = 0
+        self.approx_jobs = 0
+        self.fidelity_attained = 0
 
     def merge(self, other: "_PriorityClass") -> "_PriorityClass":
         """Fold ``other``'s accumulation into this class (exact — the
@@ -76,6 +82,8 @@ class _PriorityClass:
         self.deadline_jobs += other.deadline_jobs
         self.deadline_misses += other.deadline_misses
         self.solo_retries += other.solo_retries
+        self.approx_jobs += other.approx_jobs
+        self.fidelity_attained += other.fidelity_attained
         return self
 
     def to_dict(self) -> dict:
@@ -96,6 +104,14 @@ class _PriorityClass:
             "solo_retries": self.solo_retries,
             "degraded_rate": (
                 self.solo_retries / terminal if terminal else 0.0
+            ),
+            "approx_jobs": self.approx_jobs,
+            "fidelity_attained": self.fidelity_attained,
+            # vacuously 1.0 for all-exact traffic: there is no budget
+            # to miss, so the attainment SLO is trivially met
+            "fidelity_attainment_rate": (
+                self.fidelity_attained / self.approx_jobs
+                if self.approx_jobs else 1.0
             ),
         }
 
@@ -193,6 +209,12 @@ class SLOTracker:
         had_deadline = event.get("deadline") is not None
         missed = bool(event.get("deadline_miss"))
         solo = bool(event.get("solo_retry"))
+        fidelity = event.get("fidelity")
+        achieved = event.get("achieved_fidelity")
+        approx = (
+            stage == "done" and fidelity is not None and fidelity < 1.0
+        )
+        attained = approx and achieved is not None and achieved >= fidelity
         with self._lock:
             for cls in (self._class(priority), self._overall):
                 if stage == "done":
@@ -207,6 +229,8 @@ class SLOTracker:
                     cls.deadline_jobs += 1
                     cls.deadline_misses += missed
                 cls.solo_retries += solo
+                cls.approx_jobs += approx
+                cls.fidelity_attained += attained
         # mirror into the global registry as labeled families so the
         # Prometheus exporter scrapes the same distributions
         metrics = get_metrics()
@@ -228,6 +252,13 @@ class SLOTracker:
         if missed:
             metrics.inc(
                 f"{self._prefix}.deadline_miss", priority=label,
+                **self.labels,
+            )
+        if approx:
+            metrics.inc(
+                f"{self._prefix}.fidelity_attained",
+                priority=label,
+                outcome="attained" if attained else "missed",
                 **self.labels,
             )
 
@@ -308,5 +339,10 @@ class SLOTracker:
                 "deadline_miss_rate": overall["deadline_miss_rate"],
                 "solo_retries": overall["solo_retries"],
                 "degraded_rate": overall["degraded_rate"],
+                "approx_jobs": overall["approx_jobs"],
+                "fidelity_attained": overall["fidelity_attained"],
+                "fidelity_attainment_rate": (
+                    overall["fidelity_attainment_rate"]
+                ),
                 "priorities": priorities,
             }

@@ -62,6 +62,9 @@ class RescuedJob:
     timeout_s: float | None = None
     max_deliveries: int | None = None
     options: tuple = ()
+    #: requested fidelity budget — preserved across failover so the job
+    #: re-homes into the same fidelity class it was submitted under
+    fidelity: float = 1.0
     evidence: list = field(default_factory=list)
 
 
@@ -87,6 +90,7 @@ def rescue_queued(service, shard: str = "") -> list[RescuedJob]:
                 timeout_s=job.timeout_s,
                 max_deliveries=job.max_deliveries,
                 options=job.options,
+                fidelity=job.fidelity,
                 evidence=list(job.evidence),
             )
         )

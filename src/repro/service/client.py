@@ -63,18 +63,22 @@ class ServiceClient:
         timeout_s: float | None = None,
         max_deliveries: int | None = None,
         options: tuple = (),
+        fidelity: float = 1.0,
     ) -> str:
         """Enqueue a job and return its durable id (non-blocking).
 
         ``timeout_s`` bounds execution once dispatched (process mode: a
         hung worker is killed and the job fails with timeout evidence);
-        ``max_deliveries`` overrides the service's redelivery budget.
+        ``max_deliveries`` overrides the service's redelivery budget;
+        ``fidelity`` is the end-to-end fidelity budget in ``(0, 1]``
+        (1.0 = exact tier, see docs/approximation.md).
         """
         job = self.service.submit(
             circuit, batch,
             num_inputs=num_inputs, priority=priority,
             deadline=deadline, timeout_s=timeout_s,
             max_deliveries=max_deliveries, options=options,
+            fidelity=fidelity,
         )
         return job.job_id
 

@@ -3,11 +3,25 @@
 The paper's speedup comes from pushing *batches* of inputs through one
 compiled circuit (amortizing fusion, conversion, and launch overhead);
 the coalescer moves that opportunity up a layer, to independently
-submitted jobs.  Queued jobs whose circuits compile to the same plan —
-same :func:`~repro.ell.persist.plan_fingerprint`, same per-job options —
-are concatenated column-wise into one **mega-batch**, executed by a
-single :meth:`BQSimSimulator.run` call, and scattered back to per-job
-results.
+submitted jobs.  Queued jobs whose circuits compile to the same plan are
+concatenated column-wise into one **mega-batch**, executed by a single
+:meth:`BQSimSimulator.run` call, and scattered back to per-job results.
+
+A mega-batch is partitioned by the job **group key** — the
+:func:`~repro.ell.persist.plan_fingerprint` over *all* of:
+
+* the circuit structure (gates, parameters, qubit count);
+* the simulator's compilation settings (fusion algorithm, cost cap,
+  sparsity threshold, ELL on/off — the ``_cache_extra()`` tuple);
+* the per-job coalescing ``options``;
+* the **fidelity class**: a job's requested fidelity budget joins the
+  fingerprint whenever it is below 1.0, so exact jobs never share a
+  mega-batch (or a compiled plan) with approximate jobs, and two
+  different budgets never share either;
+* in a gateway fleet, the **shard**: routing assigns each group key to
+  one home shard, so a group never spans services.
+
+Two jobs coalesce iff every one of these attributes matches.
 
 Correctness invariant (tested property-style): every ELL spMM backend
 computes each output column from its input column alone, so coalescing,
@@ -139,10 +153,15 @@ class Coalescer:
     def build_group(self, head: Job, ranked: list[Job]) -> CoalescedGroup:
         """Coalesce ``head`` with every compatible job in ``ranked`` order.
 
-        Compatibility is exactly "same group key" (plan fingerprint +
-        options, stamped at admission); the group grows until the column
-        budget for its qubit count — or ``max_jobs`` — is exhausted.
-        Members are marked COALESCED.
+        Compatibility is exactly "same group key", stamped at admission.
+        The key is the plan fingerprint over circuit structure,
+        compilation settings, per-job options, and — when below 1.0 —
+        the fidelity budget (see the module docstring for the full
+        attribute list; ``tests/test_approx.py`` regression-tests that
+        this documented list matches
+        :meth:`~repro.service.workers.BatchSimulationService.group_key_for`).
+        The group grows until the column budget for its qubit count — or
+        ``max_jobs`` — is exhausted.  Members are marked COALESCED.
         """
         budget = column_budget(self.gpu, head.num_qubits, self.max_columns)
         members = [head]

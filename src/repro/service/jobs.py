@@ -137,6 +137,13 @@ class Job:
     timeout_s: float | None = None  # execution deadline once dispatched
     max_deliveries: int | None = None  # None = the service's default
     options: tuple = ()  # extra coalescing compatibility settings
+    #: requested end-to-end fidelity budget in (0, 1]; 1.0 = exact tier.
+    #: Part of the coalescing group key (via the plan fingerprint), so an
+    #: exact job never lands in an approximate mega-batch.
+    fidelity: float = 1.0
+    #: measured plan fidelity of the run that produced ``result`` (from
+    #: ``stats["approx"]["achieved"]``); always >= ``fidelity``
+    achieved_fidelity: float | None = None
     status: JobStatus = JobStatus.PENDING
     submitted_at: float = 0.0  # set at admission
     started_at: float | None = None
@@ -224,6 +231,8 @@ class Job:
             "attempts": self.attempts,
             "delivery_count": self.delivery_count,
             "timeout_s": self.timeout_s,
+            "fidelity": self.fidelity,
+            "achieved_fidelity": self.achieved_fidelity,
             "solo_retry": self.solo_retry,
             "wait_s": self.wait_time(),
             "error": self.error,
@@ -246,6 +255,7 @@ def make_job(
     timeout_s: float | None = None,
     max_deliveries: int | None = None,
     options: tuple = (),
+    fidelity: float = 1.0,
     id_prefix: str = "",
 ) -> Job:
     """Construct a PENDING job with a durable content-addressed id.
@@ -271,6 +281,11 @@ def make_job(
         raise ServiceError("timeout_s must be > 0 when given")
     if max_deliveries is not None and max_deliveries < 1:
         raise ServiceError("max_deliveries must be >= 1 when given")
+    fidelity = float(fidelity)
+    if not 0.0 < fidelity <= 1.0:
+        raise ServiceError(
+            f"fidelity budget must be in (0, 1], got {fidelity}"
+        )
     return Job(
         job_id=id_prefix + job_id_for(seq, circuit, batch),
         seq=seq,
@@ -281,4 +296,5 @@ def make_job(
         timeout_s=timeout_s,
         max_deliveries=max_deliveries,
         options=tuple(options),
+        fidelity=fidelity,
     )

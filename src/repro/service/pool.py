@@ -159,6 +159,10 @@ def _run_task(sim, wid: int, task: dict) -> dict:
     wall0 = time.perf_counter()
     tracer = Tracer(enabled=True) if task["trace"] else None
     previous = set_tracer(tracer) if tracer is not None else None
+    # the worker simulator is long-lived and serves every fidelity class;
+    # point it at this task's budget before running (the plan-cache key
+    # includes the budget, so classes never share compiled plans)
+    sim.fidelity = task.get("fidelity", 1.0)
     mega = _receive_array(task["inputs"])
     spec = BatchSpec(*task["spec"])
     total = task["total_columns"]
@@ -177,6 +181,7 @@ def _run_task(sim, wid: int, task: dict) -> dict:
     plan_source = ""
     solo_runs = 0
     resumed_batches = 0
+    approx = None
     try:
         try:
             with _span(
@@ -224,6 +229,7 @@ def _run_task(sim, wid: int, task: dict) -> dict:
             modeled = result.modeled_time
             plan_source = result.stats.get("plan_source", "")
             resumed_batches = result.stats.get("resumed_batches", 0)
+            approx = result.stats.get("approx")
             per_job = [{"ok": True, "error": None} for _ in job_columns]
     except BaseException as exc:  # noqa: BLE001 - worker must not die
         degraded = True
@@ -264,6 +270,7 @@ def _run_task(sim, wid: int, task: dict) -> dict:
         "plan_source": plan_source,
         "solo_runs": solo_runs,
         "resumed_batches": resumed_batches,
+        "approx": approx,
         "plan_cache": sim._plans.stats_dict(),
         "spans": (
             [span.to_dict() for span in tracer.spans()] if tracer else []
@@ -551,6 +558,7 @@ class ProcessWorkerPool:
         timeout_s: float | None = None,
         resume: bool = False,
         delivery: int | None = None,
+        fidelity: float = 1.0,
     ) -> tuple[int, int]:
         """Dispatch one packed mega-block to an idle worker.
 
@@ -562,7 +570,9 @@ class ProcessWorkerPool:
         ``timeout_s`` arms the supervisor's execution deadline (the
         strictest member deadline); ``resume`` marks a redelivered task
         whose worker may resume a crash checkpoint; ``delivery`` is echoed
-        into crash evidence.  Returns ``(task_id, wid)``.  Raises
+        into crash evidence; ``fidelity`` is the group's (homogeneous)
+        fidelity budget, applied to the worker simulator before the run.
+        Returns ``(task_id, wid)``.  Raises
         :class:`ServiceError` when no worker is idle — callers poll first
         — or when every slot's restart budget is exhausted.
         """
@@ -603,6 +613,7 @@ class ProcessWorkerPool:
             "job_ids": list(job_ids or []),
             "trace": bool(trace),
             "resume": bool(resume),
+            "fidelity": float(fidelity),
             "chaos": (
                 self.chaos.action_for(task_id)
                 if self.chaos is not None

@@ -236,6 +236,11 @@ class BatchSimulationService:
         #: crash-safety accounting
         self._quarantined = 0
         self._cancelled_inflight = 0
+        #: approximation-tier accounting (fed from run stats["approx"])
+        self._approx_runs = 0
+        self._pruned_gates = 0
+        self._pruned_nodes = 0
+        self._pruned_edges = 0
         self._draining = False
         self._closed = False
         #: per-slot pool restart counts already mirrored into lifecycle
@@ -244,20 +249,35 @@ class BatchSimulationService:
 
     # -- submission ----------------------------------------------------------
 
-    def _group_key(self, circuit: Circuit, options: tuple) -> str:
+    def _group_key(
+        self, circuit: Circuit, options: tuple, fidelity: float = 1.0
+    ) -> str:
         """Coalescing compatibility key: the worker simulators' plan
-        fingerprint (identical across the pool) plus per-job options."""
-        extra = self._template._cache_extra() + tuple(options)
+        fingerprint (identical across the pool) plus per-job options.
+
+        The fingerprint covers the circuit structure, the simulator's
+        compilation settings, the job's ``options`` tuple, and — below
+        1.0 — the job's fidelity budget, so jobs of different fidelity
+        classes never share a key (an exact job never coalesces into an
+        approximate mega-batch)."""
+        saved = self._template.fidelity
+        try:
+            self._template.fidelity = float(fidelity)
+            extra = self._template._cache_extra() + tuple(options)
+        finally:
+            self._template.fidelity = saved
         return plan_fingerprint(circuit, extra)
 
-    def group_key_for(self, circuit: Circuit, options: tuple = ()) -> str:
+    def group_key_for(
+        self, circuit: Circuit, options: tuple = (), fidelity: float = 1.0
+    ) -> str:
         """Public view of the coalescing key :meth:`submit` would assign.
 
         The shard router hashes this fingerprint to pick a home shard, so
         jobs that would coalesce also co-locate (and hit the same plan
         cache).  Pure: computes the key without submitting anything.
         """
-        return self._group_key(circuit, tuple(options))
+        return self._group_key(circuit, tuple(options), fidelity)
 
     def submit(
         self,
@@ -270,6 +290,7 @@ class BatchSimulationService:
         timeout_s: float | None = None,
         max_deliveries: int | None = None,
         options: tuple = (),
+        fidelity: float = 1.0,
     ) -> Job:
         """Admit one job; raises :class:`AdmissionError` on backpressure.
 
@@ -278,8 +299,11 @@ class BatchSimulationService:
         jobs).  ``deadline`` is absolute service-clock time; ``timeout_s``
         is the *execution* deadline once dispatched to a pool worker (the
         service default applies when None); ``max_deliveries`` overrides
-        the service-wide delivery budget for this job.  A draining or
-        closed service admits nothing.
+        the service-wide delivery budget for this job.  ``fidelity`` is
+        the job's end-to-end fidelity budget in (0, 1]: 1.0 (default)
+        runs exact, lower budgets run through the approximation tier and
+        coalesce only with jobs of the same fidelity class.  A draining
+        or closed service admits nothing.
         """
         if self._draining or self._closed:
             depth = self.queue.depth()
@@ -309,9 +333,10 @@ class BatchSimulationService:
             ),
             max_deliveries=max_deliveries,
             options=options,
+            fidelity=fidelity,
             id_prefix=f"{self.shard}/" if self.shard is not None else "",
         )
-        job.group_key = self._group_key(circuit, job.options)
+        job.group_key = self._group_key(circuit, job.options, job.fidelity)
         self.lifecycle.emit(
             "submitted", job.job_id, t=self.clock(),
             priority=priority, circuit=circuit.name,
@@ -508,6 +533,8 @@ class BatchSimulationService:
             worker=worker,
             wall_s=wall_s,
             modeled_s=modeled_s,
+            fidelity=job.fidelity,
+            achieved_fidelity=job.achieved_fidelity,
             error=job.error,
         )
         self.queue.settle([job.job_id])
@@ -544,6 +571,19 @@ class BatchSimulationService:
         )
         self.queue.settle([job.job_id])
 
+    def _note_approx(self, block: dict | None) -> float | None:
+        """Fold one run's ``stats["approx"]`` ledger summary into the
+        service counters; returns the run's achieved fidelity (``None``
+        when the run carried no ledger)."""
+        if not block:
+            return None
+        if block.get("pruned_gates"):
+            self._approx_runs += 1
+            self._pruned_gates += block.get("pruned_gates", 0)
+            self._pruned_nodes += block.get("nodes_removed", 0)
+            self._pruned_edges += block.get("edges_removed", 0)
+        return block.get("achieved")
+
     def _emit_executing(
         self, group: CoalescedGroup, now: float, worker: int
     ) -> None:
@@ -559,6 +599,11 @@ class BatchSimulationService:
     def _execute(self, worker: Worker, group: CoalescedGroup) -> int:
         now = self.clock()
         metrics = get_metrics()
+        # a group is fidelity-homogeneous by construction (the budget is
+        # part of the group key); point the worker's simulator at the
+        # group's class before running so plan lookup and pruning match
+        fidelity = group.jobs[0].fidelity
+        worker.simulator.fidelity = fidelity
         waits = [job.wait_time(now) for job in group.jobs]
         for job in group.jobs:
             job.transition(JobStatus.RUNNING)
@@ -582,6 +627,7 @@ class BatchSimulationService:
             "occupancy": group.total_columns / spec.num_inputs,
             "wait_mean_s": float(np.mean(waits)),
             "wait_max_s": float(np.max(waits)),
+            "fidelity": fidelity,
         }
         wall0 = time.perf_counter()
         finished = 0
@@ -604,7 +650,9 @@ class BatchSimulationService:
             per_job = Coalescer.scatter(group, result.outputs)
             done_at = self.clock()
             wall_s = time.perf_counter() - wall0
+            achieved = self._note_approx(result.stats.get("approx"))
             for job in group.jobs:
+                job.achieved_fidelity = achieved
                 job.finish(per_job[job.job_id], done_at)
                 self._emit_terminal(
                     job, worker=worker.wid, wall_s=wall_s,
@@ -663,6 +711,9 @@ class BatchSimulationService:
                 )
             else:
                 job.solo_retry = True
+                job.achieved_fidelity = self._note_approx(
+                    result.stats.get("approx")
+                )
                 job.finish(result.outputs[0], self.clock())
                 worker.jobs_done += 1
                 self._completed += 1
@@ -791,6 +842,7 @@ class BatchSimulationService:
                 timeout_s=timeout_s,
                 resume=resume,
                 delivery=max(job.delivery_count for job in group.jobs),
+                fidelity=group.jobs[0].fidelity,
             )
         self._emit_executing(group, now, wid)
         record = {
@@ -808,6 +860,7 @@ class BatchSimulationService:
             "occupancy": group.total_columns / spec.num_inputs,
             "wait_mean_s": float(np.mean(waits)),
             "wait_max_s": float(np.max(waits)),
+            "fidelity": group.jobs[0].fidelity,
         }
         self._inflight[task_id] = (group, record, time.perf_counter())
         return task_id
@@ -832,11 +885,13 @@ class BatchSimulationService:
         merged = raw["outputs"]
         finished = 0
         wall_s = time.perf_counter() - wall0
+        achieved = self._note_approx(raw.get("approx"))
         if not raw["degraded"]:
             for job, start, stop in group.offsets():
                 if job.cancel_requested:
                     self._cancel_inflight(job, done_at)
                     continue
+                job.achieved_fidelity = achieved
                 job.finish(merged[:, start:stop], done_at)
                 self._emit_terminal(
                     job, worker=raw["wid"], wall_s=wall_s,
@@ -882,6 +937,7 @@ class BatchSimulationService:
                     continue
                 if outcome["ok"] and merged is not None:
                     job.solo_retry = True
+                    job.achieved_fidelity = achieved
                     job.finish(merged[:, start:stop], done_at)
                     self._completed += 1
                     self._inputs_done += job.num_inputs
@@ -1043,6 +1099,33 @@ class BatchSimulationService:
             "parallelism": self.parallelism,
             "workers": worker_summaries,
             "plan_cache": plan_cache,
+        }
+        approx_jobs = [
+            j for j in self.jobs.values() if j.fidelity < 1.0
+        ]
+        done_approx = [
+            j for j in approx_jobs
+            if j.status is JobStatus.DONE and j.achieved_fidelity is not None
+        ]
+        attained = [
+            j for j in done_approx if j.achieved_fidelity >= j.fidelity
+        ]
+        stats["approx"] = {
+            "approx_jobs": len(approx_jobs),
+            "exact_jobs": len(self.jobs) - len(approx_jobs),
+            "approx_done": len(done_approx),
+            "attained": len(attained),
+            "attainment_rate": (
+                len(attained) / len(done_approx) if done_approx else 1.0
+            ),
+            "min_achieved_fidelity": (
+                min(j.achieved_fidelity for j in done_approx)
+                if done_approx else None
+            ),
+            "approx_megabatches": self._approx_runs,
+            "pruned_gates": self._pruned_gates,
+            "pruned_nodes": self._pruned_nodes,
+            "pruned_edges": self._pruned_edges,
         }
         slo = self.slo.summary()
         slo["unaccounted_jobs"] = len(self.lifecycle.unaccounted())

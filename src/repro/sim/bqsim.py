@@ -19,6 +19,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..approx import FidelityLedger, prune_plan
 from ..circuit import Circuit, InputBatch
 from ..dd.export import count_edges, count_nodes
 from ..dd.manager import DDManager
@@ -27,6 +28,7 @@ from ..ell.format import ELLMatrix
 from ..ell.persist import CompiledPlan, load_compiled_plan, save_compiled_plan
 from ..ell.spmm import default_backend, ell_spmm
 from ..errors import (
+    ApproximationError,
     CheckpointError,
     ConversionError,
     MemoryFault,
@@ -115,6 +117,7 @@ class BQSimSimulator(BatchSimulator):
         checkpoint_every: int = 1,
         max_splits: int = 0,
         engine: "str | ArrayEngine | None" = None,
+        fidelity: float = 1.0,
     ):
         self.gpu = gpu or GpuSpec()
         #: array-engine designator; resolved per run so ``REPRO_ENGINE``
@@ -146,6 +149,17 @@ class BQSimSimulator(BatchSimulator):
         #: adaptive batch splitting: on OOM, halve the state-block batch up
         #: to ``2**max_splits`` parts; 0 keeps the strict memory guard
         self.max_splits = max_splits
+        #: end-to-end fidelity budget in (0, 1].  1.0 is the exact tier —
+        #: the approximation pass is a no-op and results are bit-identical
+        #: to a build without it.  Below 1.0, the fused plan is pruned by
+        #: :func:`repro.approx.prune_plan` under this budget and the run's
+        #: ``stats["approx"]`` reports the achieved fidelity.
+        fidelity = float(fidelity)
+        if not 0.0 < fidelity <= 1.0:
+            raise ApproximationError(
+                f"fidelity budget must be in (0, 1], got {fidelity}"
+            )
+        self.fidelity = fidelity
 
     # -- pipeline stages ------------------------------------------------------
 
@@ -155,8 +169,20 @@ class BQSimSimulator(BatchSimulator):
         return no_fusion_plan(mgr, circuit)
 
     def _cache_extra(self) -> tuple:
-        """Settings that change what stages 1-2 produce (part of the key)."""
-        return ("bqsim-v1", self.fusion, self.max_fused_cost, self.tau, self.use_ell)
+        """Settings that change what stages 1-2 produce (part of the key).
+
+        The fidelity budget joins the key only below 1.0, so exact plans
+        keep their historical fingerprints (warm caches stay warm) while
+        every approximate budget names a distinct plan — which is also how
+        jobs partition into fidelity classes downstream: the coalescer and
+        the gateway's shard placement both key on this fingerprint.
+        """
+        extra = (
+            "bqsim-v1", self.fusion, self.max_fused_cost, self.tau, self.use_ell
+        )
+        if self.fidelity < 1.0:
+            extra += ("fidelity", self.fidelity)
+        return extra
 
     def plan_fingerprint(self, circuit: Circuit) -> str:
         """The structural key this simulator compiles ``circuit`` under.
@@ -169,9 +195,14 @@ class BQSimSimulator(BatchSimulator):
         return self._plans.key(circuit, self._cache_extra())
 
     def _build(self, circuit: Circuit) -> dict:
-        """Stages 1 and 2 from scratch: fusion + conversion analysis."""
+        """Stages 1 and 2 from scratch: fusion + conversion analysis.
+
+        With a fidelity budget below 1.0, the fused plan is pruned under
+        the budget *before* the conversion analysis, so routes, widths, and
+        modeled times all reflect the smaller approximate DDs."""
         mgr = DDManager(circuit.num_qubits)
         plan = self.plan_circuit(mgr, circuit)
+        plan, ledger = prune_plan(mgr, plan, self.fidelity)
         fused_nodes = sum(count_nodes(g.dd) for g in plan.gates)
         rows = 1 << plan.num_qubits
         infos: list[dict] = []
@@ -193,6 +224,7 @@ class BQSimSimulator(BatchSimulator):
             "fused_nodes": fused_nodes,
             "conv_infos": infos,
             "ells": None,
+            "approx": ledger.to_dict(),
         }
 
     def _prepare(self, circuit: Circuit, execute: bool = False) -> tuple[dict, str]:
@@ -316,6 +348,10 @@ class BQSimSimulator(BatchSimulator):
                 "fused_nodes": compiled.fused_nodes,
                 "conv_infos": [dict(info) for info in compiled.conv_infos],
                 "ells": list(compiled.matrices) if compiled.has_matrices else None,
+                # pre-approximation archives carry no ledger; the exact
+                # block keeps disk-warm stats["approx"] well-formed
+                "approx": compiled.approx
+                or FidelityLedger(budget=self.fidelity).to_dict(),
             }
 
     def _save_compiled(self, prepared: dict) -> None:
@@ -335,6 +371,9 @@ class BQSimSimulator(BatchSimulator):
             gate_nnz=tuple(g.nnz for g in plan.gates),
             conv_infos=tuple(prepared["conv_infos"]),
             matrices=tuple(prepared["ells"]) if prepared["ells"] else None,
+            # exact plans carry no approx payload (pre-approx archives
+            # stay byte-compatible); only budgeted plans persist a ledger
+            approx=prepared.get("approx") if self.fidelity < 1.0 else None,
         )
         try:
             save_compiled_plan(compiled, path)
@@ -532,6 +571,8 @@ class BQSimSimulator(BatchSimulator):
                     "plan_key": prepared["key"],
                     "overlap_fraction": timeline.overlap_fraction(),
                     "snapshots": snapshots,
+                    "approx": prepared.get("approx")
+                    or FidelityLedger(budget=self.fidelity).to_dict(),
                 },
                 timer,
                 self._plans,

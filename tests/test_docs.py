@@ -51,6 +51,7 @@ def test_docs_exist():
         "operations.md",
         "architecture.md",
         "kernels.md",
+        "approximation.md",
     } <= names
 
 

@@ -433,8 +433,10 @@ def _submit_remote(args) -> int:
         print(f"status    : {info['status']} (shard {info['shard']}, "
               f"group {info['group_key']}, attempts {info['attempts']})")
         if args.fidelity < 1.0:
+            achieved = info["achieved_fidelity"]
+            achieved_s = "n/a" if achieved is None else f"{achieved:.6f}"
             print(f"fidelity  : budget {info['fidelity']:g}, "
-                  f"achieved {info['achieved_fidelity']:.6f}")
+                  f"achieved {achieved_s}")
         print(f"result    : {amplitudes.shape[1]} output state(s), "
               f"first column norm {norm:.6f}")
         if args.prom_out:
@@ -478,8 +480,10 @@ def cmd_submit(args) -> int:
         print(f"status    : {job.status.value} "
               f"(group {job.group_key[:12]}, attempts {job.attempts})")
         if job.fidelity < 1.0:
+            achieved = job.achieved_fidelity
+            achieved_s = "n/a" if achieved is None else f"{achieved:.6f}"
             print(f"fidelity  : budget {job.fidelity:g}, "
-                  f"achieved {job.achieved_fidelity:.6f}")
+                  f"achieved {achieved_s}")
         print(f"result    : {amplitudes.shape[1]} output state(s), "
               f"first column norm {norm:.6f}")
         if args.stats_json:

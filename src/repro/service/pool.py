@@ -217,6 +217,10 @@ def _run_task(sim, wid: int, task: dict) -> dict:
                     merged[:, offset : offset + cols] = solo.outputs[0]
                     modeled += solo.modeled_time
                     solo_runs += 1
+                    # the group is fidelity-homogeneous, so any solo run's
+                    # ledger stands in for the mega-batch's (keeps
+                    # achieved_fidelity alive through degradation)
+                    approx = solo.stats.get("approx") or approx
                     per_job.append({"ok": True, "error": None})
                 offset += cols
         else:

@@ -259,13 +259,11 @@ class BatchSimulationService:
         compilation settings, the job's ``options`` tuple, and — below
         1.0 — the job's fidelity budget, so jobs of different fidelity
         classes never share a key (an exact job never coalesces into an
-        approximate mega-batch)."""
-        saved = self._template.fidelity
-        try:
-            self._template.fidelity = float(fidelity)
-            extra = self._template._cache_extra() + tuple(options)
-        finally:
-            self._template.fidelity = saved
+        approximate mega-batch).  Thread-safe: the per-job budget is
+        passed through to ``_cache_extra`` rather than written onto the
+        shared template simulator (the gateway fingerprints concurrently
+        from executor threads)."""
+        extra = self._template._cache_extra(fidelity) + tuple(options)
         return plan_fingerprint(circuit, extra)
 
     def group_key_for(

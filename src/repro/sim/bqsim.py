@@ -168,7 +168,7 @@ class BQSimSimulator(BatchSimulator):
             return bqcs_fusion(mgr, circuit, max_cost=self.max_fused_cost)
         return no_fusion_plan(mgr, circuit)
 
-    def _cache_extra(self) -> tuple:
+    def _cache_extra(self, fidelity: float | None = None) -> tuple:
         """Settings that change what stages 1-2 produce (part of the key).
 
         The fidelity budget joins the key only below 1.0, so exact plans
@@ -176,12 +176,18 @@ class BQSimSimulator(BatchSimulator):
         every approximate budget names a distinct plan — which is also how
         jobs partition into fidelity classes downstream: the coalescer and
         the gateway's shard placement both key on this fingerprint.
+
+        ``fidelity`` lets callers key a budget other than this simulator's
+        own without mutating shared state (the serving layer fingerprints
+        per-job budgets against one template simulator from concurrent
+        threads); None keys ``self.fidelity``.
         """
+        budget = self.fidelity if fidelity is None else float(fidelity)
         extra = (
             "bqsim-v1", self.fusion, self.max_fused_cost, self.tau, self.use_ell
         )
-        if self.fidelity < 1.0:
-            extra += ("fidelity", self.fidelity)
+        if budget < 1.0:
+            extra += ("fidelity", budget)
         return extra
 
     def plan_fingerprint(self, circuit: Circuit) -> str:

@@ -262,6 +262,38 @@ class TestServiceWiring:
         with pytest.raises(ServiceError):
             svc.submit(circuit, _batch(3, 2, 0), fidelity=1.5)
 
+    def test_solo_fallback_preserves_achieved_fidelity(self):
+        """Regression: an approximate job that completes via the process
+        pool's per-job isolation fallback still reports its achieved
+        fidelity (the solo runs carry the ledger when the mega-batch
+        degrades), so the SLO tracker never counts it as fidelity-missed.
+        """
+        from repro.circuit import InputBatch
+        from repro.service import JobStatus
+
+        svc = BatchSimulationService(
+            num_workers=1,
+            parallelism="process",
+            simulator_kwargs={"health": "fail"},
+        )
+        circuit = make_circuit("vqe_finetune", 5)
+        try:
+            good = svc.submit(circuit, _batch(5, 2, 0), fidelity=0.99)
+            poison = svc.submit(
+                circuit,
+                InputBatch(np.full((32, 2), np.nan, dtype=np.complex128)),
+                fidelity=0.99,
+            )
+            svc.drain()
+        finally:
+            svc.close()
+        assert good.status is JobStatus.DONE and good.solo_retry
+        assert poison.status is JobStatus.FAILED
+        assert good.achieved_fidelity is not None
+        assert good.achieved_fidelity >= 0.99
+        slo = svc.stats()["slo"]
+        assert slo["fidelity_attained"] == 1
+
     def test_rescued_jobs_keep_their_fidelity_class(self):
         svc = BatchSimulationService()
         circuit = make_circuit("vqe_finetune", 5)
@@ -306,6 +338,46 @@ class TestGroupKeyDocumentation:
         a = svc.submit(circuit, _batch(5, 2, 0), priority=0)
         b = svc.submit(circuit, _batch(5, 2, 1), priority=7, deadline=99.0)
         assert a.group_key == b.group_key
+
+    def test_group_key_for_does_not_mutate_the_template(self):
+        """Regression: fingerprinting a budget must not write through the
+        shared template simulator — the gateway calls ``group_key_for``
+        from concurrent executor threads without holding the shard lock,
+        so a temporary mutation could leak another job's fidelity class
+        into an unrelated key."""
+        svc = BatchSimulationService()
+        circuit = make_circuit("vqe_finetune", 5)
+        assert svc._template.fidelity == 1.0
+        svc.group_key_for(circuit, fidelity=0.9)
+        assert svc._template.fidelity == 1.0
+
+    def test_group_key_for_is_stable_under_concurrent_mixed_budgets(self):
+        """Concurrent exact/approximate fingerprints never cross-contaminate:
+        every thread sees exactly the key serial computation produces."""
+        import threading
+
+        svc = BatchSimulationService()
+        circuit = make_circuit("vqe_finetune", 5)
+        budgets = [1.0, 0.99, 0.9]
+        expected = {b: svc.group_key_for(circuit, fidelity=b) for b in budgets}
+        mismatches = []
+
+        def fingerprint(budget):
+            for _ in range(100):
+                key = svc.group_key_for(circuit, fidelity=budget)
+                if key != expected[budget]:
+                    mismatches.append(budget)
+                    return
+
+        threads = [
+            threading.Thread(target=fingerprint, args=(b,))
+            for b in budgets * 4
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert mismatches == []
 
 
 # ---------------------------------------------------------------------------

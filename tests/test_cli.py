@@ -195,6 +195,31 @@ def test_submit_stats_json_matches_simulate_schema(tmp_path, capsys):
     assert "queue_age_s" in slo and "priorities" in slo
 
 
+def test_submit_with_fidelity_budget(capsys):
+    rc = main(["submit", "--family", "vqe_finetune", "-n", "5",
+               "--inputs", "2", "--fidelity", "0.99"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "status    : done" in out
+    assert "fidelity  : budget 0.99, achieved 0." in out
+
+
+def test_submit_fidelity_achieved_unknown_prints_na(capsys, monkeypatch):
+    """Regression: when achieved fidelity never made it back to the job
+    (it is None), the CLI prints 'n/a' instead of raising TypeError on
+    the ':.6f' format after an otherwise successful job."""
+    from repro.service.workers import BatchSimulationService
+
+    monkeypatch.setattr(
+        BatchSimulationService, "_note_approx", lambda self, block: None
+    )
+    rc = main(["submit", "--family", "ghz", "-n", "4", "--inputs", "1",
+               "--fidelity", "0.99"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "achieved n/a" in out
+
+
 def test_submit_process_parallelism(capsys):
     rc = main(["submit", "--family", "ghz", "-n", "5", "--inputs", "3",
                "--workers", "2", "--parallelism", "process"])
